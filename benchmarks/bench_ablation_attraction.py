@@ -1,0 +1,66 @@
+"""Ablation — the attraction criterion (Section V-G).
+
+"In order to sort PEs in a meaningful way, an attraction criterion is
+introduced": successors are drawn towards PEs that can access their
+operands' register files.  This ablation replaces attraction ordering
+with plain connectivity ordering and measures the cycle cost over the
+evaluation compositions — locality-blind placement forces extra copy
+operations, most visibly on sparse interconnects.
+"""
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.context.generator import generate_contexts
+from repro.eval.tables import adpcm_workload
+from repro.kernels.adpcm import N_SAMPLES
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+
+def _run(kernel, comp, arrays, *, use_attraction):
+    schedule = schedule_kernel(kernel, comp, use_attraction=use_attraction)
+    program = generate_contexts(schedule, comp, kernel)
+    res = invoke_kernel(
+        kernel,
+        comp,
+        {"n": N_SAMPLES, "gain": 4096},
+        {k: list(v) for k, v in arrays.items()},
+        program=program,
+    )
+    return res.run_cycles, sum(
+        1 for op in schedule.ops if op.opcode == "MOVE" and op.node is None
+    )
+
+
+def test_ablation_attraction(benchmark):
+    kernel, arrays, expect = adpcm_workload()
+    comps = {
+        "mesh9": mesh_composition(9),
+        "irregularB": irregular_composition("B"),
+    }
+
+    def run_without_attraction():
+        return {
+            name: _run(kernel, comp, arrays, use_attraction=False)
+            for name, comp in comps.items()
+        }
+
+    without = benchmark(run_without_attraction)
+    with_attr = {
+        name: _run(kernel, comp, arrays, use_attraction=True)
+        for name, comp in comps.items()
+    }
+
+    print("\nattraction ablation (cycles, routing copies):")
+    total_with = total_without = 0
+    for name in comps:
+        print(
+            f"  {name}: with={with_attr[name]}  without={without[name]}"
+        )
+        total_with += with_attr[name][0]
+        total_without += without[name][0]
+    # Attraction is a greedy heuristic: it wins on some compositions and
+    # loses slightly on others (our runs record both — see
+    # EXPERIMENTS.md).  The guard below only rejects a systematic
+    # regression: locality-aware ordering must stay within 10 % of the
+    # locality-blind order overall.
+    assert total_with <= total_without * 1.10

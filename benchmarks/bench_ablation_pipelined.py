@@ -1,0 +1,50 @@
+"""Ablation — pipelined PEs (Section VII's pipeline-stage investigation).
+
+"Several optimizations regarding the introduction of further pipeline
+stages in the PEs are investigated."  Pipelined PEs issue every cycle
+even while the two-cycle block multiplier or a DMA access is still in
+flight, and the added registers raise the model clock.  We compare
+blocking vs pipelined meshes on the ADPCM workload.
+"""
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.eval.tables import adpcm_workload
+from repro.fpga import estimate
+from repro.kernels.adpcm import N_SAMPLES
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+
+def _run(kernel, arrays, expect, *, pipelined):
+    comp = mesh_composition(9, pipelined=pipelined)
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    res = invoke_kernel(
+        kernel,
+        comp,
+        {"n": N_SAMPLES, "gain": 4096},
+        {k: list(v) for k, v in arrays.items()},
+        program=program,
+    )
+    assert res.heap.array(kernel.arrays[1].handle) == expect
+    fpga = estimate(comp)
+    return res.run_cycles, fpga.frequency_mhz
+
+
+def test_ablation_pipelined_pes(benchmark):
+    kernel, arrays, expect = adpcm_workload()
+    blocking = _run(kernel, arrays, expect, pipelined=False)
+    piped = benchmark(_run, kernel, arrays, expect, pipelined=True)
+
+    ms_blocking = blocking[0] / (blocking[1] * 1e3)
+    ms_piped = piped[0] / (piped[1] * 1e3)
+    print(
+        f"\nblocking: {blocking[0]} cycles @ {blocking[1]} MHz = "
+        f"{ms_blocking:.3f} ms | pipelined: {piped[0]} cycles @ "
+        f"{piped[1]} MHz = {ms_piped:.3f} ms"
+    )
+    # pipelining never costs cycles and the clock bonus makes it win
+    assert piped[0] <= blocking[0]
+    assert piped[1] > blocking[1]
+    assert ms_piped < ms_blocking

@@ -1,0 +1,49 @@
+"""Ablation — speculation/predication vs pure branching (Section V-B).
+
+The paper's control-flow concept "uses speculation and predication to
+increase the level of parallelism".  This ablation disables it: every
+if/else is realised with real CCNT branches.  Expectation: the branchy
+ADPCM decoder gets *slower* without speculation (branches serialise the
+if/else chains and pay a context per decision), demonstrating the value
+of the C-Box predication path.
+"""
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.eval.tables import adpcm_workload
+from repro.kernels.adpcm import N_SAMPLES
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+
+def _cycles(kernel, comp, arrays, *, speculate):
+    schedule = schedule_kernel(kernel, comp, speculate=speculate)
+    program = generate_contexts(schedule, comp, kernel)
+    res = invoke_kernel(
+        kernel,
+        comp,
+        {"n": N_SAMPLES, "gain": 4096},
+        {k: list(v) for k, v in arrays.items()},
+        program=program,
+    )
+    return res, program
+
+
+def test_ablation_speculation(benchmark, mesh_runs):
+    kernel, arrays, expect = adpcm_workload()
+    comp = mesh_composition(9)
+
+    res_branchy, prog_branchy = benchmark(
+        _cycles, kernel, comp, arrays, speculate=False
+    )
+    assert res_branchy.heap.array(kernel.arrays[1].handle) == expect
+
+    spec_cycles = mesh_runs["9 PEs"].cycles
+    print(
+        f"\nspeculation ON: {spec_cycles} cycles | OFF: "
+        f"{res_branchy.run_cycles} cycles "
+        f"({res_branchy.run_cycles / spec_cycles:.2f}x slower without)"
+    )
+    assert res_branchy.run_cycles > spec_cycles
+    # branching needs more contexts too (one region per path)
+    assert prog_branchy.used_contexts > mesh_runs["9 PEs"].used_contexts

@@ -1,0 +1,44 @@
+"""Ablation — partial loop unrolling (Section VI-B's "unroll factor 2").
+
+The paper schedules with a maximum unroll factor of 2 for inner loops.
+On our leaner CDFG the serial dependence chain of the ADPCM inner loop
+limits the benefit; this bench records the actual trade-off (contexts
+grow, cycles shift) for unroll factors 1, 2 and 3, and asserts
+correctness for all of them.
+"""
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.eval.tables import adpcm_workload
+from repro.kernels.adpcm import N_SAMPLES
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+
+def _measure(unroll):
+    kernel, arrays, expect = adpcm_workload(unroll=unroll)
+    comp = mesh_composition(9)
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    res = invoke_kernel(
+        kernel,
+        comp,
+        {"n": N_SAMPLES, "gain": 4096},
+        {k: list(v) for k, v in arrays.items()},
+        program=program,
+    )
+    correct = res.heap.array(kernel.arrays[1].handle) == expect
+    return program.used_contexts, res.run_cycles, correct
+
+
+def test_ablation_unroll_factor(benchmark):
+    results = {1: _measure(1), 3: _measure(3)}
+    results[2] = benchmark(_measure, 2)
+
+    print("\nunroll ablation (contexts, cycles):")
+    for factor, (contexts, cycles, correct) in sorted(results.items()):
+        print(f"  factor {factor}: {contexts} contexts, {cycles} cycles")
+        assert correct, f"unroll {factor} decoded incorrectly"
+
+    # unrolling duplicates the inner body: contexts must grow with factor
+    assert results[1][0] < results[2][0] <= results[3][0]

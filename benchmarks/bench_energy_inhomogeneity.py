@@ -1,0 +1,38 @@
+"""Section VI-C's closing claim — area and energy savings of tailoring.
+
+"It can be seen that supporting irregular and inhomogeneous structures
+can potentially save area on the chip and most likely energy."  We
+quantify it with the simulator's per-operation energy accounting
+(Fig. 9's energy annotations): composition F (two multipliers) must
+stay within a few percent of D's dynamic energy and cycle count while
+using a quarter of the DSP area; compared to the largest mesh it saves
+both area *and* wall-clock.
+"""
+
+from repro.eval.tables import run_adpcm_on
+from repro.arch.library import irregular_composition, mesh_composition
+
+
+def test_energy_and_area_of_inhomogeneity(benchmark, table2_runs):
+    d = table2_runs["8 PEs D"]
+    f = table2_runs["8 PEs F"]
+    mesh16 = table2_runs["16 PEs"]
+
+    fresh = benchmark(
+        run_adpcm_on, "8 PEs F", irregular_composition("F"), n_samples=64
+    )
+    assert fresh.correct
+
+    print(
+        f"\nenergy (sim, Fig. 9 scale): D={d.energy:.0f} F={f.energy:.0f} "
+        f"mesh16={mesh16.energy:.0f}\n"
+        f"DSP%: D={d.dsp_pct} F={f.dsp_pct} | cycles: D={d.cycles} "
+        f"F={f.cycles}"
+    )
+    # F keeps D's performance and energy while using 75 % fewer DSPs
+    assert f.dsp_pct <= 0.3 * d.dsp_pct
+    assert f.cycles <= d.cycles * 1.05
+    assert f.energy <= d.energy * 1.05
+    # and the tailored 8-PE arrays beat the 16-PE mesh on area
+    assert f.lut_logic_pct < mesh16.lut_logic_pct
+    assert f.bram_pct < mesh16.bram_pct

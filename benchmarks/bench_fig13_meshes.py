@@ -1,0 +1,34 @@
+"""Fig. 13 — the homogeneous mesh compositions (4-16 PEs, grey = DMA).
+
+Regenerates the six meshes and checks their defining properties; the
+timed portion is composition generation + Verilog emission for all six
+(the generator half of the paper's toolset).
+"""
+
+from repro.arch.library import MESH_SIZES, mesh_composition
+from repro.hdl import generate_verilog
+
+
+def test_fig13_mesh_compositions(benchmark):
+    def build_all():
+        out = {}
+        for n in MESH_SIZES:
+            comp = mesh_composition(n)
+            out[n] = (comp, generate_verilog(comp))
+        return out
+
+    built = benchmark(build_all)
+    assert sorted(built) == sorted(MESH_SIZES)
+
+    print("\nFig. 13 meshes:")
+    for n, (comp, files) in sorted(built.items()):
+        print(
+            f"  {n:2d} PEs: {comp.interconnect.edge_count()} links, "
+            f"DMA on {list(comp.dma_pes())}, {len(files)} Verilog files"
+        )
+        assert comp.is_homogeneous()
+        assert comp.interconnect.is_strongly_connected()
+        assert 1 <= len(comp.dma_pes()) <= 4  # grey PEs
+        # mesh in-degree is at most 4
+        assert comp.interconnect.max_in_degree() <= 4
+        assert len(files) == 6 + 2 * n  # 6 shared + ALU/PE per element

@@ -1,0 +1,42 @@
+"""Fig. 14 — the irregular and inhomogeneous compositions A-F.
+
+Regenerates the six 8-PE compositions and checks the properties the
+paper describes: B has the least interconnect, D/F share the richest
+topology, F keeps multipliers on only two (black) PEs.  The timed
+portion is the ADPCM mapping onto all six.
+"""
+
+from repro.arch.library import IRREGULAR_NAMES, irregular_composition
+from repro.eval.tables import adpcm_workload
+from repro.sched.scheduler import schedule_kernel
+
+
+def test_fig14_irregular_compositions(benchmark, irregular_runs):
+    comps = {name: irregular_composition(name) for name in IRREGULAR_NAMES}
+    kernel, _, _ = adpcm_workload()
+
+    def schedule_all():
+        return {
+            name: schedule_kernel(kernel, comp) for name, comp in comps.items()
+        }
+
+    schedules = benchmark(schedule_all)
+    assert set(schedules) == set(IRREGULAR_NAMES)
+
+    print("\nFig. 14 compositions:")
+    for name, comp in comps.items():
+        print(
+            f"  {name}: {comp.interconnect.edge_count()} links, "
+            f"multipliers on {list(comp.multiplier_pes())}"
+        )
+        assert comp.n_pes == 8
+
+    edges = {n: comps[n].interconnect.edge_count() for n in comps}
+    assert edges["B"] == min(edges.values())  # "little interconnect"
+    assert comps["D"].interconnect.sources == comps["F"].interconnect.sources
+    assert len(comps["F"].multiplier_pes()) == 2  # the black PEs
+    assert all(len(comps[n].multiplier_pes()) == 8 for n in "ABCDE")
+
+    # the ADPCM decoder maps and runs correctly on every one of them
+    for label, run in irregular_runs.items():
+        assert run.correct, label

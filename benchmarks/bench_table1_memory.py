@@ -1,0 +1,42 @@
+"""Table I — memory utilisation of the ADPCM decoder schedules.
+
+Paper row (416 samples, unroll 2):
+
+    Used Contexts    200  191  189  175  173  168   (4..16 PEs)
+    Max. RF entries   66   69   62   51   44   49
+
+Our absolute numbers are smaller (our CDFG is leaner than Java
+bytecode); the assertions target the reproducible structure: every mesh
+fits the 256-entry context memory and the 128-entry RFs with room to
+spare, and the benchmark regenerates both rows.  The timed portion is
+schedule + context generation for the 9-PE mesh (the paper's best).
+"""
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.eval.report import render_table1
+from repro.eval.tables import adpcm_workload
+from repro.sched.scheduler import schedule_kernel
+
+
+def test_table1_memory_utilisation(benchmark, mesh_runs):
+    kernel, _, _ = adpcm_workload()
+    comp = mesh_composition(9)
+
+    def map_once():
+        schedule = schedule_kernel(kernel, comp)
+        return generate_contexts(schedule, comp, kernel)
+
+    program = benchmark(map_once)
+
+    print("\nTable I (regenerated)")
+    print(render_table1(mesh_runs))
+
+    for label, run in mesh_runs.items():
+        assert run.correct, label
+        # fits the paper's memory parameters
+        assert run.used_contexts <= 256, label
+        assert run.max_rf_entries <= 128, label
+        # and would even fit the small RF-32 variant of Section VI-B
+        assert run.max_rf_entries <= 32, label
+    assert program.used_contexts == mesh_runs["9 PEs"].used_contexts

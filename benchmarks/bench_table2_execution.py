@@ -1,0 +1,55 @@
+"""Table II — execution cycles + synthesis estimates, all 12 compositions.
+
+Paper shape targets (Section VI-B/C):
+
+* every composition decodes the full stream correctly (mappability),
+* among the irregular arrays, the sparse B is the slowest and the
+  richly-clustered D the fastest,
+* the inhomogeneous F matches D's cycle count within a small margin
+  while using 75 % fewer DSPs,
+* resource columns grow ~linearly with PE count and frequency falls.
+
+The timed portion is the full 416-sample simulation on the 9-PE mesh.
+"""
+
+from repro.arch.library import mesh_composition
+from repro.eval.report import render_table2
+from repro.eval.tables import adpcm_workload
+from repro.kernels.adpcm import N_SAMPLES
+from repro.sim.invocation import invoke_kernel
+
+
+def test_table2_execution_times(benchmark, table2_runs):
+    kernel, arrays, expect = adpcm_workload()
+    comp = mesh_composition(9)
+
+    def simulate():
+        return invoke_kernel(
+            kernel,
+            comp,
+            {"n": N_SAMPLES, "gain": 4096},
+            {k: list(v) for k, v in arrays.items()},
+        )
+
+    result = benchmark(simulate)
+    assert result.run_cycles == table2_runs["9 PEs"].cycles
+
+    print("\nTable II (regenerated)")
+    print(render_table2(table2_runs))
+
+    for label, run in table2_runs.items():
+        assert run.correct, f"{label} decoded incorrectly"
+
+    irr = {k.split()[-1]: v for k, v in table2_runs.items() if len(k.split()) == 3}
+    # B worst, D best among the irregular compositions (paper Section VI-C)
+    assert irr["B"].cycles == max(r.cycles for r in irr.values())
+    assert irr["D"].cycles == min(r.cycles for r in irr.values())
+    # F tracks D within 5 % while dropping 75 % of the DSPs
+    assert abs(irr["F"].cycles - irr["D"].cycles) / irr["D"].cycles < 0.05
+    assert irr["F"].dsp_pct < 0.3 * irr["D"].dsp_pct
+
+    meshes = {k: v for k, v in table2_runs.items() if len(k.split()) == 2}
+    freqs = [meshes[f"{n} PEs"].frequency_mhz for n in (4, 6, 8, 9, 12, 16)]
+    assert freqs == sorted(freqs, reverse=True)
+    luts = [meshes[f"{n} PEs"].lut_logic_pct for n in (4, 6, 8, 9, 12, 16)]
+    assert luts == sorted(luts)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy pipeline results (full 416-sample runs over all 12 compositions)
+are computed once per session and shared across benchmark modules; the
+``benchmark`` calls then measure the pipeline stage each bench targets.
+"""
+
+import pytest
+
+from repro.eval.tables import table2, table3
+from repro.kernels.adpcm import N_SAMPLES
+
+
+@pytest.fixture(scope="session")
+def table2_runs():
+    """Table II data: all 12 compositions, full 416 samples."""
+    return table2(n_samples=N_SAMPLES)
+
+
+@pytest.fixture(scope="session")
+def mesh_runs(table2_runs):
+    return {k: v for k, v in table2_runs.items() if k.split()[-1] == "PEs"}
+
+
+@pytest.fixture(scope="session")
+def irregular_runs(table2_runs):
+    return {k: v for k, v in table2_runs.items() if not k.split()[-1] == "PEs"}
+
+
+@pytest.fixture(scope="session")
+def table3_runs():
+    """Table III data: meshes with single-cycle multipliers."""
+    return table3(n_samples=N_SAMPLES)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Design-space exploration across kernels and compositions.
+
+The paper's motivation for inhomogeneous/irregular support is tailoring
+the CGRA to an application domain (Section VII: "great potential to save
+resources and energy").  This example maps four kernels onto a range of
+compositions — including a custom inhomogeneous one built from the JSON
+description API — and reports cycles, simulated energy, and FPGA cost,
+showing e.g. that dropping six of eight multipliers (composition F)
+costs almost no performance on multiplier-light kernels while saving
+75 % of the DSPs.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.arch.composition import Composition
+from repro.arch.description import composition_from_dict, composition_to_dict
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.fpga import estimate
+from repro.ir.cdfg import Kernel
+from repro.kernels import dotp, fir, gcd, sort
+from repro.sim.invocation import invoke_kernel
+
+
+def build_workloads() -> List[Tuple[str, Kernel, Dict[str, int], Dict[str, List[int]]]]:
+    xs, ys = dotp.sample_inputs(48)
+    coeffs = [3, -1, 4, 1, -5]
+    signal = [((i * 37) % 200) - 100 for i in range(64)]
+    unsorted = [((i * 611) % 97) - 48 for i in range(24)]
+    return [
+        ("dotp", dotp.build_kernel(), {"n": 48}, {"xs": xs, "ys": ys}),
+        (
+            "fir",
+            fir.build_kernel(),
+            {"n": 48, "taps": len(coeffs)},
+            {"xs": signal, "coeffs": coeffs, "ys": [0] * 48},
+        ),
+        ("gcd", gcd.build_kernel(), {"a": 3528, "b": 3780}, {}),
+        ("bubble", sort.build_kernel(), {"n": 24}, {"data": unsorted}),
+    ]
+
+
+def custom_composition() -> Composition:
+    """A tailored composition via the JSON description round trip."""
+    base = irregular_composition("D")
+    doc = composition_to_dict(base)
+    doc["name"] = "custom_tailored"
+    # strip multipliers everywhere except PEs 1 and 6, shrink RFs
+    for idx, pe_doc in doc["PEs"].items():
+        pe_doc["Regfile_size"] = 64
+        if idx not in ("1", "6") and "IMUL" in pe_doc:
+            del pe_doc["IMUL"]
+    return composition_from_dict(doc)
+
+
+def main() -> None:
+    comps = {
+        "mesh4": mesh_composition(4),
+        "mesh9": mesh_composition(9),
+        "irregular D": irregular_composition("D"),
+        "irregular F": irregular_composition("F"),
+        "custom": custom_composition(),
+    }
+    workloads = build_workloads()
+
+    print(
+        f"{'composition':12s} {'DSP%':>5s} {'LUT%':>5s} "
+        + "".join(f"{name + ' cyc':>11s} {name + ' E':>9s}" for name, *_ in workloads)
+    )
+    for label, comp in comps.items():
+        fpga = estimate(comp)
+        cells = []
+        for name, kernel, livein, arrays in workloads:
+            res = invoke_kernel(kernel, comp, livein, arrays)
+            cells.append(f"{res.run_cycles:11d} {res.run.energy:9.0f}")
+        print(
+            f"{label:12s} {fpga.dsp_pct:5.2f} {fpga.lut_logic_pct:5.2f} "
+            + "".join(cells)
+        )
+
+    print(
+        "\nNote how the 2-multiplier compositions (F, custom) track D's "
+        "cycle counts on these kernels while using a quarter of the DSPs "
+        "— the paper's Section VI-C observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""CGRA architecture model.
+
+This package models the hardware side of the paper: operations and their
+cost annotations (:mod:`repro.arch.operations`), processing elements
+(:mod:`repro.arch.pe`), the interconnect graph
+(:mod:`repro.arch.interconnect`), complete compositions
+(:mod:`repro.arch.composition`), the JSON description format
+(:mod:`repro.arch.description`), the condition box
+(:mod:`repro.arch.cbox`), the context control unit
+(:mod:`repro.arch.ccu`) and the library of compositions evaluated in the
+paper (:mod:`repro.arch.library`).
+"""
+
+from repro.arch.operations import OpSpec, OpCost, OPS, wrap32, evaluate
+from repro.arch.pe import PEDescription
+from repro.arch.interconnect import Interconnect
+from repro.arch.composition import Composition
+from repro.arch.cbox import CBoxState, CBoxFunc
+from repro.arch.ccu import CCUEntry, BranchKind
+
+__all__ = [
+    "OpSpec",
+    "OpCost",
+    "OPS",
+    "wrap32",
+    "evaluate",
+    "PEDescription",
+    "Interconnect",
+    "Composition",
+    "CBoxState",
+    "CBoxFunc",
+    "CCUEntry",
+    "BranchKind",
+]

@@ -1,0 +1,220 @@
+"""Condition-Box (C-Box) model — Fig. 4 and Sections IV-A.2 / V-H.
+
+The C-Box receives the status bits ``s1..sn`` of all PEs, stores
+(intermediate) truth values in a small *condition memory* and combines
+them with logic operations.  Two outputs leave the C-Box every cycle:
+
+* ``outctrl`` — the branch-selection signal consumed by the CCU, and
+* ``outPE``  — the predication signal broadcast to all PEs, gating
+  predicated register-file writes and memory operations (pWRITE).
+
+Resource model (faithful to the paper):
+
+* Only **one** incoming status bit can be processed per cycle ("the
+  amount of processable incoming status bits is reduced to one per
+  cycle"); compound conditions such as ``x || y`` therefore take
+  multiple cycles (Listing 1).
+* Per cycle the C-Box performs at most one read of a stored condition
+  (together with its stored inverse — read ports B1/B2 in Fig. 4) and
+  one write of a *complementary pair* (Fig. 4 stores ``A = x∨y`` and
+  ``B = x̄∧ȳ`` simultaneously).  This realises Section V-H: "the
+  combination of input signals can always be achieved by using one
+  stored condition, the current condition and their inverses".
+
+Slots are allocated by the scheduler with the left-edge algorithm
+(Section V-I); the memory size (``CBox_slots``) "limits the maximum
+number of parallel branches".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CBoxFunc", "CBoxOp", "CBoxState", "FRESH"]
+
+#: Sentinel slot index meaning "this cycle's freshly combined result"
+#: (the combinational red wire in Fig. 4) rather than a stored slot.
+FRESH = -1
+
+#: Sentinel for the freshly combined *negated* result (the dashed red
+#: wire in Fig. 4) — used e.g. for exit branches taken when a loop
+#: condition just evaluated false.
+FRESH_NEG = -2
+
+
+class CBoxFunc(enum.Enum):
+    """Logic function applied to (stored pair, incoming status).
+
+    ``pos``/``neg`` denote the complementary result pair that is written
+    to the condition memory.  ``rp``/``rn`` are the stored condition and
+    its stored inverse; ``s`` is the incoming status bit.
+    """
+
+    #: pos = s, neg = !s  (store a fresh status + complement)
+    STORE = "store"
+    #: pos = !s, neg = s  (store a negated status + complement)
+    STORE_NOT = "store_not"
+    #: pos = rp & s,  neg = rn | !s
+    AND = "and"
+    #: pos = rp | s,  neg = rn & !s
+    OR = "or"
+    #: pos = rp & !s, neg = rn | s
+    AND_NOT = "and_not"
+    #: pos = rp | !s, neg = rn & s
+    OR_NOT = "or_not"
+    #: pos = rp & s, neg = rp & !s — the *nested-branch fork* of Section
+    #: V-H: "for nested branches and loops the stored condition bit is a
+    #: conjunction of the outer and current condition".  The stored
+    #: operand ``rp`` is the enclosing predicate; the results are the
+    #: then/else predicates (not complements of each other: both are 0
+    #: when the outer path is inactive).
+    FORK_AND = "fork_and"
+
+    @property
+    def needs_read(self) -> bool:
+        return self in (
+            CBoxFunc.AND,
+            CBoxFunc.OR,
+            CBoxFunc.AND_NOT,
+            CBoxFunc.OR_NOT,
+            CBoxFunc.FORK_AND,
+        )
+
+    def combine(self, rp: int, rn: int, s: int) -> Tuple[int, int]:
+        ns = 1 - s
+        if self is CBoxFunc.STORE:
+            return s, ns
+        if self is CBoxFunc.STORE_NOT:
+            return ns, s
+        if self is CBoxFunc.AND:
+            return rp & s, rn | ns
+        if self is CBoxFunc.OR:
+            return rp | s, rn & ns
+        if self is CBoxFunc.AND_NOT:
+            return rp & ns, rn | s
+        if self is CBoxFunc.OR_NOT:
+            return rp | ns, rn & s
+        if self is CBoxFunc.FORK_AND:
+            return rp & s, rp & ns
+        raise AssertionError(self)
+
+
+@dataclass(frozen=True)
+class CBoxOp:
+    """One C-Box context entry (one cycle of C-Box activity).
+
+    ``status_pe`` selects which PE's status output is ingested (``None``
+    when no combine happens this cycle).  ``read_pos``/``read_neg`` are
+    the stored-pair read addresses (B1/B2).  ``write_pos``/``write_neg``
+    receive the complementary results.  ``out_pe_slot``/``out_ctrl_slot``
+    select what drives the predication / branch-selection outputs: a
+    stored slot index, :data:`FRESH` for this cycle's combinational
+    result, or ``None`` (output unused this cycle).
+    """
+
+    status_pe: Optional[int] = None
+    func: Optional[CBoxFunc] = None
+    read_pos: Optional[int] = None
+    read_neg: Optional[int] = None
+    write_pos: Optional[int] = None
+    write_neg: Optional[int] = None
+    out_pe_slot: Optional[int] = None
+    out_ctrl_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.func is not None and self.status_pe is None:
+            raise ValueError("a combine needs an incoming status bit")
+        if self.func is not None and self.func.needs_read:
+            if self.read_pos is None:
+                raise ValueError(f"{self.func} requires a stored slot to read")
+            if self.read_neg is None and self.func is not CBoxFunc.FORK_AND:
+                raise ValueError(f"{self.func} requires a stored pair to read")
+        if self.func is None and self.status_pe is not None:
+            raise ValueError("incoming status without a combine function")
+        for out in (self.out_pe_slot, self.out_ctrl_slot):
+            if out in (FRESH, FRESH_NEG) and self.func is None:
+                raise ValueError("FRESH output requires a combine this cycle")
+
+    @property
+    def is_idle(self) -> bool:
+        return (
+            self.func is None
+            and self.out_pe_slot is None
+            and self.out_ctrl_slot is None
+        )
+
+
+#: The idle C-Box context.
+CBOX_NOP = CBoxOp()
+
+
+class CBoxState:
+    """Runtime state of the C-Box: the condition memory."""
+
+    def __init__(self, slots: int) -> None:
+        if slots < 2:
+            raise ValueError("the C-Box needs at least two condition slots")
+        self.slots = slots
+        self.bits: List[int] = [0] * slots
+
+    def reset(self) -> None:
+        self.bits = [0] * self.slots
+
+    def _read(self, slot: int) -> int:
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"C-Box slot {slot} out of range (size {self.slots})")
+        return self.bits[slot]
+
+    def step(
+        self, op: CBoxOp, statuses: Sequence[Optional[int]]
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Execute one cycle.
+
+        ``statuses[pe]`` is the status bit produced by PE ``pe`` this
+        cycle (``None`` if the PE did not execute a compare).  Returns
+        ``(out_pe, out_ctrl)``.  Stored slots are read *before* this
+        cycle's write takes effect; :data:`FRESH` outputs observe the
+        combinational result.
+        """
+        fresh_pos: Optional[int] = None
+        fresh_neg: Optional[int] = None
+        if op.func is not None:
+            assert op.status_pe is not None
+            s = statuses[op.status_pe]
+            if s is None:
+                raise RuntimeError(
+                    f"C-Box selected status of PE {op.status_pe} but that PE "
+                    "produced no status this cycle"
+                )
+            if op.func.needs_read:
+                rp = self._read(op.read_pos)  # type: ignore[arg-type]
+                rn = self._read(op.read_neg) if op.read_neg is not None else 0
+            else:
+                rp = rn = 0
+            pos, neg = op.func.combine(rp, rn, int(s))
+            fresh_pos, fresh_neg = pos, neg
+        else:
+            pos = neg = 0
+
+        def resolve(sel: Optional[int]) -> Optional[int]:
+            if sel is None:
+                return None
+            if sel == FRESH:
+                assert fresh_pos is not None
+                return fresh_pos
+            if sel == FRESH_NEG:
+                assert fresh_neg is not None
+                return fresh_neg
+            return self._read(sel)
+
+        out_pe = resolve(op.out_pe_slot)
+        out_ctrl = resolve(op.out_ctrl_slot)
+
+        if op.func is not None:
+            if op.write_pos is not None:
+                self.bits[op.write_pos] = pos
+            if op.write_neg is not None:
+                self.bits[op.write_neg] = neg
+        return out_pe, out_ctrl

@@ -1,0 +1,67 @@
+"""Context Control Unit (CCU) — Section IV-A.2 and Fig. 5.
+
+The CCU produces the global context counter (CCNT) addressing every
+context memory.  By default the CCNT increments each cycle; a context
+may carry an *alternative CCNT* (jump target) plus a flag selecting an
+unconditional or conditional branch.  For conditional branches the
+branch-selection signal ``outctrl`` from the C-Box decides whether the
+jump is taken.  When a schedule finishes, "the CCNT jumps to the last
+entry of the contexts and stays locked until it is reinitialized"
+(Section IV-A.3) — modelled by :attr:`BranchKind.HALT`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BranchKind", "CCUEntry", "CCU_NOP"]
+
+
+class BranchKind(enum.Enum):
+    NONE = "none"
+    UNCONDITIONAL = "uncond"
+    #: taken when the C-Box branch-selection signal is 1
+    CONDITIONAL = "cond"
+    #: lock the CCNT: the schedule finished its run
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class CCUEntry:
+    kind: BranchKind = BranchKind.NONE
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        needs_target = self.kind in (
+            BranchKind.UNCONDITIONAL,
+            BranchKind.CONDITIONAL,
+        )
+        if needs_target and self.target is None:
+            raise ValueError(f"{self.kind} branch requires a target")
+        if not needs_target and self.target is not None:
+            raise ValueError(f"{self.kind} entry must not carry a target")
+
+    def next_ccnt(self, ccnt: int, out_ctrl: Optional[int]) -> Optional[int]:
+        """Next CCNT value; ``None`` means the run halted.
+
+        ``out_ctrl`` is the C-Box branch-selection bit of this cycle.
+        """
+        if self.kind is BranchKind.HALT:
+            return None
+        if self.kind is BranchKind.UNCONDITIONAL:
+            assert self.target is not None
+            return self.target
+        if self.kind is BranchKind.CONDITIONAL:
+            if out_ctrl is None:
+                raise RuntimeError(
+                    "conditional branch executed without a branch-selection "
+                    "signal from the C-Box"
+                )
+            assert self.target is not None
+            return self.target if out_ctrl else ccnt + 1
+        return ccnt + 1
+
+
+CCU_NOP = CCUEntry()

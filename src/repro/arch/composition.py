@@ -1,0 +1,113 @@
+"""A CGRA *composition*: PEs + interconnect + memory parameters.
+
+"We call the infrastructure and spectrum of operations of a CGRA its
+composition" (Section IV-B).  A composition bundles the PE descriptions,
+the interconnect, the context-memory length and the number of condition
+slots in the C-Box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.arch.interconnect import Interconnect
+from repro.arch.pe import PEDescription
+
+__all__ = ["Composition", "MAX_DMA_PES"]
+
+#: "up to four PEs can feature a DMA interface" (Section IV-A.1)
+MAX_DMA_PES = 4
+
+
+@dataclass(frozen=True)
+class Composition:
+    name: str
+    pes: Tuple[PEDescription, ...]
+    interconnect: Interconnect
+    context_size: int = 256
+    cbox_slots: int = 32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pes", tuple(self.pes))
+        if len(self.pes) != self.interconnect.n:
+            raise ValueError(
+                f"composition '{self.name}' has {len(self.pes)} PEs but the "
+                f"interconnect describes {self.interconnect.n}"
+            )
+        if self.context_size < 2:
+            raise ValueError("context memory needs at least two entries")
+        if self.cbox_slots < 2:
+            raise ValueError("the C-Box needs at least two condition slots")
+        n_dma = len(self.dma_pes())
+        if n_dma == 0:
+            # Compositions without DMA are allowed; kernels with memory
+            # accesses simply cannot be mapped onto them.
+            pass
+        if n_dma > MAX_DMA_PES:
+            raise ValueError(
+                f"composition '{self.name}' has {n_dma} DMA PEs; the "
+                f"architecture supports at most {MAX_DMA_PES}"
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.pes)
+
+    def pe(self, index: int) -> PEDescription:
+        return self.pes[index]
+
+    def dma_pes(self) -> Tuple[int, ...]:
+        """Indices of PEs owning a DMA interface (grey PEs in Figs. 13/14)."""
+        return tuple(i for i, pe in enumerate(self.pes) if pe.has_dma)
+
+    def pes_supporting(self, opcode: str) -> Tuple[int, ...]:
+        return tuple(i for i, pe in enumerate(self.pes) if pe.supports(opcode))
+
+    def supports(self, opcode: str) -> bool:
+        return any(pe.supports(opcode) for pe in self.pes)
+
+    def is_homogeneous(self) -> bool:
+        """True if every PE offers the same operation spectrum.
+
+        DMA capability does not count against homogeneity — the paper's
+        "homogeneous" meshes still restrict DMA to a subset of PEs.
+        """
+        if not self.pes:
+            return True
+        ref = set(self.pes[0].ops) - {"DMA_LOAD", "DMA_STORE"}
+        return all(
+            set(pe.ops) - {"DMA_LOAD", "DMA_STORE"} == ref for pe in self.pes
+        )
+
+    def multiplier_pes(self) -> Tuple[int, ...]:
+        return tuple(i for i, pe in enumerate(self.pes) if pe.has_multiplier)
+
+    def max_regfile_size(self) -> int:
+        return max(pe.regfile_size for pe in self.pes)
+
+    def validate_for_kernel_ops(self, opcodes: Iterable[str]) -> List[str]:
+        """Opcodes from ``opcodes`` no PE of this composition supports."""
+        return sorted({op for op in opcodes if not self.supports(op)})
+
+    def describe(self) -> str:
+        """Short human-readable summary (used by examples and reports)."""
+        lines = [
+            f"composition {self.name}: {self.n_pes} PEs, "
+            f"{self.interconnect.edge_count()} links, "
+            f"context size {self.context_size}, C-Box slots {self.cbox_slots}"
+        ]
+        for i, pe in enumerate(self.pes):
+            tags = []
+            if pe.has_dma:
+                tags.append("DMA")
+            if not pe.has_multiplier:
+                tags.append("no-MUL")
+            tag = f" [{', '.join(tags)}]" if tags else ""
+            lines.append(
+                f"  PE{i} ({pe.name}, RF {pe.regfile_size}){tag} "
+                f"<- sources {list(self.interconnect.sources_of(i))}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""JSON composition descriptions (Figs. 8 and 9).
+
+The paper drives its generator from JSON files: a composition file
+naming each PE description (by reference or inline), an interconnect
+file listing the available sources for each PE, the context-memory
+length and the number of C-Box slots.  This module reads and writes the
+same style of description; PE and interconnect entries may be inline
+objects *or* file references, as in the paper's example::
+
+    {
+      "name" : "CGRA1",
+      "Number_of_PEs" : 4,
+      "PEs" : { "0" : "pes/PE_mem.json", ... },
+      "Interconnect" : "intercon_4pe.json",
+      "Context_memory_length" : 256,
+      "CBox_slots" : 32
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Union
+
+from repro.arch.composition import Composition
+from repro.arch.interconnect import Interconnect
+from repro.arch.operations import OpCost
+from repro.arch.pe import PEDescription
+
+__all__ = [
+    "pe_to_dict",
+    "pe_from_dict",
+    "interconnect_to_dict",
+    "interconnect_from_dict",
+    "composition_to_dict",
+    "composition_from_dict",
+    "load_composition",
+    "save_composition",
+]
+
+_PE_META_KEYS = {"name", "Regfile_size", "DMA", "Pipelined"}
+
+
+def pe_to_dict(pe: PEDescription) -> Dict[str, Any]:
+    """Serialise a PE in the Fig. 9 style (op -> {energy, duration})."""
+    out: Dict[str, Any] = {
+        "name": pe.name,
+        "Regfile_size": pe.regfile_size,
+        "DMA": pe.has_dma,
+        "Pipelined": pe.pipelined,
+    }
+    for op in sorted(pe.ops):
+        cost = pe.ops[op]
+        out[op] = {"energy": cost.energy, "duration": cost.duration}
+    return out
+
+
+def pe_from_dict(data: Mapping[str, Any]) -> PEDescription:
+    ops = {}
+    for key, value in data.items():
+        if key in _PE_META_KEYS:
+            continue
+        if not isinstance(value, Mapping):
+            raise ValueError(f"PE description entry '{key}' is not an op cost")
+        ops[key] = OpCost(
+            energy=float(value.get("energy", 1.0)),
+            duration=int(value.get("duration", 1)),
+        )
+    return PEDescription(
+        name=str(data.get("name", "PE")),
+        regfile_size=int(data.get("Regfile_size", 128)),
+        ops=ops,
+        has_dma=bool(data.get("DMA", "DMA_LOAD" in ops)),
+        pipelined=bool(data.get("Pipelined", False)),
+    )
+
+
+def interconnect_to_dict(icn: Interconnect) -> Dict[str, Any]:
+    return {"Number_of_PEs": icn.n, "Sources": icn.to_source_lists()}
+
+
+def interconnect_from_dict(data: Mapping[str, Any]) -> Interconnect:
+    n = int(data["Number_of_PEs"])
+    sources = {int(k): [int(x) for x in v] for k, v in data["Sources"].items()}
+    for q in range(n):
+        sources.setdefault(q, [])
+    if max(sources, default=-1) >= n:
+        raise ValueError("interconnect lists sources for out-of-range PEs")
+    return Interconnect.from_sources({q: sources[q] for q in range(n)})
+
+
+def composition_to_dict(comp: Composition, *, inline: bool = True) -> Dict[str, Any]:
+    """Serialise a composition (PEs and interconnect inline)."""
+    if not inline:
+        raise NotImplementedError("file-reference serialisation is read-only")
+    return {
+        "name": comp.name,
+        "Number_of_PEs": comp.n_pes,
+        "PEs": {str(i): pe_to_dict(pe) for i, pe in enumerate(comp.pes)},
+        "Interconnect": interconnect_to_dict(comp.interconnect),
+        "Context_memory_length": comp.context_size,
+        "CBox_slots": comp.cbox_slots,
+    }
+
+
+def _resolve(entry: Union[str, Mapping[str, Any]], base_dir: str) -> Mapping[str, Any]:
+    """Resolve a file reference (the paper's ``"cgras/.../PE.json"`` style)."""
+    if isinstance(entry, str):
+        path = entry if os.path.isabs(entry) else os.path.join(base_dir, entry)
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return entry
+
+
+def composition_from_dict(
+    data: Mapping[str, Any], *, base_dir: str = "."
+) -> Composition:
+    n = int(data["Number_of_PEs"])
+    pes_entry = data["PEs"]
+    pes = []
+    for i in range(n):
+        raw = pes_entry[str(i)] if str(i) in pes_entry else pes_entry[i]
+        pes.append(pe_from_dict(_resolve(raw, base_dir)))
+    icn = interconnect_from_dict(_resolve(data["Interconnect"], base_dir))
+    return Composition(
+        name=str(data.get("name", "CGRA")),
+        pes=tuple(pes),
+        interconnect=icn,
+        context_size=int(data.get("Context_memory_length", 256)),
+        cbox_slots=int(data.get("CBox_slots", 32)),
+    )
+
+
+def load_composition(path: str) -> Composition:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return composition_from_dict(data, base_dir=os.path.dirname(path) or ".")
+
+
+def save_composition(comp: Composition, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(composition_to_dict(comp), fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,208 @@
+"""Interconnect model: an arbitrary directed graph of PE-to-PE links.
+
+The paper's compositions connect PEs with an *irregular* interconnect: a
+JSON file lists, for every PE, the set of source PEs whose register-file
+output port it can read (Section IV-B: "mainly a list of available
+sources for each PE").  Shortest paths between PEs — needed by the
+scheduler when a value has to be copied across the fabric — are computed
+with the Floyd(–Warshall) algorithm, exactly as in Section V-G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Interconnect"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Directed interconnect between ``n`` PEs.
+
+    ``sources[q]`` is the ordered tuple of PEs whose out-port PE ``q``
+    can read (its input multiplexer inputs ``i1 ... in`` in Fig. 3).
+    Edge ``p -> q`` therefore means "q can consume p's output".
+    """
+
+    n: int
+    sources: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("an interconnect needs at least one PE")
+        if len(self.sources) != self.n:
+            raise ValueError("sources list must have one entry per PE")
+        for q, srcs in enumerate(self.sources):
+            seen = set()
+            for p in srcs:
+                if not 0 <= p < self.n:
+                    raise ValueError(f"PE {q} lists out-of-range source {p}")
+                if p == q:
+                    raise ValueError(f"PE {q} must not list itself as a source")
+                if p in seen:
+                    raise ValueError(f"PE {q} lists duplicate source {p}")
+                seen.add(p)
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def from_sources(sources: Mapping[int, Iterable[int]] | Sequence[Iterable[int]]) -> "Interconnect":
+        """Build from a per-PE source mapping (JSON description style)."""
+        if isinstance(sources, Mapping):
+            n = max(sources.keys()) + 1 if sources else 0
+            rows = [tuple(sorted(set(sources.get(q, ())))) for q in range(n)]
+        else:
+            rows = [tuple(sorted(set(s))) for s in sources]
+            n = len(rows)
+        return Interconnect(n=n, sources=tuple(rows))
+
+    @staticmethod
+    def mesh(rows: int, cols: int, *, torus: bool = False) -> "Interconnect":
+        """Bidirectional 4-neighbour mesh, the paper's Fig. 13 topology."""
+        n = rows * cols
+        srcs: List[set] = [set() for _ in range(n)]
+
+        def idx(r: int, c: int) -> int:
+            return r * cols + c
+
+        for r in range(rows):
+            for c in range(cols):
+                q = idx(r, c)
+                for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    rr, cc = r + dr, c + dc
+                    if torus:
+                        rr %= rows
+                        cc %= cols
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        p = idx(rr, cc)
+                        if p != q:
+                            srcs[q].add(p)
+        return Interconnect.from_sources(srcs)
+
+    @staticmethod
+    def line(n: int) -> "Interconnect":
+        """Bidirectional chain — the sparsest connected interconnect."""
+        return Interconnect.from_sources(
+            [
+                {p for p in (q - 1, q + 1) if 0 <= p < n}
+                for q in range(n)
+            ]
+        )
+
+    @staticmethod
+    def ring(n: int) -> "Interconnect":
+        """Bidirectional ring."""
+        if n < 3:
+            return Interconnect.line(n)
+        return Interconnect.from_sources(
+            [{(q - 1) % n, (q + 1) % n} for q in range(n)]
+        )
+
+    @staticmethod
+    def full(n: int) -> "Interconnect":
+        """Full crossbar (every PE reads every other PE)."""
+        return Interconnect.from_sources(
+            [set(range(n)) - {q} for q in range(n)]
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def sources_of(self, q: int) -> Tuple[int, ...]:
+        """PEs whose out-port PE ``q`` can read."""
+        return self.sources[q]
+
+    def sinks_of(self, p: int) -> Tuple[int, ...]:
+        """PEs that can read PE ``p``'s out-port."""
+        return self._sinks[p]
+
+    def has_link(self, p: int, q: int) -> bool:
+        """True if ``q`` can directly read ``p``'s output."""
+        return p in self.sources[q]
+
+    def degree(self, q: int) -> int:
+        """Total connectivity of PE ``q`` (in + out links).
+
+        Used as the tie-break when the scheduler orders PEs with equal
+        attraction (Section V-G: "the PE with more connections is
+        prioritized").
+        """
+        return len(self.sources[q]) + len(self._sinks[q])
+
+    def max_in_degree(self) -> int:
+        return max((len(s) for s in self.sources), default=0)
+
+    @property
+    def _sinks(self) -> Tuple[Tuple[int, ...], ...]:
+        cached = self.__dict__.get("_sinks_cache")
+        if cached is None:
+            out: List[List[int]] = [[] for _ in range(self.n)]
+            for q in range(self.n):
+                for p in self.sources[q]:
+                    out[p].append(q)
+            cached = tuple(tuple(sorted(row)) for row in out)
+            object.__setattr__(self, "_sinks_cache", cached)
+        return cached
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.sources)
+
+    # -- Floyd-Warshall shortest paths (Section V-G, ref [19]) ----------
+
+    def _floyd(self) -> Tuple[List[List[float]], List[List[Optional[int]]]]:
+        cached = self.__dict__.get("_floyd_cache")
+        if cached is not None:
+            return cached
+        n = self.n
+        dist: List[List[float]] = [[_INF] * n for _ in range(n)]
+        nxt: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+        for v in range(n):
+            dist[v][v] = 0
+            nxt[v][v] = v
+        for q in range(n):
+            for p in self.sources[q]:
+                dist[p][q] = 1
+                nxt[p][q] = q
+        for k in range(n):
+            dk = dist[k]
+            for i in range(n):
+                dik = dist[i][k]
+                if dik == _INF:
+                    continue
+                di = dist[i]
+                ni = nxt[i]
+                for j in range(n):
+                    alt = dik + dk[j]
+                    if alt < di[j]:
+                        di[j] = alt
+                        ni[j] = nxt[i][k]
+        cached = (dist, nxt)
+        object.__setattr__(self, "_floyd_cache", cached)
+        return cached
+
+    def distance(self, p: int, q: int) -> float:
+        """Hop count of the shortest directed path ``p -> q`` (inf if none)."""
+        return self._floyd()[0][p][q]
+
+    def path(self, p: int, q: int) -> Optional[List[int]]:
+        """Shortest directed path ``[p, ..., q]``, or ``None`` if unreachable."""
+        dist, nxt = self._floyd()
+        if dist[p][q] == _INF:
+            return None
+        node: Optional[int] = p
+        out = [p]
+        while node != q:
+            node = nxt[node][q]  # type: ignore[index]
+            assert node is not None
+            out.append(node)
+        return out
+
+    def is_strongly_connected(self) -> bool:
+        dist, _ = self._floyd()
+        return all(dist[p][q] != _INF for p in range(self.n) for q in range(self.n))
+
+    def to_source_lists(self) -> Dict[str, List[int]]:
+        """Serialise to the JSON description form (Fig. 8 interconnect file)."""
+        return {str(q): list(self.sources[q]) for q in range(self.n)}

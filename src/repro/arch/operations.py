@@ -1,0 +1,333 @@
+"""Operation set of the CGRA processing elements.
+
+The paper's PEs execute 32-bit integer and control-flow operations
+(Section IV-B: "Currently only integer and control flow operations are
+supported, excluding division").  PE descriptions annotate each supported
+operation with an *energy* and a *duration* in clock cycles (Fig. 9) —
+e.g. the evaluation uses both a two-cycle block multiplier (Table II) and
+a single-cycle multiplier (Table III).
+
+All arithmetic follows Java ``int`` semantics (the paper's front end is
+Java bytecode): 32-bit two's-complement wrap-around, shift amounts masked
+to 5 bits, arithmetic right shift for ``ISHR`` and logical right shift
+for ``IUSHR``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "OpCategory",
+    "OpSpec",
+    "OpCost",
+    "OPS",
+    "COMPARE_OPS",
+    "ARITH_OPS",
+    "wrap32",
+    "to_unsigned32",
+    "evaluate",
+    "default_costs",
+    "DEFAULT_INT_OPS",
+]
+
+_MASK32 = 0xFFFFFFFF
+_SIGN32 = 0x80000000
+
+
+def wrap32(value: int) -> int:
+    """Wrap ``value`` to a signed 32-bit integer (Java ``int`` overflow)."""
+    value &= _MASK32
+    if value & _SIGN32:
+        value -= 1 << 32
+    return value
+
+
+def to_unsigned32(value: int) -> int:
+    """Reinterpret a (possibly negative) integer as its 32-bit unsigned form."""
+    return value & _MASK32
+
+
+class OpCategory(enum.Enum):
+    """Coarse classification of an operation, used by cost models."""
+
+    ARITH = "arith"
+    LOGIC = "logic"
+    SHIFT = "shift"
+    COMPARE = "compare"
+    MOVE = "move"
+    CONST = "const"
+    DMA = "dma"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operation.
+
+    Attributes
+    ----------
+    opcode:
+        Mnemonic, following the paper's Java-flavoured names
+        (``IADD``, ``IFGE``, ...).
+    category:
+        Coarse class (arithmetic, compare, DMA, ...).
+    arity:
+        Number of data operands consumed from RF / neighbour ports.
+    commutative:
+        Whether operands may be swapped (routing freedom).
+    produces_status:
+        Compare operations route their result to the C-Box instead of the
+        register file (Section IV-A.1).
+    produces_value:
+        Whether a 32-bit result is written to the register file.
+    func:
+        Python semantics; ``None`` for DMA / NOP which the simulator
+        special-cases.
+    """
+
+    opcode: str
+    category: OpCategory
+    arity: int
+    commutative: bool = False
+    produces_status: bool = False
+    produces_value: bool = True
+    func: Optional[Callable[..., int]] = None
+
+    def apply(self, *operands: int) -> int:
+        if self.func is None:
+            raise ValueError(f"operation {self.opcode} has no direct semantics")
+        if len(operands) != self.arity:
+            raise ValueError(
+                f"{self.opcode} expects {self.arity} operands, got {len(operands)}"
+            )
+        return self.func(*operands)
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Per-PE cost annotation of an operation (Fig. 9).
+
+    ``duration`` is the number of contexts (cycles) the operation
+    occupies its PE; ``energy`` is an abstract per-execution energy in
+    the paper's unit-less scale.
+    """
+
+    energy: float = 1.0
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("operation duration must be at least one cycle")
+        if self.energy < 0:
+            raise ValueError("operation energy must be non-negative")
+
+
+def _shift_amount(b: int) -> int:
+    return b & 0x1F
+
+
+def _ishl(a: int, b: int) -> int:
+    return wrap32(a << _shift_amount(b))
+
+
+def _ishr(a: int, b: int) -> int:
+    return wrap32(a) >> _shift_amount(b)
+
+
+def _iushr(a: int, b: int) -> int:
+    return wrap32(to_unsigned32(a) >> _shift_amount(b))
+
+
+OPS: Dict[str, OpSpec] = {}
+
+
+def _register(spec: OpSpec) -> OpSpec:
+    OPS[spec.opcode] = spec
+    return spec
+
+
+# --- Arithmetic -----------------------------------------------------------
+_register(OpSpec("IADD", OpCategory.ARITH, 2, True, func=lambda a, b: wrap32(a + b)))
+_register(OpSpec("ISUB", OpCategory.ARITH, 2, False, func=lambda a, b: wrap32(a - b)))
+_register(OpSpec("IMUL", OpCategory.ARITH, 2, True, func=lambda a, b: wrap32(a * b)))
+_register(OpSpec("INEG", OpCategory.ARITH, 1, False, func=lambda a: wrap32(-a)))
+# extended operator-library elements (Section VII: "we are improving the
+# library of elements from which the PEs are composed")
+_register(OpSpec("IMIN", OpCategory.ARITH, 2, True, func=lambda a, b: min(wrap32(a), wrap32(b))))
+_register(OpSpec("IMAX", OpCategory.ARITH, 2, True, func=lambda a, b: max(wrap32(a), wrap32(b))))
+_register(OpSpec("IABS", OpCategory.ARITH, 1, False, func=lambda a: wrap32(abs(wrap32(a)))))
+
+# --- Logic ----------------------------------------------------------------
+_register(OpSpec("IAND", OpCategory.LOGIC, 2, True, func=lambda a, b: wrap32(a & b)))
+_register(OpSpec("IOR", OpCategory.LOGIC, 2, True, func=lambda a, b: wrap32(a | b)))
+_register(OpSpec("IXOR", OpCategory.LOGIC, 2, True, func=lambda a, b: wrap32(a ^ b)))
+_register(OpSpec("INOT", OpCategory.LOGIC, 1, False, func=lambda a: wrap32(~a)))
+
+# --- Shifts ---------------------------------------------------------------
+_register(OpSpec("ISHL", OpCategory.SHIFT, 2, False, func=_ishl))
+_register(OpSpec("ISHR", OpCategory.SHIFT, 2, False, func=_ishr))
+_register(OpSpec("IUSHR", OpCategory.SHIFT, 2, False, func=_iushr))
+
+# --- Compares (status producers, Section IV-A.1) --------------------------
+_register(
+    OpSpec(
+        "IFEQ",
+        OpCategory.COMPARE,
+        2,
+        True,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) == wrap32(b)),
+    )
+)
+_register(
+    OpSpec(
+        "IFNE",
+        OpCategory.COMPARE,
+        2,
+        True,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) != wrap32(b)),
+    )
+)
+_register(
+    OpSpec(
+        "IFLT",
+        OpCategory.COMPARE,
+        2,
+        False,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) < wrap32(b)),
+    )
+)
+_register(
+    OpSpec(
+        "IFLE",
+        OpCategory.COMPARE,
+        2,
+        False,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) <= wrap32(b)),
+    )
+)
+_register(
+    OpSpec(
+        "IFGT",
+        OpCategory.COMPARE,
+        2,
+        False,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) > wrap32(b)),
+    )
+)
+_register(
+    OpSpec(
+        "IFGE",
+        OpCategory.COMPARE,
+        2,
+        False,
+        produces_status=True,
+        produces_value=False,
+        func=lambda a, b: int(wrap32(a) >= wrap32(b)),
+    )
+)
+
+# --- Data movement --------------------------------------------------------
+_register(OpSpec("MOVE", OpCategory.MOVE, 1, False, func=lambda a: wrap32(a)))
+_register(OpSpec("CONST", OpCategory.CONST, 0, False, func=None))
+
+# --- Memory (via DMA, Section V-D) ----------------------------------------
+_register(OpSpec("DMA_LOAD", OpCategory.DMA, 1, False, func=None))
+_register(
+    OpSpec("DMA_STORE", OpCategory.DMA, 2, False, produces_value=False, func=None)
+)
+
+# --- NOP ------------------------------------------------------------------
+_register(OpSpec("NOP", OpCategory.NOP, 0, False, produces_value=False, func=None))
+
+
+COMPARE_OPS = frozenset(op for op, spec in OPS.items() if spec.produces_status)
+ARITH_OPS = frozenset(
+    op
+    for op, spec in OPS.items()
+    if spec.category in (OpCategory.ARITH, OpCategory.LOGIC, OpCategory.SHIFT)
+)
+
+#: Negation map for compare opcodes: ``NOT (a OP b)`` == ``a NEG[OP] b``.
+COMPARE_NEGATION = {
+    "IFEQ": "IFNE",
+    "IFNE": "IFEQ",
+    "IFLT": "IFGE",
+    "IFGE": "IFLT",
+    "IFGT": "IFLE",
+    "IFLE": "IFGT",
+}
+
+#: Swap map for compare opcodes: ``a OP b`` == ``b SWAP[OP] a``.
+COMPARE_SWAP = {
+    "IFEQ": "IFEQ",
+    "IFNE": "IFNE",
+    "IFLT": "IFGT",
+    "IFGT": "IFLT",
+    "IFLE": "IFGE",
+    "IFGE": "IFLE",
+}
+
+
+def evaluate(opcode: str, *operands: int) -> int:
+    """Evaluate an operation's pure semantics on wrapped operands."""
+    spec = OPS[opcode]
+    return spec.apply(*(wrap32(o) for o in operands))
+
+
+#: Duration/energy defaults mirroring the style of Fig. 9.  ``IMUL`` has
+#: duration 2 by default — the evaluation's "block multiplication ...
+#: realized as a two clock cycle" implementation (Section VI-B); Table III
+#: overrides it to a single cycle.
+_DEFAULT_COSTS: Dict[str, OpCost] = {
+    "IADD": OpCost(1.0, 1),
+    "ISUB": OpCost(1.0, 1),
+    "IMUL": OpCost(1.7, 2),
+    "INEG": OpCost(0.9, 1),
+    "IMIN": OpCost(1.1, 1),
+    "IMAX": OpCost(1.1, 1),
+    "IABS": OpCost(1.0, 1),
+    "IAND": OpCost(0.8, 1),
+    "IOR": OpCost(0.8, 1),
+    "IXOR": OpCost(0.8, 1),
+    "INOT": OpCost(0.7, 1),
+    "ISHL": OpCost(0.9, 1),
+    "ISHR": OpCost(0.9, 1),
+    "IUSHR": OpCost(0.9, 1),
+    "IFEQ": OpCost(1.1, 1),
+    "IFNE": OpCost(1.1, 1),
+    "IFLT": OpCost(1.1, 1),
+    "IFLE": OpCost(1.1, 1),
+    "IFGT": OpCost(1.1, 1),
+    "IFGE": OpCost(1.1, 1),
+    "MOVE": OpCost(0.6, 1),
+    "CONST": OpCost(0.5, 1),
+    "DMA_LOAD": OpCost(2.5, 2),
+    "DMA_STORE": OpCost(2.5, 2),
+    "NOP": OpCost(0.1, 1),
+}
+
+
+def default_costs(opcode: str) -> OpCost:
+    """Default :class:`OpCost` for ``opcode`` (Fig. 9 style defaults)."""
+    return _DEFAULT_COSTS[opcode]
+
+
+#: Full integer/control-flow operation set offered by the paper's
+#: homogeneous PEs (Section VI-B: "32 bit logic operations, addition,
+#: subtraction and multiplication" plus compares, moves and constants).
+DEFAULT_INT_OPS = tuple(
+    op for op in OPS if op not in ("DMA_LOAD", "DMA_STORE")
+)

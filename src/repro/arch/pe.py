@@ -1,0 +1,143 @@
+"""Processing-element description.
+
+A PE (Fig. 3) consists of an ALU supporting a *subset* of the operation
+set, a local register file, live-in/live-out ports and — on up to four
+PEs of a composition — a DMA interface to the host heap (Section IV-A.1).
+Inhomogeneity means every PE may carry a different operation list with
+individual energy/duration annotations (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.arch.operations import OPS, OpCost, default_costs
+
+__all__ = ["PEDescription"]
+
+
+@dataclass(frozen=True)
+class PEDescription:
+    """One PE of a composition.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the PE *kind* (the paper references PE description
+        files such as ``PE_mem``/``PE_no_mem`` from the composition JSON).
+    regfile_size:
+        Number of register-file entries (the paper evaluates RF sizes 128
+        and 32).
+    ops:
+        Mapping opcode -> :class:`OpCost` of the supported operations.
+    has_dma:
+        Whether this PE owns a DMA interface ("up to four PEs can feature
+        a DMA interface").  DMA PEs have an extended RF with a third read
+        port for the access index (Section IV-A.1).
+    """
+
+    name: str
+    regfile_size: int
+    ops: Mapping[str, OpCost]
+    has_dma: bool = False
+    #: pipelined PEs accept a new operation every cycle even while a
+    #: multi-cycle operation is still in flight (Section VII: "several
+    #: optimizations regarding the introduction of further pipeline
+    #: stages in the PEs are investigated"); only one operation may
+    #: *finish* per cycle (single RF write port / status output)
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.regfile_size < 2:
+            raise ValueError("a register file needs at least two entries")
+        unknown = [op for op in self.ops if op not in OPS]
+        if unknown:
+            raise ValueError(f"unknown operations in PE '{self.name}': {unknown}")
+        for required in ("NOP",):
+            if required not in self.ops:
+                raise ValueError(f"PE '{self.name}' must support {required}")
+        if self.has_dma:
+            for op in ("DMA_LOAD", "DMA_STORE"):
+                if op not in self.ops:
+                    raise ValueError(
+                        f"DMA PE '{self.name}' must support {op}"
+                    )
+        else:
+            for op in ("DMA_LOAD", "DMA_STORE"):
+                if op in self.ops:
+                    raise ValueError(
+                        f"PE '{self.name}' lists {op} but has no DMA interface"
+                    )
+        object.__setattr__(self, "ops", dict(self.ops))
+
+    # -- convenience constructors ---------------------------------------
+
+    @staticmethod
+    def homogeneous(
+        name: str,
+        *,
+        regfile_size: int = 128,
+        has_dma: bool = False,
+        mul_duration: int = 2,
+        extra_ops: Iterable[str] = (),
+        exclude_ops: Iterable[str] = (),
+        pipelined: bool = False,
+    ) -> "PEDescription":
+        """Standard PE of the paper's homogeneous evaluation (Section VI-B).
+
+        Supports the full 32-bit integer op set; ``mul_duration`` selects
+        the block multiplier (2, Table II) or the single-cycle multiplier
+        (1, Table III).  ``exclude_ops`` produces inhomogeneous PEs, e.g.
+        ``exclude_ops=("IMUL",)`` for the non-multiplier PEs of
+        composition F (Section VI-C).
+        """
+        excluded = set(exclude_ops)
+        ops: Dict[str, OpCost] = {}
+        for op in OPS:
+            if op in ("DMA_LOAD", "DMA_STORE"):
+                continue
+            if op in excluded:
+                continue
+            cost = default_costs(op)
+            if op == "IMUL":
+                cost = OpCost(energy=cost.energy, duration=mul_duration)
+            ops[op] = cost
+        for op in extra_ops:
+            ops.setdefault(op, default_costs(op))
+        if has_dma:
+            ops["DMA_LOAD"] = default_costs("DMA_LOAD")
+            ops["DMA_STORE"] = default_costs("DMA_STORE")
+        return PEDescription(
+            name=name,
+            regfile_size=regfile_size,
+            ops=ops,
+            has_dma=has_dma,
+            pipelined=pipelined,
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def supports(self, opcode: str) -> bool:
+        return opcode in self.ops
+
+    def cost(self, opcode: str) -> OpCost:
+        try:
+            return self.ops[opcode]
+        except KeyError:
+            raise KeyError(
+                f"PE '{self.name}' does not support operation {opcode}"
+            ) from None
+
+    def duration(self, opcode: str) -> int:
+        return self.cost(opcode).duration
+
+    def energy(self, opcode: str) -> float:
+        return self.cost(opcode).energy
+
+    def op_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.ops))
+
+    @property
+    def has_multiplier(self) -> bool:
+        return "IMUL" in self.ops

@@ -1,0 +1,26 @@
+"""AMIDAR-processor baseline (Sections III and VI-A).
+
+The paper compares CGRA execution against the AMIDAR processor
+executing the kernel's Java bytecode directly (926 k cycles for the
+ADPCM decoder).  We model that baseline with a sequential IR interpreter
+charging per-operation cycle costs of a token-based bytecode machine
+(:mod:`repro.baseline.costs`); it doubles as an independent reference
+executor for differential testing of the CGRA toolchain.
+"""
+
+from repro.baseline.amidar import (
+    AmidarInterpreter,
+    BaselineResult,
+    LoopProfile,
+    run_baseline,
+)
+from repro.baseline.costs import AMIDAR_COSTS, cost_of
+
+__all__ = [
+    "AmidarInterpreter",
+    "BaselineResult",
+    "LoopProfile",
+    "run_baseline",
+    "AMIDAR_COSTS",
+    "cost_of",
+]

@@ -1,0 +1,20 @@
+"""Context generation (Section V-I and Fig. 10).
+
+Turns a :class:`~repro.sched.schedule.Schedule` into concrete per-cycle
+context entries for every PE, the C-Box and the CCU, performing
+left-edge allocation of RF slots and C-Box condition slots and
+computing the bit-mask-compressed context widths (Section IV-B).
+"""
+
+from repro.context.words import PEContext, SrcSel, ContextProgram
+from repro.context.generator import generate_contexts
+from repro.context.bitmask import pe_context_width, ContextEncoding
+
+__all__ = [
+    "PEContext",
+    "SrcSel",
+    "ContextProgram",
+    "generate_contexts",
+    "pe_context_width",
+    "ContextEncoding",
+]

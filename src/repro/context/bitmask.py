@@ -1,0 +1,197 @@
+"""Context bit-mask encoding (Section IV-B / V).
+
+"To minimize the width of control signals and consequently to minimize
+the width of each context, a bit-mask is created for each context": the
+width of every field is derived from the composition — operand selectors
+from the RF size and the PE's number of input ports, the opcode field
+from the PE's own operation count, branch targets from the context
+memory length.  This module computes those widths and packs context
+entries into integers (the simulator interprets the structured form;
+packing exists for width statistics, the Verilog generator and the
+memory-utilisation numbers of Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.composition import Composition
+from repro.context.words import PEContext, SrcSel
+
+__all__ = ["ContextEncoding", "pe_context_width", "composition_context_bits"]
+
+
+def _bits_for(n_choices: int) -> int:
+    """Bits to encode one of ``n_choices`` values (>= 1 choice)."""
+    if n_choices <= 1:
+        return 0
+    return math.ceil(math.log2(n_choices))
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    name: str
+    width: int
+    offset: int
+
+
+class ContextEncoding:
+    """Bit layout of one PE's context word."""
+
+    def __init__(self, comp: Composition, pe: int) -> None:
+        desc = comp.pes[pe]
+        n_inputs = len(comp.interconnect.sources_of(pe))
+        rf_bits = _bits_for(desc.regfile_size)
+        # operand selector: local/port flag + max(rf addr, port index)
+        sel_bits = 1 + max(rf_bits, _bits_for(max(n_inputs, 1)))
+        op_bits = _bits_for(len(desc.ops))
+        imm_bits = 32 if ("CONST" in desc.ops or desc.has_dma) else 0
+
+        self.pe = pe
+        self.opcodes: Dict[str, int] = {
+            op: i for i, op in enumerate(sorted(desc.ops))
+        }
+        self.ports: Dict[int, int] = {
+            src: i for i, src in enumerate(comp.interconnect.sources_of(pe))
+        }
+        self._rf_bits = rf_bits
+        self._sel_bits = sel_bits
+
+        fields = [
+            ("opcode", op_bits),
+            ("src_a", sel_bits),
+            ("src_b", sel_bits),
+            ("dest", rf_bits),
+            ("dest_en", 1),
+            ("predicated", 1),
+            ("out_addr", rf_bits),
+            ("out_en", 1),
+            ("immediate", imm_bits),
+        ]
+        self.fields: Dict[str, FieldSpec] = {}
+        offset = 0
+        for name, width in fields:
+            self.fields[name] = FieldSpec(name, width, offset)
+            offset += width
+        self.width = offset
+
+    # -- packing ---------------------------------------------------------
+
+    def _sel_value(self, sel: Optional[SrcSel]) -> int:
+        if sel is None:
+            return 0
+        if sel.is_local:
+            assert sel.slot is not None
+            return sel.slot  # flag bit 0 = local
+        port = self.ports[sel.pe]  # KeyError = no such input: a real bug
+        return (1 << (self._sel_bits - 1)) | port
+
+    def pack(self, entry: Optional[PEContext]) -> int:
+        if entry is None:
+            entry = PEContext(opcode="NOP")
+        word = 0
+
+        def put(name: str, value: int) -> None:
+            spec = self.fields[name]
+            if value < 0 or value >= (1 << spec.width) and spec.width > 0:
+                raise ValueError(f"field {name} overflow: {value}")
+            word_nonlocal[0] |= value << spec.offset
+
+        word_nonlocal = [0]
+        put("opcode", self.opcodes[entry.opcode])
+        if entry.srcs:
+            put("src_a", self._sel_value(entry.srcs[0]))
+        if len(entry.srcs) > 1:
+            put("src_b", self._sel_value(entry.srcs[1]))
+        if entry.dest_slot is not None:
+            put("dest", entry.dest_slot)
+            put("dest_en", 1)
+        put("predicated", int(entry.predicated))
+        if entry.out_addr is not None:
+            put("out_addr", entry.out_addr)
+            put("out_en", 1)
+        if entry.immediate is not None and self.fields["immediate"].width:
+            put("immediate", entry.immediate & 0xFFFFFFFF)
+        return word_nonlocal[0]
+
+    # -- unpacking ---------------------------------------------------------
+
+    def _get(self, word: int, name: str) -> int:
+        spec = self.fields[name]
+        return (word >> spec.offset) & ((1 << spec.width) - 1)
+
+    def _sel_decode(self, value: int) -> SrcSel:
+        port_flag = 1 << (self._sel_bits - 1)
+        if value & port_flag:
+            index = value & (port_flag - 1)
+            inv_ports = {i: src for src, i in self.ports.items()}
+            return SrcSel.port(inv_ports[index])
+        return SrcSel.rf(value)
+
+    def unpack(self, word: int, *, arity: int = 2) -> PEContext:
+        """Decode a packed context word (inverse of :meth:`pack`).
+
+        ``arity`` bounds how many operand selectors are reconstructed —
+        the bit layout cannot distinguish "no operand" from "RF slot 0",
+        exactly like the real hardware, where unused fields are
+        don't-care; round trips therefore normalise unused selectors to
+        RF slot 0.
+        """
+        inv_opcodes = {i: op for op, i in self.opcodes.items()}
+        opcode = inv_opcodes[self._get(word, "opcode")]
+        from repro.arch.operations import OPS
+
+        n_srcs = min(arity, OPS[opcode].arity) if opcode in OPS else arity
+        srcs = tuple(
+            self._sel_decode(self._get(word, name))
+            for name in ("src_a", "src_b")[:n_srcs]
+        )
+        dest = (
+            self._get(word, "dest") if self._get(word, "dest_en") else None
+        )
+        out_addr = (
+            self._get(word, "out_addr") if self._get(word, "out_en") else None
+        )
+        imm = None
+        if self.fields["immediate"].width and opcode in (
+            "CONST",
+            "DMA_LOAD",
+            "DMA_STORE",
+        ):
+            raw = self._get(word, "immediate")
+            imm = raw - (1 << 32) if raw & (1 << 31) else raw
+        return PEContext(
+            opcode=opcode,
+            srcs=srcs,
+            dest_slot=dest,
+            predicated=bool(self._get(word, "predicated")),
+            out_addr=out_addr,
+            immediate=imm,
+        )
+
+
+def pe_context_width(comp: Composition, pe: int) -> int:
+    """Width in bits of PE ``pe``'s context word."""
+    return ContextEncoding(comp, pe).width
+
+
+def composition_context_bits(comp: Composition) -> Dict[str, int]:
+    """Context memory statistics of a composition (BRAM sizing)."""
+    widths = [pe_context_width(comp, pe) for pe in range(comp.n_pes)]
+    cbox_width = (
+        _bits_for(comp.n_pes)  # status select
+        + 3  # function
+        + 3 * _bits_for(comp.cbox_slots)  # read + 2x write addresses
+        + 2 * (_bits_for(comp.cbox_slots) + 2)  # outPE / outctrl selects
+    )
+    ccu_width = 2 + _bits_for(comp.context_size)
+    total = (sum(widths) + cbox_width + ccu_width) * comp.context_size
+    return {
+        "pe_width_total": sum(widths),
+        "pe_width_max": max(widths),
+        "cbox_width": cbox_width,
+        "ccu_width": ccu_width,
+        "total_bits": total,
+    }

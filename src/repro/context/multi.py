@@ -1,0 +1,162 @@
+"""Multiple schedules in one set of context memories (Section IV-A.3).
+
+"Since the context memories can potentially hold multiple schedules, it
+is necessary to transfer the initial CCNT of a schedule."  A
+:class:`MultiKernelProgram` concatenates several generated context
+programs into one context-memory image; each kernel keeps its start
+CCNT, and invocations select the kernel to run.  Branch targets are
+relocated by the kernel's base offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.ccu import BranchKind, CCUEntry
+from repro.arch.composition import Composition
+from repro.context.words import ContextProgram
+from repro.sched.schedule import SchedulingError
+
+__all__ = ["MultiKernelProgram", "combine_programs"]
+
+
+@dataclass
+class _Entry:
+    name: str
+    start_ccnt: int
+    program: ContextProgram
+
+
+class MultiKernelProgram:
+    """Several kernels resident in one composition's context memories."""
+
+    def __init__(self, comp: Composition, image: ContextProgram,
+                 entries: Dict[str, _Entry]) -> None:
+        self.composition = comp
+        self.image = image
+        self._entries = entries
+
+    @property
+    def kernels(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def start_ccnt(self, kernel_name: str) -> int:
+        """Initial CCNT the host transfers to start this kernel."""
+        return self._entry(kernel_name).start_ccnt
+
+    def program_of(self, kernel_name: str) -> ContextProgram:
+        """The original (un-relocated) program, for interface maps."""
+        return self._entry(kernel_name).program
+
+    def _entry(self, name: str) -> _Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel {name!r} resident; have {sorted(self._entries)}"
+            ) from None
+
+    def invoke(
+        self,
+        kernel_name: str,
+        livein: Mapping[str, int],
+        heap=None,
+        *,
+        max_cycles: int = 50_000_000,
+    ):
+        """Run one resident kernel (live-in maps use its own layout)."""
+        from repro.sim.machine import CGRASimulator
+
+        entry = self._entry(kernel_name)
+        sim = CGRASimulator(
+            self.composition, self.image, heap, max_cycles=max_cycles
+        )
+        by_name = {
+            var.name: loc for var, loc in entry.program.livein_map.items()
+        }
+        missing = set(by_name) - set(livein)
+        if missing:
+            raise KeyError(f"missing live-in values: {sorted(missing)}")
+        for name, value in livein.items():
+            if name not in by_name:
+                raise KeyError(f"kernel has no live-in variable {name!r}")
+            pe, slot = by_name[name]
+            sim.write_livein(pe, slot, value)
+        run = sim.run(start_ccnt=entry.start_ccnt)
+        results = {
+            var.name: sim.read_liveout(pe, slot)
+            for var, (pe, slot) in entry.program.liveout_map.items()
+        }
+        return results, run, sim.heap
+
+
+def _relocate_ccu(entries: Sequence[CCUEntry], base: int) -> List[CCUEntry]:
+    out = []
+    for entry in entries:
+        if entry.target is not None:
+            out.append(CCUEntry(entry.kind, entry.target + base))
+        else:
+            out.append(entry)
+    return out
+
+
+def combine_programs(
+    comp: Composition,
+    programs: Mapping[str, ContextProgram],
+) -> MultiKernelProgram:
+    """Concatenate context programs into one resident image.
+
+    Raises :class:`SchedulingError` if the combined image exceeds the
+    composition's context-memory length.
+    """
+    if not programs:
+        raise ValueError("need at least one program")
+    total = sum(p.n_cycles for p in programs.values())
+    if total > comp.context_size:
+        raise SchedulingError(
+            f"{total} combined contexts exceed the context memory "
+            f"({comp.context_size}) of {comp.name}"
+        )
+
+    pe_contexts = [[] for _ in range(comp.n_pes)]
+    cbox: List = []
+    ccu: List[CCUEntry] = []
+    entries: Dict[str, _Entry] = {}
+    base = 0
+    arrays = []
+    seen_handles = set()
+    for name, prog in programs.items():
+        if len(prog.pe_contexts) != comp.n_pes:
+            raise SchedulingError(
+                f"program {name!r} was generated for a different "
+                "composition"
+            )
+        for pe in range(comp.n_pes):
+            pe_contexts[pe].extend(prog.pe_contexts[pe])
+        cbox.extend(prog.cbox_contexts)
+        ccu.extend(_relocate_ccu(prog.ccu_contexts, base))
+        entries[name] = _Entry(name=name, start_ccnt=base, program=prog)
+        for ref in prog.arrays:
+            if ref.handle not in seen_handles:
+                seen_handles.add(ref.handle)
+                arrays.append(ref)
+        base += prog.n_cycles
+
+    image = ContextProgram(
+        kernel_name="+".join(programs),
+        composition_name=comp.name,
+        n_cycles=base,
+        pe_contexts=pe_contexts,
+        cbox_contexts=cbox,
+        ccu_contexts=ccu,
+        livein_map={},
+        liveout_map={},
+        rf_used=[
+            max(p.rf_used[pe] for p in programs.values())
+            for pe in range(comp.n_pes)
+        ],
+        cbox_slots_used=max(p.cbox_slots_used for p in programs.values()),
+        arrays=arrays,
+    )
+    return MultiKernelProgram(comp, image, entries)

@@ -1,0 +1,101 @@
+"""Concrete context entries.
+
+One context (cycle) consists of one :class:`PEContext` per PE, one
+:class:`~repro.arch.cbox.CBoxOp` for the C-Box and one
+:class:`~repro.arch.ccu.CCUEntry` for the CCU — exactly the memories of
+Fig. 5.  Multi-cycle operations occupy their PE for ``duration`` cycles;
+the follow-on cycles hold no new entry (``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cbox import CBoxOp
+from repro.arch.ccu import CCUEntry
+from repro.ir.nodes import ArrayRef, Var
+
+__all__ = ["SrcSel", "PEContext", "ContextProgram"]
+
+
+@dataclass(frozen=True)
+class SrcSel:
+    """Operand selector: local RF slot or a neighbour's out-port.
+
+    ``pe`` is ``None`` for a local RF read (then ``slot`` is the local
+    RF address); otherwise the operand comes through the input port
+    connected to PE ``pe`` (whose out-port drives the value that cycle).
+    """
+
+    pe: Optional[int]
+    slot: Optional[int] = None
+
+    @staticmethod
+    def rf(slot: int) -> "SrcSel":
+        return SrcSel(pe=None, slot=slot)
+
+    @staticmethod
+    def port(pe: int) -> "SrcSel":
+        return SrcSel(pe=pe)
+
+    @property
+    def is_local(self) -> bool:
+        return self.pe is None
+
+
+@dataclass(frozen=True)
+class PEContext:
+    """One PE's context entry for one cycle."""
+
+    opcode: str
+    srcs: Tuple[SrcSel, ...] = ()
+    dest_slot: Optional[int] = None
+    #: RF write gated by the C-Box predication broadcast (pWRITE)
+    predicated: bool = False
+    #: RF slot exposed on the out-port this cycle
+    out_addr: Optional[int] = None
+    #: CONST immediate, or the heap handle for DMA operations
+    immediate: Optional[int] = None
+    duration: int = 1
+
+
+#: idle PE entry (may still expose a value on the out-port)
+def pe_nop(out_addr: Optional[int] = None) -> PEContext:
+    return PEContext(opcode="NOP", out_addr=out_addr)
+
+
+@dataclass
+class ContextProgram:
+    """Fully allocated context memories plus interface metadata."""
+
+    kernel_name: str
+    composition_name: str
+    n_cycles: int
+    #: pe -> cycle -> entry (None = busy continuation or idle)
+    pe_contexts: List[List[Optional[PEContext]]]
+    cbox_contexts: List[Optional[CBoxOp]]
+    ccu_contexts: List[CCUEntry]
+    #: live-in variable -> (pe, rf slot) for the host transfer
+    livein_map: Dict[Var, Tuple[int, int]]
+    #: live-out variable -> (pe, rf slot)
+    liveout_map: Dict[Var, Tuple[int, int]]
+    #: RF entries used per PE (left-edge result)
+    rf_used: List[int]
+    #: C-Box condition slots used
+    cbox_slots_used: int
+    #: heap arrays referenced (for the simulator's memory model)
+    arrays: List[ArrayRef] = field(default_factory=list)
+
+    @property
+    def used_contexts(self) -> int:
+        """Table I's "Used Contexts" metric."""
+        return self.n_cycles
+
+    @property
+    def max_rf_entries(self) -> int:
+        """Table I's "Max. RF entries" metric."""
+        return max(self.rf_used, default=0)
+
+    def entries_at(self, cycle: int) -> List[Optional[PEContext]]:
+        return [pe[cycle] for pe in self.pe_contexts]

@@ -1,0 +1,36 @@
+"""Evaluation harness: one driver per table/figure of Section VI.
+
+``python -m repro.eval`` regenerates the full evaluation; the individual
+functions are also consumed by the pytest-benchmark modules under
+``benchmarks/``.
+"""
+
+from repro.eval.tables import (
+    adpcm_workload,
+    table1,
+    table2,
+    table3,
+    table4,
+    speedup_headline,
+)
+from repro.eval.figures import (
+    fig11_example_kernel,
+    fig11_stats,
+    fig12_stats,
+    fig13_meshes,
+    fig14_irregular,
+)
+
+__all__ = [
+    "adpcm_workload",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "speedup_headline",
+    "fig11_example_kernel",
+    "fig11_stats",
+    "fig12_stats",
+    "fig13_meshes",
+    "fig14_irregular",
+]

@@ -1,0 +1,138 @@
+"""Regeneration of the paper's figures (data form).
+
+* Fig. 11 — the nested-loop CDFG example: we reconstruct the kernel the
+  figure depicts (outer counted loop, data-dependent inner loop with
+  DMA loads, MUL/ADD accumulation, loop-carried ``g``/``s``) and export
+  the flat CDFG with data/control/loop-carried edges.
+* Fig. 12 — the ADPCM decoder's control-flow structure.
+* Figs. 13/14 — the evaluated compositions themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.composition import Composition
+from repro.arch.library import (
+    IRREGULAR_NAMES,
+    MESH_SIZES,
+    irregular_composition,
+    mesh_composition,
+)
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.ir.loops import LoopGraph
+from repro.kernels.adpcm import build_decoder_kernel
+
+__all__ = [
+    "fig11_example_kernel",
+    "fig11_stats",
+    "fig12_stats",
+    "fig13_meshes",
+    "fig14_irregular",
+]
+
+
+def _fig11_kernel(n: int, a: IntArray, c: IntArray) -> int:
+    """The structure Fig. 11 depicts: nested loops, loop-carried g/s,
+    DMA loads of c[i] and a[g], a MUL/ADD chain into s."""
+    s = 0
+    g = 0
+    i = 0
+    while i < n:
+        k = c[i]
+        g = g + 1
+        j = 0
+        while j < k:
+            s = s + a[g] * j
+            g = g + 1
+            j = j + 1
+        i = i + 1
+    return s
+
+
+def fig11_example_kernel() -> Kernel:
+    return compile_kernel(_fig11_kernel, name="fig11_example")
+
+
+@dataclass
+class CDFGStats:
+    nodes: int
+    data_edges: int
+    control_edges: int
+    loop_carried_edges: int
+    loops: int
+    max_loop_depth: int
+    #: node counts per loop depth (0 = outside loops)
+    nodes_per_depth: Dict[int, int]
+
+
+def _cdfg_stats(kernel: Kernel) -> CDFGStats:
+    g = kernel.to_flat_graph()
+    kinds = {"data": 0, "control": 0, "dep": 0}
+    carried = 0
+    for _, _, attrs in g.edges(data=True):
+        kinds[attrs["kind"]] = kinds.get(attrs["kind"], 0) + 1
+        if attrs.get("weight"):
+            carried += 1
+    lg = LoopGraph(kernel)
+    per_depth: Dict[int, int] = {}
+    for node in kernel.nodes():
+        d = lg.depth(node)
+        per_depth[d] = per_depth.get(d, 0) + 1
+    return CDFGStats(
+        nodes=g.number_of_nodes(),
+        data_edges=kinds.get("data", 0),
+        control_edges=kinds.get("control", 0),
+        loop_carried_edges=carried,
+        loops=len(kernel.loops()),
+        max_loop_depth=kernel.max_loop_depth(),
+        nodes_per_depth=per_depth,
+    )
+
+
+def fig11_stats() -> CDFGStats:
+    return _cdfg_stats(fig11_example_kernel())
+
+
+@dataclass
+class ControlFlowStats:
+    """Fig. 12-style control-flow summary of a kernel."""
+
+    loops: int
+    max_loop_depth: int
+    branch_points: int  # if/else regions
+    conditional_loops: int  # loops nested under data-dependent paths
+    controlling_nodes: int  # loop-condition producers (Section V-C)
+
+
+def fig12_stats(kernel: Kernel = None) -> ControlFlowStats:
+    from repro.ir.regions import IfRegion, LoopRegion
+
+    if kernel is None:
+        kernel = build_decoder_kernel()
+    branch_points = sum(
+        1 for r in kernel.body.walk() if isinstance(r, IfRegion)
+    )
+    loops = kernel.loops()
+    lg = LoopGraph(kernel)
+    conditional = sum(1 for l in loops if lg.parent(l) is not None)
+    controlling = sum(len(l.controlling_nodes()) for l in loops)
+    return ControlFlowStats(
+        loops=len(loops),
+        max_loop_depth=kernel.max_loop_depth(),
+        branch_points=branch_points,
+        conditional_loops=conditional,
+        controlling_nodes=controlling,
+    )
+
+
+def fig13_meshes() -> Dict[int, Composition]:
+    """The six homogeneous mesh compositions of Fig. 13."""
+    return {n: mesh_composition(n) for n in MESH_SIZES}
+
+
+def fig14_irregular() -> Dict[str, Composition]:
+    """The six irregular/inhomogeneous compositions of Fig. 14."""
+    return {name: irregular_composition(name) for name in IRREGULAR_NAMES}

@@ -1,0 +1,66 @@
+"""Text rendering of the regenerated evaluation (``python -m repro.eval``)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.tables import CompositionRun
+
+__all__ = ["format_table", "render_table1", "render_table2", "render_table3"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def render_table1(runs: Dict[str, CompositionRun]) -> str:
+    labels = list(runs)
+    rows = [
+        ["Used Contexts"] + [str(runs[l].used_contexts) for l in labels],
+        ["Max. RF entries"] + [str(runs[l].max_rf_entries) for l in labels],
+    ]
+    return format_table([""] + labels, rows)
+
+
+def render_table2(runs: Dict[str, CompositionRun]) -> str:
+    labels = list(runs)
+    rows = [
+        ["Execution time / cycles"]
+        + [f"{runs[l].cycles / 1000:.1f}k" for l in labels],
+        ["Frequency (MHz)"] + [f"{runs[l].frequency_mhz:.1f}" for l in labels],
+        ["LUT - logic (% util.)"]
+        + [f"{runs[l].lut_logic_pct:.2f}" for l in labels],
+        ["LUT - memory (% util.)"]
+        + [f"{runs[l].lut_mem_pct:.2f}" for l in labels],
+        ["DSP (% util.)"] + [f"{runs[l].dsp_pct:.2f}" for l in labels],
+        ["BRAM (% util.)"] + [f"{runs[l].bram_pct:.2f}" for l in labels],
+    ]
+    return format_table([""] + labels, rows)
+
+
+def render_table3(runs: Dict[str, CompositionRun]) -> str:
+    labels = list(runs)
+    rows = [
+        ["Cycles"] + [f"{runs[l].cycles / 1000:.1f}k" for l in labels],
+        ["Frequency in MHz"]
+        + [f"{runs[l].frequency_mhz:.1f}" for l in labels],
+    ]
+    return format_table([""] + labels, rows)
+
+
+def render_table4(times: Dict[str, Dict[str, float]]) -> str:
+    labels = list(times)
+    rows = [
+        ["Single cycle multiplier"]
+        + [f"{times[l]['single_cycle_ms']:.2f}" for l in labels],
+        ["Dual cycle multiplier"]
+        + [f"{times[l]['dual_cycle_ms']:.2f}" for l in labels],
+    ]
+    return format_table([""] + labels, rows)

@@ -1,0 +1,218 @@
+"""Regeneration of Tables I-IV and the Section VI-A headline numbers.
+
+Every function runs the complete pipeline (frontend -> optimisations ->
+scheduler -> contexts -> simulator) on the paper's workload: the ADPCM
+decoder over 416 samples with unroll factor 2 for inner loops and
+common-subexpression elimination, the settings of Section VI-B.
+
+Absolute numbers differ from the paper (its CDFGs come from Java
+bytecode; ours from a leaner IR — see EXPERIMENTS.md), but each table's
+*shape* is compared in the benchmark assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.composition import Composition
+from repro.arch.library import (
+    IRREGULAR_NAMES,
+    MESH_SIZES,
+    all_paper_compositions,
+    mesh_composition,
+    paper_mesh_compositions,
+)
+from repro.baseline import run_baseline
+from repro.context.generator import generate_contexts
+from repro.fpga import estimate
+from repro.ir.cdfg import Kernel
+from repro.ir.transform import eliminate_common_subexpressions, unroll_inner_loops
+from repro.kernels.adpcm import (
+    INDEX_TABLE,
+    N_SAMPLES,
+    STEP_TABLE,
+    build_decoder_kernel,
+    encoded_reference,
+)
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+__all__ = [
+    "adpcm_workload",
+    "CompositionRun",
+    "run_adpcm_on",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "speedup_headline",
+]
+
+#: paper evaluation settings (Section VI-B)
+UNROLL_FACTOR = 2
+
+
+def adpcm_workload(
+    n_samples: int = N_SAMPLES, *, unroll: int = UNROLL_FACTOR
+) -> Tuple[Kernel, Dict[str, List[int]], List[int]]:
+    """(kernel, array contents, expected output) of the evaluation run."""
+    kernel = build_decoder_kernel()
+    eliminate_common_subexpressions(kernel)
+    if unroll >= 2:
+        unroll_inner_loops(kernel, unroll)
+    packed, expect = encoded_reference(n_samples)
+    arrays = {
+        "inp": packed,
+        "outp": [0] * n_samples,
+        "steptab": list(STEP_TABLE),
+        "indextab": list(INDEX_TABLE),
+    }
+    return kernel, arrays, expect
+
+
+@dataclass
+class CompositionRun:
+    """Result of mapping + executing the workload on one composition."""
+
+    label: str
+    composition: Composition
+    used_contexts: int
+    max_rf_entries: int
+    cycles: int
+    correct: bool
+    schedule_seconds: float
+    frequency_mhz: float
+    lut_logic_pct: float
+    lut_mem_pct: float
+    dsp_pct: float
+    bram_pct: float
+    #: simulated dynamic energy (Fig. 9's unit-less per-op scale)
+    energy: float = 0.0
+
+    @property
+    def time_ms(self) -> float:
+        """Execution time in milliseconds (Table IV: cycles / frequency)."""
+        return self.cycles / (self.frequency_mhz * 1e3)
+
+
+def run_adpcm_on(
+    label: str,
+    comp: Composition,
+    *,
+    n_samples: int = N_SAMPLES,
+    unroll: int = UNROLL_FACTOR,
+) -> CompositionRun:
+    kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
+    t0 = time.perf_counter()
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    elapsed = time.perf_counter() - t0
+    result = invoke_kernel(
+        kernel, comp, {"n": n_samples, "gain": 4096}, arrays, program=program
+    )
+    decoded = result.heap.array(kernel.arrays[1].handle)
+    fpga = estimate(comp)
+    return CompositionRun(
+        label=label,
+        composition=comp,
+        used_contexts=program.used_contexts,
+        max_rf_entries=program.max_rf_entries,
+        cycles=result.run_cycles,
+        correct=decoded == expect,
+        schedule_seconds=elapsed,
+        frequency_mhz=fpga.frequency_mhz,
+        lut_logic_pct=fpga.lut_logic_pct,
+        lut_mem_pct=fpga.lut_mem_pct,
+        dsp_pct=fpga.dsp_pct,
+        bram_pct=fpga.bram_pct,
+        energy=result.run.energy,
+    )
+
+
+def table1(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+    """Table I: memory utilisation of the ADPCM schedules (meshes)."""
+    out: Dict[str, CompositionRun] = {}
+    for n, comp in paper_mesh_compositions().items():
+        out[f"{n} PEs"] = run_adpcm_on(f"{n} PEs", comp, n_samples=n_samples)
+    return out
+
+
+def table2(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+    """Table II: cycles + synthesis estimates, meshes and irregular A-F."""
+    out: Dict[str, CompositionRun] = {}
+    for label, comp in all_paper_compositions(mul_duration=2).items():
+        out[label] = run_adpcm_on(label, comp, n_samples=n_samples)
+    return out
+
+
+def table3(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+    """Table III: single-cycle multipliers (meshes only, as the paper)."""
+    out: Dict[str, CompositionRun] = {}
+    for n in MESH_SIZES:
+        comp = mesh_composition(n, mul_duration=1)
+        out[f"{n} PEs"] = run_adpcm_on(f"{n} PEs", comp, n_samples=n_samples)
+    return out
+
+
+def table4(
+    *,
+    n_samples: int = N_SAMPLES,
+    dual: Optional[Dict[str, CompositionRun]] = None,
+    single: Optional[Dict[str, CompositionRun]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Table IV: execution times in milliseconds, both multiplier kinds."""
+    if dual is None:
+        dual = {
+            label: run
+            for label, run in table2(n_samples=n_samples).items()
+            if label.endswith("PEs")
+        }
+    if single is None:
+        single = table3(n_samples=n_samples)
+    out: Dict[str, Dict[str, float]] = {}
+    for label in single:
+        out[label] = {
+            "single_cycle_ms": single[label].time_ms,
+            "dual_cycle_ms": dual[label].time_ms,
+        }
+    return out
+
+
+@dataclass
+class SpeedupResult:
+    baseline_cycles: int
+    best_label: str
+    best_cycles: int
+    speedup: float
+    correct: bool
+
+
+def speedup_headline(
+    *, n_samples: int = N_SAMPLES, runs: Optional[Dict[str, CompositionRun]] = None
+) -> SpeedupResult:
+    """Section VI-A: AMIDAR baseline vs the best CGRA composition.
+
+    The baseline interprets the *un-unrolled* kernel — AMIDAR executes
+    the original bytecode sequence, unrolling only happens on the CGRA
+    synthesis path (Fig. 1).
+    """
+    kernel, arrays, expect = adpcm_workload(n_samples, unroll=1)
+    base = run_baseline(kernel, {"n": n_samples, "gain": 4096}, arrays)
+    decoded = base.heap.array(kernel.arrays[1].handle)
+    if runs is None:
+        runs = {
+            f"{n} PEs": run_adpcm_on(
+                f"{n} PEs", mesh_composition(n), n_samples=n_samples
+            )
+            for n in MESH_SIZES
+        }
+    best = min(runs.values(), key=lambda r: r.cycles)
+    return SpeedupResult(
+        baseline_cycles=base.cycles,
+        best_label=best.label,
+        best_cycles=best.cycles,
+        speedup=base.cycles / best.cycles,
+        correct=decoded == expect and best.correct,
+    )

@@ -1,0 +1,26 @@
+"""Automatic composition exploration (the paper's future work, §VII).
+
+"In the future ... we want to develop a tool that automatically analyzes
+a set of problems from an application domain and generates a matching
+CGRA composition."  The paper's own compositions were hand-built
+("our current approach is based on experience and iteratively improving
+the CGRA compositions", §I); this package automates that iteration:
+a mutation-based local search over composition space (interconnect
+links, multiplier/DMA placement, RF size) that evaluates candidates by
+actually scheduling and simulating the domain's kernels, scoring
+wall-clock performance against FPGA area.
+"""
+
+from repro.explore.search import (
+    CompositionExplorer,
+    Evaluation,
+    ExplorationResult,
+    Workload,
+)
+
+__all__ = [
+    "CompositionExplorer",
+    "Evaluation",
+    "ExplorationResult",
+    "Workload",
+]

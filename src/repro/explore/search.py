@@ -1,0 +1,286 @@
+"""Mutation-based composition search.
+
+A composition is encoded by its degrees of freedom:
+
+* the set of bidirectional interconnect links,
+* which PEs carry a multiplier (inhomogeneity, as composition F),
+* which PEs own a DMA interface (at most four),
+* the register-file size (32 / 64 / 128).
+
+Candidates are *evaluated honestly*: every workload of the domain is
+scheduled, context-generated and simulated on the candidate; the score
+combines estimated wall-clock (cycles / model frequency) with an FPGA
+area penalty.  Infeasible candidates (unschedulable, disconnected,
+capacity overflow) score infinity.  Search is stochastic hill climbing
+with restarts — small, deterministic under a seed, and good enough to
+beat hand-built baselines on mixed workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.composition import MAX_DMA_PES, Composition
+from repro.arch.interconnect import Interconnect
+from repro.arch.pe import PEDescription
+from repro.context.generator import generate_contexts
+from repro.fpga import estimate
+from repro.ir.cdfg import Kernel
+from repro.sched.schedule import SchedulingError
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+__all__ = ["Workload", "Evaluation", "ExplorationResult", "CompositionExplorer"]
+
+_RF_CHOICES = (32, 64, 128)
+
+
+@dataclass
+class Workload:
+    """One kernel of the application domain with representative inputs."""
+
+    name: str
+    kernel: Kernel
+    livein: Mapping[str, int]
+    arrays: Mapping[str, Sequence[int]] = field(default_factory=dict)
+    #: relative importance in the objective
+    weight: float = 1.0
+
+
+@dataclass
+class Evaluation:
+    composition: Composition
+    #: per-workload simulated cycles (None = failed to map)
+    cycles: Dict[str, Optional[int]]
+    feasible: bool
+    frequency_mhz: float
+    lut_logic_pct: float
+    dsp_pct: float
+    #: weighted wall-clock in ms, area-penalised (lower is better)
+    score: float
+
+
+@dataclass
+class ExplorationResult:
+    best: Evaluation
+    evaluations: int
+    history: List[float]  # best score per iteration
+
+
+@dataclass(frozen=True)
+class _Genome:
+    n_pes: int
+    links: frozenset  # of (a, b) with a < b
+    muls: frozenset
+    dmas: frozenset
+    rf_size: int
+
+    def build(self, mul_duration: int = 2, context_size: int = 256) -> Composition:
+        sources: List[set] = [set() for _ in range(self.n_pes)]
+        for a, b in self.links:
+            sources[a].add(b)
+            sources[b].add(a)
+        icn = Interconnect.from_sources(sources)
+        pes = []
+        for i in range(self.n_pes):
+            pes.append(
+                PEDescription.homogeneous(
+                    name=f"PE{i}" + ("_mem" if i in self.dmas else ""),
+                    regfile_size=self.rf_size,
+                    has_dma=i in self.dmas,
+                    mul_duration=mul_duration,
+                    exclude_ops=() if i in self.muls else ("IMUL",),
+                )
+            )
+        return Composition(
+            name="explored",
+            pes=tuple(pes),
+            interconnect=icn,
+            context_size=context_size,
+        )
+
+
+class CompositionExplorer:
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        *,
+        n_pes: int = 8,
+        seed: int = 0,
+        area_weight: float = 0.05,
+        context_size: int = 256,
+    ) -> None:
+        if not workloads:
+            raise ValueError("need at least one workload")
+        self.workloads = list(workloads)
+        self.n_pes = n_pes
+        self.rng = random.Random(seed)
+        self.area_weight = area_weight
+        self.context_size = context_size
+        self._needs_mul = any(
+            "IMUL" in w.kernel.used_alu_opcodes() for w in workloads
+        )
+        self._needs_dma = any(w.kernel.arrays for w in workloads)
+        self._eval_count = 0
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, comp: Composition) -> Evaluation:
+        self._eval_count += 1
+        fpga = estimate(comp)
+        cycles: Dict[str, Optional[int]] = {}
+        feasible = True
+        total_ms = 0.0
+        for w in self.workloads:
+            try:
+                schedule = schedule_kernel(w.kernel, comp)
+                program = generate_contexts(schedule, comp, w.kernel)
+                res = invoke_kernel(
+                    w.kernel,
+                    comp,
+                    dict(w.livein),
+                    {k: list(v) for k, v in w.arrays.items()},
+                    program=program,
+                )
+                cycles[w.name] = res.run_cycles
+                total_ms += w.weight * res.run_cycles / (fpga.frequency_mhz * 1e3)
+            except SchedulingError:
+                cycles[w.name] = None
+                feasible = False
+        if feasible:
+            score = total_ms * (1.0 + self.area_weight * fpga.lut_logic_pct)
+            score *= 1.0 + self.area_weight * 4 * fpga.dsp_pct
+        else:
+            score = float("inf")
+        return Evaluation(
+            composition=comp,
+            cycles=cycles,
+            feasible=feasible,
+            frequency_mhz=fpga.frequency_mhz,
+            lut_logic_pct=fpga.lut_logic_pct,
+            dsp_pct=fpga.dsp_pct,
+            score=score,
+        )
+
+    # -- genome operations --------------------------------------------------
+
+    def _all_pairs(self) -> List[Tuple[int, int]]:
+        return [
+            (a, b)
+            for a in range(self.n_pes)
+            for b in range(a + 1, self.n_pes)
+        ]
+
+    def _random_genome(self) -> _Genome:
+        rng = self.rng
+        pairs = self._all_pairs()
+        # ring backbone guarantees strong connectivity
+        backbone = {
+            (min(i, (i + 1) % self.n_pes), max(i, (i + 1) % self.n_pes))
+            for i in range(self.n_pes)
+        }
+        extras = {p for p in pairs if rng.random() < 0.25}
+        muls = (
+            frozenset(
+                i for i in range(self.n_pes) if rng.random() < 0.5
+            )
+            or frozenset({0})
+            if self._needs_mul
+            else frozenset(
+                i for i in range(self.n_pes) if rng.random() < 0.3
+            )
+        )
+        n_dma = rng.randint(1, MAX_DMA_PES) if self._needs_dma else 0
+        dmas = frozenset(rng.sample(range(self.n_pes), n_dma))
+        return _Genome(
+            n_pes=self.n_pes,
+            links=frozenset(backbone | extras),
+            muls=muls,
+            dmas=dmas,
+            rf_size=rng.choice(_RF_CHOICES),
+        )
+
+    def _mutate(self, genome: _Genome) -> _Genome:
+        rng = self.rng
+        links = set(genome.links)
+        muls = set(genome.muls)
+        dmas = set(genome.dmas)
+        rf = genome.rf_size
+        kind = rng.choice(
+            ("add_link", "drop_link", "toggle_mul", "move_dma", "rf")
+        )
+        if kind == "add_link":
+            candidates = [p for p in self._all_pairs() if p not in links]
+            if candidates:
+                links.add(rng.choice(candidates))
+        elif kind == "drop_link" and len(links) > self.n_pes:
+            links.discard(rng.choice(sorted(links)))
+        elif kind == "toggle_mul":
+            pe = rng.randrange(self.n_pes)
+            if pe in muls:
+                if not self._needs_mul or len(muls) > 1:
+                    muls.discard(pe)
+            else:
+                muls.add(pe)
+        elif kind == "move_dma" and dmas:
+            dmas.discard(rng.choice(sorted(dmas)))
+            dmas.add(rng.randrange(self.n_pes))
+        elif kind == "rf":
+            rf = rng.choice(_RF_CHOICES)
+        if self._needs_dma and not dmas:
+            dmas.add(rng.randrange(self.n_pes))
+        return _Genome(
+            n_pes=self.n_pes,
+            links=frozenset(links),
+            muls=frozenset(muls),
+            dmas=frozenset(dmas),
+            rf_size=rf,
+        )
+
+    def _feasible_genome(self, genome: _Genome) -> Optional[Composition]:
+        if len(genome.dmas) > MAX_DMA_PES:
+            return None
+        try:
+            comp = genome.build(context_size=self.context_size)
+        except ValueError:
+            return None
+        if not comp.interconnect.is_strongly_connected():
+            return None
+        return comp
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self, *, iterations: int = 30, restarts: int = 2
+    ) -> ExplorationResult:
+        """Stochastic hill climbing with restarts; returns the best."""
+        best: Optional[Evaluation] = None
+        history: List[float] = []
+        for _ in range(max(1, restarts)):
+            genome = self._random_genome()
+            comp = self._feasible_genome(genome)
+            while comp is None:
+                genome = self._random_genome()
+                comp = self._feasible_genome(genome)
+            current = self.evaluate(comp)
+            if best is None or current.score < best.score:
+                best = current
+            for _ in range(iterations):
+                candidate_genome = self._mutate(genome)
+                comp = self._feasible_genome(candidate_genome)
+                if comp is None:
+                    history.append(best.score)
+                    continue
+                candidate = self.evaluate(comp)
+                if candidate.score <= current.score:
+                    current = candidate
+                    genome = candidate_genome
+                if candidate.score < best.score:
+                    best = candidate
+                history.append(best.score)
+        assert best is not None
+        return ExplorationResult(
+            best=best, evaluations=self._eval_count, history=history
+        )

@@ -1,0 +1,26 @@
+"""The online-synthesis flow of Fig. 1.
+
+"The AMIDAR hardware profiler is able to detect code sequences that are
+executed frequently.  The execution of these sequences will then be
+mapped to the CGRA ... Each time the AMIDAR processor enters one of
+these code sequences, the processor forwards the execution to the CGRA."
+
+* :mod:`repro.flow.extract` — carve a hot loop out of a kernel as a
+  standalone kernel (live-in/live-out inference),
+* :mod:`repro.flow.hybrid`  — co-execution: the baseline interpreter
+  runs the kernel but forwards mapped loops to the CGRA simulator,
+  counting both sides' cycles plus the invocation overhead,
+* :func:`accelerate` — the one-call flow: profile, pick hot loops, map
+  them, return a hybrid executor.
+"""
+
+from repro.flow.extract import ExtractedKernel, extract_loop
+from repro.flow.hybrid import HybridResult, HybridExecutor, accelerate
+
+__all__ = [
+    "ExtractedKernel",
+    "extract_loop",
+    "HybridExecutor",
+    "HybridResult",
+    "accelerate",
+]

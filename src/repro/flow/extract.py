@@ -1,0 +1,91 @@
+"""Hot-loop extraction: a profiled loop becomes a standalone kernel.
+
+The extracted kernel's interface follows Section III: local variables
+the loop *reads before possibly writing* become live-ins (transferred to
+the CGRA), variables the loop *writes* become live-outs ("the local
+variables that may change their value during the execution are written
+back"); heap arrays pass by handle (DMA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import ArrayRef, Var
+from repro.ir.regions import LoopRegion, SeqRegion
+from repro.ir.transform.clone import clone_region
+
+__all__ = ["ExtractedKernel", "extract_loop"]
+
+
+@dataclass
+class ExtractedKernel:
+    """A loop carved out of its enclosing kernel."""
+
+    kernel: Kernel
+    #: original loop object this kernel was extracted from
+    source_loop: LoopRegion
+    #: original Var -> extracted Var
+    var_map: Dict[Var, Var]
+    #: live-in variables (original objects, in kernel-param order)
+    livein_vars: List[Var]
+    #: live-out variables (original objects)
+    liveout_vars: List[Var]
+
+
+def extract_loop(kernel: Kernel, loop: LoopRegion, *, name: str = None) -> ExtractedKernel:
+    """Extract ``loop`` (a loop of ``kernel``) as a standalone kernel."""
+    if loop not in kernel.loops():
+        raise ValueError("loop does not belong to this kernel")
+
+    var_map: Dict[Var, Var] = {}
+    mapping: Dict[int, object] = {}
+    cloned = clone_region(loop, mapping, var_map)
+
+    read_vars = sorted(Kernel.read_vars(loop), key=lambda v: v.name)
+    written_vars = sorted(Kernel.written_vars(loop), key=lambda v: v.name)
+
+    # live-ins: everything read (conservative — a variable read only
+    # after an in-loop write still transfers; its stale value is simply
+    # overwritten, matching how AMIDAR pushes the full local frame)
+    livein = list(read_vars)
+    for var in written_vars:
+        if var not in livein:
+            livein.append(var)
+
+    arrays: List[ArrayRef] = []
+    for node in loop.nodes():
+        if node.array is not None and node.array not in arrays:
+            arrays.append(node.array)
+
+    new_params = []
+    for var in livein:
+        clone = var_map.setdefault(var, Var(var.name))
+        clone.is_param = True
+        new_params.append(clone)
+    new_results = []
+    for var in written_vars:
+        clone = var_map[var]
+        clone.is_result = True
+        new_results.append(clone)
+
+    body = SeqRegion()
+    body.append(cloned)
+    extracted = Kernel(
+        name=name or f"{kernel.name}__{id(loop) & 0xFFFF:x}",
+        params=new_params,
+        results=new_results,
+        arrays=arrays,
+        body=body,
+        variables={v.name: v for v in var_map.values()},
+    )
+    extracted.validate()
+    return ExtractedKernel(
+        kernel=extracted,
+        source_loop=loop,
+        var_map=dict(var_map),
+        livein_vars=list(livein),
+        liveout_vars=list(written_vars),
+    )

@@ -1,0 +1,12 @@
+"""Analytic FPGA cost model (substitute for Vivado synthesis).
+
+The paper reports post-synthesis frequency and LUT/DSP/BRAM utilisation
+on a Virtex-7 XC7VX690 (Table II).  Without the FPGA toolchain we model
+those quantities analytically; coefficients are calibrated against the
+paper's own published rows (see :mod:`repro.fpga.model` for the
+derivation and DESIGN.md §4 for the substitution rationale).
+"""
+
+from repro.fpga.model import FPGAEstimate, estimate, XC7VX690
+
+__all__ = ["FPGAEstimate", "estimate", "XC7VX690"]

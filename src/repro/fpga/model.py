@@ -1,0 +1,124 @@
+"""Analytic resource/timing model of CGRA compositions on a Virtex-7.
+
+Calibration (all from the paper's Table II, homogeneous meshes with
+RF 128 and two-cycle block multipliers):
+
+* **Frequency**: falls with PE count (103.6 MHz at 4 PEs -> 86.9 MHz at
+  16 PEs) — interconnect muxes and control fan-out grow with the array.
+  Fitting ``f = F0 / ((1 + a*N) * rf_term)`` to the 4..16-PE rows gives
+  ``a ~ 0.0171``.  Shrinking the RF from 128 to 32 entries raised the
+  4-PE clock by 7.2 % (Section VI-B), giving a per-address-bit factor
+  ``(1 + 0.036)`` per log2 step above 32 entries.  Table III's
+  single-cycle multipliers lengthen the critical path by ~17 % (the
+  ratio between Table II and Table III frequencies).  A mild penalty
+  per input-mux above the mesh's fan-in of 3 models irregular
+  interconnects (the paper's A-F rows scatter +-3 %; Section VI-C).
+* **LUT (logic)**: linear in PE count, ~0.217 %/PE + 0.14 % shared
+  control; a multiplier contributes ~0.015 %/PE of wrapper logic
+  (composition F: 1.80 % vs D's 1.88 % with six multipliers removed).
+* **LUT (memory)**: register files in LUTRAM — ~0.101 %/PE at 128
+  entries, proportional to RF size.
+* **DSP**: 0.0833 %/multiplier-PE (three DSP48 slices); exactly
+  reproduces every Table II row including F's 0.17 %.
+* **BRAM**: context memories — ~0.068 %/PE + 0.065 % for C-Box/CCU.
+
+All percentages refer to the XC7VX690's totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.composition import Composition
+
+__all__ = ["XC7VX690", "FPGAEstimate", "estimate"]
+
+
+@dataclass(frozen=True)
+class Device:
+    name: str
+    luts: int
+    lutram: int
+    dsp: int
+    bram36: int
+
+
+#: the paper's target device
+XC7VX690 = Device(name="XC7VX690", luts=433_200, lutram=174_200, dsp=3600, bram36=1470)
+
+# calibrated coefficients (see module docstring)
+_F0 = 118.7  # MHz
+_FREQ_PE_SLOPE = 0.0171
+_FREQ_RF_STEP = 0.036  # per log2(RF) step above 32 entries
+_FREQ_FANIN_STEP = 0.008  # per max-in-degree step above 3
+_FREQ_FAST_MUL_PENALTY = 1.17  # single-cycle multiplier path stretch
+#: pipeline registers shorten the PE's critical path (the paper's §VII
+#: "further pipeline stages" investigation) — a documented assumption,
+#: not calibrated against published data
+_FREQ_PIPELINE_BONUS = 1.12
+
+_LUT_BASE = 0.143  # % shared control logic
+_LUT_PER_PE = 0.2017  # % per PE without multiplier wrapper
+_LUT_PER_MUL = 0.015  # % multiplier wrapper logic
+_LUTMEM_BASE = 0.20  # % shared buffers (live-in/out, DMA staging)
+_LUTMEM_PER_PE_128 = 0.1008  # % per PE at RF 128
+_DSP_PER_MUL = 0.0833  # % per multiplier PE
+_BRAM_BASE = 0.065  # % C-Box + CCU context memories
+_BRAM_PER_PE = 0.0683  # % per PE context memory
+
+
+@dataclass(frozen=True)
+class FPGAEstimate:
+    """Synthesis estimate in the units of the paper's Table II."""
+
+    frequency_mhz: float
+    lut_logic_pct: float
+    lut_mem_pct: float
+    dsp_pct: float
+    bram_pct: float
+
+    def execution_time_ms(self, cycles: int) -> float:
+        """Wall-clock for ``cycles`` at the estimated clock (Table IV)."""
+        return cycles / (self.frequency_mhz * 1e3)
+
+
+def _has_single_cycle_mul(comp: Composition) -> bool:
+    return any(
+        pe.has_multiplier and pe.duration("IMUL") == 1 for pe in comp.pes
+    )
+
+
+def estimate(comp: Composition, device: Device = XC7VX690) -> FPGAEstimate:
+    """Estimate frequency and utilisation of a composition."""
+    n = comp.n_pes
+    n_mul = len(comp.multiplier_pes())
+    max_rf = comp.max_regfile_size()
+
+    rf_steps = max(0.0, math.log2(max_rf) - 5)  # above 32 entries
+    fanin_steps = max(0, comp.interconnect.max_in_degree() - 3)
+    denom = (
+        (1 + _FREQ_PE_SLOPE * n)
+        * (1 + _FREQ_RF_STEP * rf_steps)
+        * (1 + _FREQ_FANIN_STEP * fanin_steps)
+    )
+    freq = _F0 / denom
+    if _has_single_cycle_mul(comp):
+        freq /= _FREQ_FAST_MUL_PENALTY
+    if all(pe.pipelined for pe in comp.pes):
+        freq *= _FREQ_PIPELINE_BONUS
+
+    lut_logic = _LUT_BASE + _LUT_PER_PE * n + _LUT_PER_MUL * n_mul
+    lut_mem = _LUTMEM_BASE + sum(
+        _LUTMEM_PER_PE_128 * pe.regfile_size / 128.0 for pe in comp.pes
+    )
+    dsp = _DSP_PER_MUL * n_mul
+    bram = _BRAM_BASE + _BRAM_PER_PE * n
+
+    return FPGAEstimate(
+        frequency_mhz=round(freq, 1),
+        lut_logic_pct=round(lut_logic, 2),
+        lut_mem_pct=round(lut_mem, 2),
+        dsp_pct=round(dsp, 2),
+        bram_pct=round(bram, 2),
+    )

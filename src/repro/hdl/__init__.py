@@ -1,0 +1,12 @@
+"""Verilog code generation (Section IV-B, Fig. 7).
+
+"For irregular and inhomogeneous CGRAs one generic Verilog description
+is unreasonable regarding complexity.  Therefore, we use a
+code-generator."  Variable structures (PE, ALU, top level) are generated
+per composition from templates; static structures (CCU, context memory,
+RF, C-Box) are parameterised modules.
+"""
+
+from repro.hdl.generator import generate_verilog, write_verilog
+
+__all__ = ["generate_verilog", "write_verilog"]

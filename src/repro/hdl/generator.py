@@ -1,0 +1,304 @@
+"""Per-composition Verilog generation (Fig. 7).
+
+"Firstly, there are variable structures.  These refer to the modules PE,
+ALU and the top level module.  Their implementation needs to be adapted
+with regard to the given composition.  For instance, each operation is
+realized separately in the ALU."  Those modules are generated here; the
+static modules come from :mod:`repro.hdl.templates`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List
+
+from repro.arch.composition import Composition
+from repro.context.bitmask import pe_context_width
+from repro.hdl import templates
+
+__all__ = ["generate_verilog", "write_verilog"]
+
+#: RTL expression for each operation, over operands ``a`` and ``b``.
+_OP_RTL = {
+    "IADD": "a + b",
+    "ISUB": "a - b",
+    "IMUL": "a * b",
+    "INEG": "-a",
+    "IMIN": "($signed(a) < $signed(b)) ? a : b",
+    "IMAX": "($signed(a) > $signed(b)) ? a : b",
+    "IABS": "($signed(a) < 0) ? -a : a",
+    "IAND": "a & b",
+    "IOR": "a | b",
+    "IXOR": "a ^ b",
+    "INOT": "~a",
+    "ISHL": "a << b[4:0]",
+    "ISHR": "$signed(a) >>> b[4:0]",
+    "IUSHR": "a >> b[4:0]",
+    "IFEQ": "{31'b0, a == b}",
+    "IFNE": "{31'b0, a != b}",
+    "IFLT": "{31'b0, $signed(a) < $signed(b)}",
+    "IFLE": "{31'b0, $signed(a) <= $signed(b)}",
+    "IFGT": "{31'b0, $signed(a) > $signed(b)}",
+    "IFGE": "{31'b0, $signed(a) >= $signed(b)}",
+    "MOVE": "a",
+    "CONST": "imm",
+    "DMA_LOAD": "dma_rdata",
+    "DMA_STORE": "32'b0",
+    "NOP": "32'b0",
+}
+
+
+def _bits(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def _alu_module(comp: Composition, pe: int) -> str:
+    desc = comp.pes[pe]
+    ops = sorted(desc.ops)
+    op_bits = _bits(len(ops))
+    cases = []
+    for code, op in enumerate(ops):
+        cases.append(
+            f"            {op_bits}'d{code}: result = {_OP_RTL[op]}; // {op}"
+        )
+    case_body = "\n".join(cases)
+    status_ops = [op for op in ops if op.startswith("IF")]
+    status_codes = ", ".join(
+        f"{op_bits}'d{ops.index(op)}" for op in status_ops
+    )
+    status_expr = (
+        f"(opcode == {status_codes.replace(', ', f') | (opcode == ')}) ? result[0] : 1'b0"
+        if status_ops
+        else "1'b0"
+    )
+    return f"""\
+// ALU of PE {pe} ('{desc.name}') — only its {len(ops)} supported
+// operations are instantiated (inhomogeneous composition support,
+// Section IV-B: "each operation is realized separately in the ALU").
+module alu_pe{pe} (
+    input  wire [{op_bits - 1}:0] opcode,
+    input  wire [31:0] a,
+    input  wire [31:0] b,
+    input  wire [31:0] imm,
+    input  wire [31:0] dma_rdata,
+    output reg  [31:0] result,
+    output wire        status
+);
+    always @(*) begin
+        case (opcode)
+{case_body}
+            default: result = 32'b0;
+        endcase
+    end
+    assign status = {status_expr};
+endmodule
+"""
+
+
+def _pe_module(comp: Composition, pe: int) -> str:
+    desc = comp.pes[pe]
+    sources = comp.interconnect.sources_of(pe)
+    n_in = len(sources)
+    rf_bits = _bits(desc.regfile_size)
+    in_ports = "".join(
+        f"\n    input  wire [31:0] in_{i},  // from PE {src}"
+        for i, src in enumerate(sources)
+    )
+    mux_items = (
+        "\n".join(
+            f"            {_bits(max(n_in, 2))}'d{i}: mux = in_{i};"
+            for i in range(n_in)
+        )
+        if n_in
+        else "            default: mux = 32'b0;"
+    )
+    sel_bits = _bits(max(n_in, 2))
+    dma_ports = (
+        """
+    // DMA interface (Section IV-A.1)
+    output wire        dma_req,
+    output wire        dma_we,
+    output wire [31:0] dma_handle,
+    output wire [31:0] dma_index,
+    output wire [31:0] dma_wdata,
+    input  wire [31:0] dma_rdata,"""
+        if desc.has_dma
+        else """
+    input  wire [31:0] dma_rdata,  // tied off: no DMA on this PE"""
+    )
+    return f"""\
+// PE {pe} ('{desc.name}'): {n_in} interconnect inputs, RF depth
+// {desc.regfile_size}{', DMA' if desc.has_dma else ''} (Fig. 3).
+module pe{pe} (
+    input  wire clk,
+    input  wire rst,
+    input  wire [CTX{pe}_W-1:0] context_word,
+    input  wire pred_signal,{dma_ports}
+    input  wire [31:0] livein,
+    input  wire        livein_en,
+    input  wire [{rf_bits - 1}:0] livein_addr,
+    output wire [31:0] liveout,
+    output wire [31:0] out,        // out_l to neighbouring PEs
+    output wire        status,{in_ports}
+    input  wire [{sel_bits - 1}:0] in_sel_a,
+    input  wire [{sel_bits - 1}:0] in_sel_b
+);
+    // operand multiplexers over neighbour inputs (iterated from the
+    // model's source list, Section IV-B)
+    reg [31:0] mux;
+    always @(*) begin
+        case (in_sel_a)
+{mux_items}
+            default: mux = 32'b0;
+        endcase
+    end
+    // register file, ALU and context decoding are wired here; the
+    // context word is split according to the bit-mask encoding.
+    wire [31:0] rf_a, rf_b, rf_out;
+    wire [31:0] alu_result;
+    alu_pe{pe} u_alu (
+        .opcode (context_word[OPC{pe}_W-1:0]),
+        .a      (rf_a),
+        .b      (rf_b),
+        .imm    (32'b0),
+        .dma_rdata (dma_rdata),
+        .result (alu_result),
+        .status (status)
+    );
+    register_file #(.ADDR_W({rf_bits}), .DEPTH({desc.regfile_size})) u_rf (
+        .clk (clk),
+        .we (1'b1),
+        .predicated (1'b0),
+        .pred_signal (pred_signal),
+        .waddr ({rf_bits}'b0),
+        .wdata (livein_en ? livein : alu_result),
+        .raddr_a ({rf_bits}'b0),
+        .rdata_a (rf_a),
+        .raddr_b ({rf_bits}'b0),
+        .rdata_b (rf_b),
+        .raddr_out ({rf_bits}'b0),
+        .rdata_out (rf_out)
+    );
+    assign out = rf_out;
+    assign liveout = rf_out;
+endmodule
+"""
+
+
+def _top_module(comp: Composition) -> str:
+    n = comp.n_pes
+    wires = "\n".join(f"    wire [31:0] pe_out_{i};" for i in range(n))
+    statuses = "\n".join(f"    wire status_{i};" for i in range(n))
+    instances: List[str] = []
+    for pe in range(n):
+        sources = comp.interconnect.sources_of(pe)
+        conns = "".join(
+            f"\n        .in_{i} (pe_out_{src})," for i, src in enumerate(sources)
+        )
+        instances.append(
+            f"""\
+    pe{pe} u_pe{pe} (
+        .clk (clk),
+        .rst (rst),
+        .context_word (ctx_{pe}),
+        .pred_signal (out_pe),{conns}
+        .status (status_{pe}),
+        .out (pe_out_{pe}),
+        .liveout (),
+        .livein (livein),
+        .livein_en (1'b0),
+        .livein_addr ('0),
+        .dma_rdata (32'b0),
+        .in_sel_a ('0),
+        .in_sel_b ('0)
+    );"""
+        )
+    ctx_wires = "\n".join(
+        f"    wire [{pe_context_width(comp, i) - 1}:0] ctx_{i};" for i in range(n)
+    )
+    status_vec = ", ".join(f"status_{i}" for i in reversed(range(n)))
+    inst_body = "\n".join(instances)
+    return f"""\
+// Top level of composition '{comp.name}': {n} PEs,
+// {comp.interconnect.edge_count()} interconnect links, context size
+// {comp.context_size}, {comp.cbox_slots} C-Box slots (Fig. 2/5).
+// The interconnect is realized as an array of wires; PE inputs are
+// connected by iterating over the model's source lists (Section IV-B).
+module cgra_top (
+    input  wire clk,
+    input  wire rst,
+    input  wire start,
+    input  wire [31:0] livein,
+    output wire locked
+);
+{wires}
+{statuses}
+{ctx_wires}
+    wire out_pe, out_ctrl;
+    wire [{_bits(comp.context_size) - 1}:0] ccnt;
+
+    ccu #(.ADDR_W({_bits(comp.context_size)})) u_ccu (
+        .clk (clk), .rst (rst), .start (start),
+        .start_ccnt ('0),
+        .branch_cond (1'b0), .branch_uncond (1'b0), .halt (1'b0),
+        .branch_target ('0),
+        .branch_sel (out_ctrl),
+        .ccnt (ccnt),
+        .locked (locked)
+    );
+
+    cbox #(.N_STATUS({n}), .SLOT_W({_bits(comp.cbox_slots)}),
+           .SLOTS({comp.cbox_slots})) u_cbox (
+        .clk (clk), .rst (rst),
+        .status ({{{status_vec}}}),
+        .status_sel ('0), .func (3'd0), .combine_en (1'b0),
+        .raddr_pos ('0), .raddr_neg ('0),
+        .waddr_pos ('0), .waddr_neg ('0),
+        .outpe_sel ('0), .outpe_fresh (1'b0),
+        .outctrl_sel ('0), .outctrl_fresh (1'b0), .outctrl_fresh_neg (1'b0),
+        .out_pe (out_pe), .out_ctrl (out_ctrl)
+    );
+
+{inst_body}
+endmodule
+"""
+
+
+def generate_verilog(comp: Composition) -> Dict[str, str]:
+    """Generate the full Verilog description of a composition.
+
+    Returns a mapping file name -> Verilog text: the four static
+    modules, one generated ALU + PE pair per processing element and the
+    top-level module.
+    """
+    files: Dict[str, str] = {
+        "register_file.v": templates.REGISTER_FILE.format(
+            extra_port_comment="", extra_port_decl="", extra_port_assign=""
+        ),
+        "register_file_dma.v": templates.REGISTER_FILE.format(
+            extra_port_comment=templates.DMA_EXTRA_PORT_COMMENT,
+            extra_port_decl=templates.DMA_EXTRA_PORT_DECL,
+            extra_port_assign=templates.DMA_EXTRA_PORT_ASSIGN,
+        ).replace("module register_file ", "module register_file_dma "),
+        "context_memory.v": templates.CONTEXT_MEMORY,
+        "ccu.v": templates.CCU,
+        "cbox.v": templates.CBOX,
+    }
+    for pe in range(comp.n_pes):
+        files[f"alu_pe{pe}.v"] = _alu_module(comp, pe)
+        files[f"pe{pe}.v"] = _pe_module(comp, pe)
+    files["cgra_top.v"] = _top_module(comp)
+    return files
+
+
+def write_verilog(comp: Composition, directory: str) -> List[str]:
+    """Write the generated description to ``directory``; returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name, text in generate_verilog(comp).items():
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths.append(path)
+    return paths

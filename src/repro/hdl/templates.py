@@ -1,0 +1,167 @@
+"""Static Verilog module templates (Section IV-B).
+
+"Secondly, there are static structures ... whose structural
+implementation does not change for different compositions.  This applies
+to the CCU, context memory, RF and the C-Box.  Structures like the
+multiplexer ... can be adapted using parameters, wherefore no template
+is needed."  These are parameterised Verilog modules emitted verbatim.
+"""
+
+REGISTER_FILE = """\
+// Register file with one write port, two ALU read ports, one out-port
+// read port{extra_port_comment} (Fig. 3).  Predicated writes gate the
+// write enable with the C-Box predication broadcast (Section IV-A.2).
+module register_file #(
+    parameter ADDR_W = 7,
+    parameter DEPTH  = 128
+) (
+    input  wire              clk,
+    input  wire              we,
+    input  wire              predicated,
+    input  wire              pred_signal,
+    input  wire [ADDR_W-1:0] waddr,
+    input  wire [31:0]       wdata,
+    input  wire [ADDR_W-1:0] raddr_a,
+    output wire [31:0]       rdata_a,
+    input  wire [ADDR_W-1:0] raddr_b,
+    output wire [31:0]       rdata_b,
+    input  wire [ADDR_W-1:0] raddr_out,
+    output wire [31:0]       rdata_out{extra_port_decl}
+);
+    reg [31:0] mem [0:DEPTH-1];
+    wire write_ok = we & (~predicated | pred_signal);
+    always @(posedge clk) begin
+        if (write_ok) mem[waddr] <= wdata;
+    end
+    assign rdata_a   = mem[raddr_a];
+    assign rdata_b   = mem[raddr_b];
+    assign rdata_out = mem[raddr_out];{extra_port_assign}
+endmodule
+"""
+
+CONTEXT_MEMORY = """\
+// Context memory: one entry per CCNT value, drives all control signals
+// of its owner (Fig. 2).  Width is the bit-mask-compressed context word.
+module context_memory #(
+    parameter WIDTH  = 64,
+    parameter DEPTH  = 256,
+    parameter ADDR_W = 8
+) (
+    input  wire              clk,
+    input  wire              wen,
+    input  wire [ADDR_W-1:0] waddr,
+    input  wire [WIDTH-1:0]  wdata,
+    input  wire [ADDR_W-1:0] ccnt,
+    output reg  [WIDTH-1:0]  context_word
+);
+    reg [WIDTH-1:0] mem [0:DEPTH-1];
+    always @(posedge clk) begin
+        if (wen) mem[waddr] <= wdata;
+        context_word <= mem[ccnt];
+    end
+endmodule
+"""
+
+CCU = """\
+// Context control unit: increments the CCNT, executes conditional and
+// unconditional branches and locks on the final context (Section
+// IV-A.2, Fig. 5).
+module ccu #(
+    parameter ADDR_W = 8
+) (
+    input  wire              clk,
+    input  wire              rst,
+    input  wire              start,
+    input  wire [ADDR_W-1:0] start_ccnt,
+    input  wire              branch_cond,
+    input  wire              branch_uncond,
+    input  wire              halt,
+    input  wire [ADDR_W-1:0] branch_target,
+    input  wire              branch_sel,   // outctrl from the C-Box
+    output reg  [ADDR_W-1:0] ccnt,
+    output reg               locked
+);
+    always @(posedge clk) begin
+        if (rst) begin
+            ccnt   <= {{ADDR_W{{1'b0}}}};
+            locked <= 1'b1;
+        end else if (start) begin
+            ccnt   <= start_ccnt;
+            locked <= 1'b0;
+        end else if (!locked) begin
+            if (halt)
+                locked <= 1'b1;
+            else if (branch_uncond)
+                ccnt <= branch_target;
+            else if (branch_cond && branch_sel)
+                ccnt <= branch_target;
+            else
+                ccnt <= ccnt + 1'b1;
+        end
+    end
+endmodule
+"""
+
+CBOX = """\
+// Condition box: stores truth values in the condition memory, combines
+// one incoming status with one stored pair per cycle and drives the
+// predication (outPE) and branch-selection (outctrl) signals (Fig. 4).
+module cbox #(
+    parameter N_STATUS = 4,
+    parameter SLOT_W   = 5,
+    parameter SLOTS    = 32
+) (
+    input  wire                clk,
+    input  wire                rst,
+    input  wire [N_STATUS-1:0] status,
+    input  wire [$clog2(N_STATUS)-1:0] status_sel,
+    input  wire [2:0]          func,        // store/and/or/... encoding
+    input  wire                combine_en,
+    input  wire [SLOT_W-1:0]   raddr_pos,
+    input  wire [SLOT_W-1:0]   raddr_neg,
+    input  wire [SLOT_W-1:0]   waddr_pos,
+    input  wire [SLOT_W-1:0]   waddr_neg,
+    input  wire [SLOT_W-1:0]   outpe_sel,
+    input  wire                outpe_fresh,
+    input  wire [SLOT_W-1:0]   outctrl_sel,
+    input  wire                outctrl_fresh,
+    input  wire                outctrl_fresh_neg,
+    output wire                out_pe,
+    output wire                out_ctrl
+);
+    reg [SLOTS-1:0] mem;
+    wire s  = status[status_sel];
+    wire rp = mem[raddr_pos];
+    wire rn = mem[raddr_neg];
+    reg pos, neg;
+    always @(*) begin
+        case (func)
+            3'd0: begin pos = s;        neg = ~s;       end // STORE
+            3'd1: begin pos = ~s;       neg = s;        end // STORE_NOT
+            3'd2: begin pos = rp & s;   neg = rn | ~s;  end // AND
+            3'd3: begin pos = rp | s;   neg = rn & ~s;  end // OR
+            3'd4: begin pos = rp & ~s;  neg = rn | s;   end // AND_NOT
+            3'd5: begin pos = rp | ~s;  neg = rn & s;   end // OR_NOT
+            3'd6: begin pos = rp & s;   neg = rp & ~s;  end // FORK_AND
+            default: begin pos = 1'b0;  neg = 1'b0;     end
+        endcase
+    end
+    always @(posedge clk) begin
+        if (rst)
+            mem <= {{SLOTS{{1'b0}}}};
+        else if (combine_en) begin
+            mem[waddr_pos] <= pos;
+            mem[waddr_neg] <= neg;
+        end
+    end
+    assign out_pe   = outpe_fresh   ? pos : mem[outpe_sel];
+    assign out_ctrl = outctrl_fresh ? pos :
+                      outctrl_fresh_neg ? neg : mem[outctrl_sel];
+endmodule
+"""
+
+DMA_EXTRA_PORT_COMMENT = " and a third read port for the\n// access index (DMA PEs, Section IV-A.1)"
+DMA_EXTRA_PORT_DECL = """,
+    input  wire [ADDR_W-1:0] raddr_idx,
+    output wire [31:0]       rdata_idx"""
+DMA_EXTRA_PORT_ASSIGN = "\n    assign rdata_idx = mem[raddr_idx];"

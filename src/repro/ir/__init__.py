@@ -1,0 +1,47 @@
+"""Control and data flow graph (CDFG) intermediate representation.
+
+"A control and data flow graph (CDFG) is used as an intermediate
+representation for scheduling" (Section V-A).  The CDFG is a *region
+tree* (straight-line blocks, if/else regions, loop regions) whose blocks
+contain dataflow nodes; local variables carry values across regions and
+loop iterations (the paper uses predicated writes instead of phi nodes,
+Section V-B).
+
+Construction paths:
+
+* :mod:`repro.ir.builder` — programmatic construction,
+* :mod:`repro.ir.frontend` — compiles restricted Python functions
+  (our stand-in for the paper's Java-bytecode front end).
+"""
+
+from repro.ir.nodes import ArrayRef, Node, Var
+from repro.ir.regions import (
+    BlockRegion,
+    CondExpr,
+    CondBin,
+    CondLeaf,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from repro.ir.cdfg import Kernel
+from repro.ir.builder import KernelBuilder
+from repro.ir.loops import LoopGraph
+
+__all__ = [
+    "ArrayRef",
+    "Node",
+    "Var",
+    "BlockRegion",
+    "CondExpr",
+    "CondBin",
+    "CondLeaf",
+    "IfRegion",
+    "LoopRegion",
+    "Region",
+    "SeqRegion",
+    "Kernel",
+    "KernelBuilder",
+    "LoopGraph",
+]

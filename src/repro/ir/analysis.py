@@ -1,0 +1,76 @@
+"""CDFG analyses: topological order and longest-path priorities.
+
+"The scheduler is based on a list scheduler ... and the longest path
+weight is currently used as the priority criterion" (Section V-F).
+Priorities are computed per block: the weight of a node is the length of
+the longest dependence path from the node to any sink, weighted by
+operation durations (a crude duration estimate uses the default costs —
+inhomogeneous PEs may differ, but the priority is only a heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.arch.operations import default_costs
+from repro.ir.nodes import Node
+
+__all__ = ["topological_order", "longest_path_weights", "estimate_duration"]
+
+
+def estimate_duration(node: Node) -> int:
+    """Duration estimate for priority computation (default costs)."""
+    if node.opcode == "VARREAD":
+        return 0  # fused into consumers (Section V-E)
+    if node.opcode == "VARWRITE":
+        return 1
+    return default_costs(node.opcode).duration
+
+
+def topological_order(nodes: Sequence[Node]) -> List[Node]:
+    """Topological order of a block's nodes (operands + deps).
+
+    Raises ``ValueError`` on cycles (a block must be a DAG).
+    """
+    member = {n.id for n in nodes}
+    indeg: Dict[int, int] = {n.id: 0 for n in nodes}
+    succs: Dict[int, List[Node]] = {n.id: [] for n in nodes}
+    for n in nodes:
+        for p in n.predecessors():
+            if p.id in member:
+                indeg[n.id] += 1
+                succs[p.id].append(n)
+    ready = [n for n in nodes if indeg[n.id] == 0]
+    out: List[Node] = []
+    while ready:
+        n = ready.pop()
+        out.append(n)
+        for s in succs[n.id]:
+            indeg[s.id] -= 1
+            if indeg[s.id] == 0:
+                ready.append(s)
+    if len(out) != len(nodes):
+        raise ValueError("dependence cycle inside a block")
+    return out
+
+
+def longest_path_weights(nodes: Sequence[Node]) -> Dict[int, int]:
+    """Longest path weight from each node to any sink of its block.
+
+    ``weight(n) = duration(n) + max(weight(succ), default 0)``; higher
+    weight = schedule earlier (the paper's priority criterion).
+    """
+    order = topological_order(nodes)
+    member = {n.id for n in nodes}
+    weights: Dict[int, int] = {}
+    succs: Dict[int, List[Node]] = {n.id: [] for n in nodes}
+    for n in nodes:
+        for p in n.predecessors():
+            if p.id in member:
+                succs[p.id].append(n)
+    for n in reversed(order):
+        best = 0
+        for s in succs[n.id]:
+            best = max(best, weights[s.id])
+        weights[n.id] = estimate_duration(n) + best
+    return weights

@@ -1,0 +1,355 @@
+"""Programmatic CDFG construction.
+
+:class:`KernelBuilder` is the canonical way to assemble a kernel; the
+Python frontend (:mod:`repro.ir.frontend`) lowers onto it.  The builder
+maintains the *current block*, tracks variable/array hazards to insert
+ordering edges, and offers callback-style control-flow constructs::
+
+    kb = KernelBuilder("gcd")
+    a, b = kb.param("a"), kb.param("b")
+
+    def cond():
+        return kb.cmp("IFNE", kb.read(a), kb.read(b))
+
+    def body():
+        def agtb():
+            return kb.cmp("IFGT", kb.read(a), kb.read(b))
+        kb.if_(agtb,
+               lambda: kb.write(a, kb.binop("ISUB", kb.read(a), kb.read(b))),
+               lambda: kb.write(b, kb.binop("ISUB", kb.read(b), kb.read(a))))
+
+    kb.while_(cond, body)
+    kernel = kb.finish(results=[a])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.arch.operations import COMPARE_OPS, OPS, wrap32
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import ArrayRef, Node, Var
+from repro.ir.regions import (
+    BlockRegion,
+    CondBin,
+    CondExpr,
+    CondLeaf,
+    IfRegion,
+    LoopRegion,
+    SeqRegion,
+)
+
+__all__ = ["KernelBuilder", "BuildError"]
+
+
+class BuildError(Exception):
+    """Invalid kernel construction."""
+
+
+@dataclass
+class _BlockState:
+    """Hazard bookkeeping for one open block."""
+
+    last_write: Dict[Var, Node] = field(default_factory=dict)
+    reads_since_write: Dict[Var, List[Node]] = field(default_factory=dict)
+    last_store: Dict[ArrayRef, Node] = field(default_factory=dict)
+    loads_since_store: Dict[ArrayRef, List[Node]] = field(default_factory=dict)
+
+
+class KernelBuilder:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._params: List[Var] = []
+        self._arrays: List[ArrayRef] = []
+        self._variables: Dict[str, Var] = {}
+        self._array_names: Dict[str, ArrayRef] = {}
+        self._root = SeqRegion()
+        self._seq_stack: List[SeqRegion] = [self._root]
+        self._block: Optional[BlockRegion] = None
+        self._block_state = _BlockState()
+        self._next_handle = 0
+        self._finished = False
+
+    # -- declarations -----------------------------------------------------
+
+    def param(self, name: str) -> Var:
+        """Declare a live-in integer local variable."""
+        var = self._declare(name)
+        var.is_param = True
+        self._params.append(var)
+        return var
+
+    def local(self, name: str) -> Var:
+        """Declare a (non-param) local variable."""
+        return self._declare(name)
+
+    def _declare(self, name: str) -> Var:
+        if name in self._variables or name in self._array_names:
+            raise BuildError(f"name {name!r} already declared")
+        var = Var(name)
+        self._variables[name] = var
+        return var
+
+    def array(self, name: str, handle: Optional[int] = None) -> ArrayRef:
+        """Declare a heap array accessed via DMA."""
+        if name in self._variables or name in self._array_names:
+            raise BuildError(f"name {name!r} already declared")
+        if handle is None:
+            handle = self._next_handle
+        self._next_handle = max(self._next_handle, handle) + 1
+        ref = ArrayRef(name, handle)
+        self._arrays.append(ref)
+        self._array_names[name] = ref
+        return ref
+
+    def var(self, name: str) -> Var:
+        """Look up a declared variable by name."""
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise BuildError(f"unknown variable {name!r}") from None
+
+    # -- block management ---------------------------------------------------
+
+    def _current_block(self) -> BlockRegion:
+        if self._finished:
+            raise BuildError("kernel already finished")
+        if self._block is None:
+            self._block = BlockRegion()
+            self._seq_stack[-1].append(self._block)
+            self._block_state = _BlockState()
+        return self._block
+
+    def _seal_block(self) -> None:
+        self._block = None
+        self._block_state = _BlockState()
+
+    def _emit(self, node: Node) -> Node:
+        return self._current_block().append(node)
+
+    # -- dataflow ------------------------------------------------------------
+
+    def const(self, value: int) -> Node:
+        return self._emit(Node("CONST", value=wrap32(int(value))))
+
+    def read(self, var: Union[Var, str]) -> Node:
+        var = self.var(var) if isinstance(var, str) else var
+        self._current_block()
+        st = self._block_state
+        deps = []
+        if var in st.last_write:
+            deps.append(st.last_write[var])
+        node = self._emit(Node("VARREAD", var=var, deps=deps))
+        st.reads_since_write.setdefault(var, []).append(node)
+        return node
+
+    def write(self, var: Union[Var, str], src: Node) -> Node:
+        var = self.var(var) if isinstance(var, str) else var
+        if not src.produces_value:
+            raise BuildError(f"cannot write the result of {src.opcode}")
+        self._current_block()
+        st = self._block_state
+        deps = []
+        if var in st.last_write:
+            deps.append(st.last_write[var])
+        deps.extend(st.reads_since_write.get(var, ()))
+        deps = [d for d in deps if d is not src]
+        node = self._emit(Node("VARWRITE", operands=[src], var=var, deps=deps))
+        st.last_write[var] = node
+        st.reads_since_write[var] = []
+        return node
+
+    def binop(self, opcode: str, a: Node, b: Node) -> Node:
+        self._check_alu(opcode, arity=2, compare=False)
+        return self._emit(Node(opcode, operands=[a, b]))
+
+    def unop(self, opcode: str, a: Node) -> Node:
+        self._check_alu(opcode, arity=1, compare=False)
+        return self._emit(Node(opcode, operands=[a]))
+
+    def cmp(self, opcode: str, a: Node, b: Node) -> CondLeaf:
+        self._check_alu(opcode, arity=2, compare=True)
+        node = self._emit(Node(opcode, operands=[a, b]))
+        return CondLeaf(node)
+
+    def _check_alu(self, opcode: str, arity: int, compare: bool) -> None:
+        if opcode not in OPS:
+            raise BuildError(f"unknown opcode {opcode!r}")
+        spec = OPS[opcode]
+        if spec.arity != arity:
+            raise BuildError(f"{opcode} has arity {spec.arity}, not {arity}")
+        if spec.produces_status != compare:
+            kind = "a compare" if compare else "a value-producing op"
+            raise BuildError(f"{opcode} is not {kind}")
+
+    def load(self, array: Union[ArrayRef, str], index: Node) -> Node:
+        array = self._array(array)
+        self._current_block()
+        st = self._block_state
+        deps = [st.last_store[array]] if array in st.last_store else []
+        node = self._emit(Node("DMA_LOAD", operands=[index], array=array, deps=deps))
+        st.loads_since_store.setdefault(array, []).append(node)
+        return node
+
+    def store(self, array: Union[ArrayRef, str], index: Node, value: Node) -> Node:
+        array = self._array(array)
+        self._current_block()
+        st = self._block_state
+        deps = []
+        if array in st.last_store:
+            deps.append(st.last_store[array])
+        deps.extend(st.loads_since_store.get(array, ()))
+        deps = [d for d in deps if d is not value and d is not index]
+        node = self._emit(
+            Node("DMA_STORE", operands=[index, value], array=array, deps=deps)
+        )
+        st.last_store[array] = node
+        st.loads_since_store[array] = []
+        return node
+
+    def _array(self, array: Union[ArrayRef, str]) -> ArrayRef:
+        if isinstance(array, str):
+            try:
+                return self._array_names[array]
+            except KeyError:
+                raise BuildError(f"unknown array {array!r}") from None
+        return array
+
+    # -- condition combinators ----------------------------------------------
+
+    @staticmethod
+    def c_and(left: CondExpr, right: CondExpr) -> CondExpr:
+        return CondBin("and", left, right)
+
+    @staticmethod
+    def c_or(left: CondExpr, right: CondExpr) -> CondExpr:
+        return CondBin("or", left, right)
+
+    @staticmethod
+    def c_not(expr: CondExpr) -> CondExpr:
+        return expr.negated()
+
+    # -- control flow ---------------------------------------------------------
+
+    def while_(
+        self,
+        cond_fn: Callable[[], CondExpr],
+        body_fn: Callable[[], None],
+    ) -> LoopRegion:
+        """``while cond: body``.
+
+        ``cond_fn`` emits the condition's compares into the loop header
+        (re-executed each iteration) and returns the
+        :class:`CondExpr`; ``body_fn`` emits the body.
+        """
+        self._seal_block()
+        parent_seq = self._seq_stack[-1]
+
+        header = BlockRegion()
+        self._block = header
+        self._block_state = _BlockState()
+        # temporarily route emissions into the header
+        hdr_seq = SeqRegion()
+        hdr_seq.items.append(header)
+        self._seq_stack.append(hdr_seq)
+        cond = cond_fn()
+        if self._block is not header:
+            raise BuildError(
+                "loop conditions must be a single block (no control flow "
+                "inside a while condition)"
+            )
+        self._seq_stack.pop()
+        self._seal_block()
+
+        body = SeqRegion()
+        self._seq_stack.append(body)
+        body_fn()
+        self._seal_block()
+        self._seq_stack.pop()
+
+        loop = LoopRegion(header=header, cond=cond, body=body)
+        parent_seq.append(loop)
+        self._cond_in_region(cond, header, "while")
+        return loop
+
+    def if_(
+        self,
+        cond_fn: Callable[[], CondExpr],
+        then_fn: Callable[[], None],
+        else_fn: Optional[Callable[[], None]] = None,
+    ) -> IfRegion:
+        """``if cond: then else: else`` (else optional)."""
+        self._seal_block()
+        parent_seq = self._seq_stack[-1]
+
+        cond_block = BlockRegion()
+        self._block = cond_block
+        self._block_state = _BlockState()
+        cb_seq = SeqRegion()
+        cb_seq.items.append(cond_block)
+        self._seq_stack.append(cb_seq)
+        cond = cond_fn()
+        if self._block is not cond_block:
+            raise BuildError("if conditions must not contain control flow")
+        self._seq_stack.pop()
+        self._seal_block()
+
+        then_body = SeqRegion()
+        self._seq_stack.append(then_body)
+        then_fn()
+        self._seal_block()
+        self._seq_stack.pop()
+
+        else_body = SeqRegion()
+        if else_fn is not None:
+            self._seq_stack.append(else_body)
+            else_fn()
+            self._seal_block()
+            self._seq_stack.pop()
+
+        region = IfRegion(
+            cond_block=cond_block,
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+        )
+        parent_seq.append(region)
+        self._cond_in_region(cond, cond_block, "if")
+        return region
+
+    @staticmethod
+    def _cond_in_region(cond: CondExpr, block: BlockRegion, what: str) -> None:
+        members = set(id(n) for n in block.node_list)
+        for leaf in cond.leaves():
+            if id(leaf.node) not in members:
+                raise BuildError(
+                    f"{what} condition references a compare outside its "
+                    "condition block; emit all compares inside cond_fn"
+                )
+
+    # -- finish -----------------------------------------------------------------
+
+    def finish(self, results: Sequence[Union[Var, str]] = ()) -> Kernel:
+        """Seal the kernel; ``results`` are the live-out variables."""
+        if self._finished:
+            raise BuildError("kernel already finished")
+        self._finished = True
+        self._block = None
+        if len(self._seq_stack) != 1:
+            raise BuildError("unbalanced control-flow construction")
+        result_vars = [
+            self.var(r) if isinstance(r, str) else r for r in results
+        ]
+        for var in result_vars:
+            var.is_result = True
+        kernel = Kernel(
+            name=self.name,
+            params=list(self._params),
+            results=result_vars,
+            arrays=list(self._arrays),
+            body=self._root,
+            variables=dict(self._variables),
+        )
+        kernel.validate()
+        return kernel

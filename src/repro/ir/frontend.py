@@ -1,0 +1,538 @@
+"""Restricted-Python kernel frontend.
+
+The paper builds its CDFG from profiled Java-bytecode sequences
+(Section III).  We substitute a frontend that compiles a *restricted
+Python* function into the same CDFG, which keeps the scheduler's input
+identical in structure (nested loops, data-dependent bounds, conditional
+bodies) while staying self-contained.
+
+Supported subset
+----------------
+* parameters annotated ``int`` (live-in locals) or ``IntArray`` (heap
+  arrays accessed via DMA),
+* integer locals, assignments, augmented assignments, tuple swaps,
+* ``while`` loops with arbitrary (data-dependent) conditions,
+* ``for i in range(...)`` with constant step,
+* ``if``/``elif``/``else`` — arbitrarily nested, also inside loop bodies,
+* expressions over ``+ - * & | ^ << >>``, unary ``- ~``, comparisons,
+  ``and`` / ``or`` / ``not`` in conditions, array subscripts,
+* the intrinsics :func:`ushr` (logical shift right, Java ``>>>``) and
+  ``min`` / ``max`` / ``abs`` (single-PE-op selections, Section VII's
+  extended operator library),
+* calls to other plain-Python functions — *method-inlined* into the
+  caller (the paper's optional "method inlining" synthesis step),
+* a final ``return`` of a variable or tuple of variables (live-outs).
+
+Unsupported (as in the paper): division/modulo, floating point,
+``break``/``continue``, recursion.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.operations import wrap32
+from repro.ir.builder import BuildError, KernelBuilder
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import ArrayRef, Node, Var
+from repro.ir.regions import CondExpr
+
+__all__ = ["IntArray", "ushr", "compile_kernel", "FrontendError"]
+
+
+class IntArray:
+    """Annotation marker: parameter is a heap array of 32-bit ints."""
+
+
+def ushr(a: int, b: int) -> int:
+    """Logical (unsigned) shift right — Java's ``>>>`` (host reference)."""
+    return wrap32((a & 0xFFFFFFFF) >> (b & 0x1F))
+
+
+class FrontendError(Exception):
+    """The function uses a construct outside the supported subset."""
+
+
+_BINOPS = {
+    ast.Add: "IADD",
+    ast.Sub: "ISUB",
+    ast.Mult: "IMUL",
+    ast.BitAnd: "IAND",
+    ast.BitOr: "IOR",
+    ast.BitXor: "IXOR",
+    ast.LShift: "ISHL",
+    ast.RShift: "ISHR",
+}
+
+_COMPARES = {
+    ast.Eq: "IFEQ",
+    ast.NotEq: "IFNE",
+    ast.Lt: "IFLT",
+    ast.LtE: "IFLE",
+    ast.Gt: "IFGT",
+    ast.GtE: "IFGE",
+}
+
+_MAX_INLINE_DEPTH = 8
+
+
+def _parse_function(fn: Callable) -> ast.FunctionDef:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise FrontendError(f"cannot read source of {fn!r}: {exc}") from exc
+    tree = ast.parse(source)
+    for item in tree.body:
+        if isinstance(item, ast.FunctionDef):
+            return item
+    raise FrontendError(f"no function definition found for {fn!r}")
+
+
+def compile_kernel(fn: Callable, *, name: Optional[str] = None) -> Kernel:
+    """Compile a restricted-Python function into a :class:`Kernel`."""
+    fdef = _parse_function(fn)
+    kb = KernelBuilder(name or fn.__name__)
+    compiler = _FunctionCompiler(kb, fn.__globals__)
+
+    if fdef.args.posonlyargs or fdef.args.kwonlyargs or fdef.args.vararg or fdef.args.kwarg:
+        raise FrontendError("only plain positional parameters are supported")
+
+    for arg in fdef.args.args:
+        annotation = arg.annotation
+        is_array = False
+        if annotation is not None:
+            ann = ast.unparse(annotation)
+            is_array = "IntArray" in ann
+        if is_array:
+            ref = kb.array(arg.arg)
+            compiler.names[arg.arg] = ref
+        else:
+            var = kb.param(arg.arg)
+            compiler.names[arg.arg] = var
+
+    results = compiler.compile_function_body(fdef.body)
+    return kb.finish(results=results)
+
+
+class _FunctionCompiler:
+    """Lowers statements/expressions onto a :class:`KernelBuilder`."""
+
+    def __init__(
+        self,
+        kb: KernelBuilder,
+        globals_: Dict[str, Any],
+        *,
+        prefix: str = "",
+        depth: int = 0,
+    ) -> None:
+        self.kb = kb
+        self.globals = globals_
+        self.prefix = prefix
+        self.depth = depth
+        #: name -> Var | ArrayRef in the *current* lexical frame
+        self.names: Dict[str, Union[Var, ArrayRef]] = {}
+        self._temp_counter = 0
+        self._inline_counter = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _fail(self, node: ast.AST, message: str) -> FrontendError:
+        line = getattr(node, "lineno", "?")
+        return FrontendError(f"line {line}: {message}")
+
+    def _fresh_temp(self) -> Var:
+        self._temp_counter += 1
+        return self.kb.local(f"{self.prefix}__t{self._temp_counter}_{id(self) & 0xFFFF}")
+
+    def _lookup_var(self, node: ast.Name) -> Var:
+        entry = self.names.get(node.id)
+        if isinstance(entry, Var):
+            return entry
+        if isinstance(entry, ArrayRef):
+            raise self._fail(node, f"{node.id} is an array, not an int")
+        raise self._fail(node, f"unbound variable {node.id!r}")
+
+    def _lookup_array(self, node: ast.expr) -> ArrayRef:
+        if not isinstance(node, ast.Name):
+            raise self._fail(node, "array expressions must be plain names")
+        entry = self.names.get(node.id)
+        if isinstance(entry, ArrayRef):
+            return entry
+        raise self._fail(node, f"{node.id} is not an array parameter")
+
+    def _define(self, name: str) -> Var:
+        entry = self.names.get(name)
+        if isinstance(entry, ArrayRef):
+            raise self._fail(ast.Name(id=name), f"cannot assign to array {name}")
+        if entry is None:
+            entry = self.kb.local(self.prefix + name)
+            self.names[name] = entry
+        return entry
+
+    # -- function body ---------------------------------------------------------
+
+    def compile_function_body(self, body: Sequence[ast.stmt]) -> List[Var]:
+        """Compile top-level statements; the trailing return gives live-outs."""
+        results: List[Var] = []
+        statements = list(body)
+        if statements and isinstance(statements[0], ast.Expr) and isinstance(
+            statements[0].value, ast.Constant
+        ) and isinstance(statements[0].value.value, str):
+            statements.pop(0)  # docstring
+        ret: Optional[ast.Return] = None
+        if statements and isinstance(statements[-1], ast.Return):
+            ret = statements.pop()  # type: ignore[assignment]
+        for stmt in statements:
+            self.compile_stmt(stmt)
+        if ret is not None and ret.value is not None:
+            results = self._return_vars(ret.value)
+        return results
+
+    def _return_vars(self, value: ast.expr) -> List[Var]:
+        elements = value.elts if isinstance(value, ast.Tuple) else [value]
+        out: List[Var] = []
+        for el in elements:
+            if isinstance(el, ast.Name):
+                out.append(self._lookup_var(el))
+            else:
+                # return of an expression: materialise into a temp local
+                node = self.eval_expr(el)
+                tmp = self._fresh_temp()
+                self.kb.write(tmp, node)
+                out.append(tmp)
+        return out
+
+    # -- statements ---------------------------------------------------------------
+
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._compile_augassign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                raise self._fail(stmt, "annotated declarations need a value")
+            target = stmt.target
+            if not isinstance(target, ast.Name):
+                raise self._fail(stmt, "annotated targets must be names")
+            node = self.eval_expr(stmt.value)
+            self.kb.write(self._define(target.id), node)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant):
+                return  # stray docstring / constant
+            if isinstance(stmt.value, ast.Call):
+                # call for side effects (e.g. an inlined helper writing arrays)
+                self._compile_call(stmt.value)
+                return
+            raise self._fail(stmt, "expression statements have no effect")
+        elif isinstance(stmt, ast.Return):
+            raise self._fail(
+                stmt, "return is only allowed as the final statement"
+            )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            raise self._fail(
+                stmt,
+                "break/continue are not supported; fold the exit condition "
+                "into the loop condition (as the paper's CDFG does)",
+            )
+        else:
+            raise self._fail(stmt, f"unsupported statement {type(stmt).__name__}")
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._fail(stmt, "chained assignment is not supported")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            node = self.eval_expr(stmt.value)
+            self.kb.write(self._define(target.id), node)
+        elif isinstance(target, ast.Subscript):
+            array = self._lookup_array(target.value)
+            index = self.eval_expr(target.slice)
+            value = self.eval_expr(stmt.value)
+            self.kb.store(array, index, value)
+        elif isinstance(target, ast.Tuple):
+            if not isinstance(stmt.value, ast.Tuple) or len(stmt.value.elts) != len(
+                target.elts
+            ):
+                raise self._fail(stmt, "tuple assignment arity mismatch")
+            temps: List[Var] = []
+            for value_el in stmt.value.elts:
+                tmp = self._fresh_temp()
+                self.kb.write(tmp, self.eval_expr(value_el))
+                temps.append(tmp)
+            for target_el, tmp in zip(target.elts, temps):
+                if isinstance(target_el, ast.Name):
+                    self.kb.write(self._define(target_el.id), self.kb.read(tmp))
+                elif isinstance(target_el, ast.Subscript):
+                    array = self._lookup_array(target_el.value)
+                    index = self.eval_expr(target_el.slice)
+                    self.kb.store(array, index, self.kb.read(tmp))
+                else:
+                    raise self._fail(stmt, "unsupported tuple-assignment target")
+        else:
+            raise self._fail(stmt, "unsupported assignment target")
+
+    def _compile_augassign(self, stmt: ast.AugAssign) -> None:
+        op = _BINOPS.get(type(stmt.op))
+        if op is None:
+            raise self._fail(stmt, f"unsupported operator {type(stmt.op).__name__}")
+        if isinstance(stmt.target, ast.Name):
+            var = self._lookup_var(stmt.target)
+            node = self.kb.binop(op, self.kb.read(var), self.eval_expr(stmt.value))
+            self.kb.write(var, node)
+        elif isinstance(stmt.target, ast.Subscript):
+            array = self._lookup_array(stmt.target.value)
+            # evaluate the index once into a temp (read-modify-write)
+            idx_tmp = self._fresh_temp()
+            self.kb.write(idx_tmp, self.eval_expr(stmt.target.slice))
+            old = self.kb.load(array, self.kb.read(idx_tmp))
+            new = self.kb.binop(op, old, self.eval_expr(stmt.value))
+            self.kb.store(array, self.kb.read(idx_tmp), new)
+        else:
+            raise self._fail(stmt, "unsupported augmented-assignment target")
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self._fail(stmt, "while/else is not supported")
+        self.kb.while_(
+            lambda: self.eval_cond(stmt.test),
+            lambda: self._compile_block(stmt.body),
+        )
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self._fail(stmt, "for/else is not supported")
+        if not isinstance(stmt.target, ast.Name):
+            raise self._fail(stmt, "for target must be a simple name")
+        call = stmt.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+        ):
+            raise self._fail(stmt, "for loops must iterate over range(...)")
+        args = call.args
+        if len(args) == 1:
+            start_expr: Optional[ast.expr] = None
+            stop_expr, step = args[0], 1
+        elif len(args) == 2:
+            start_expr, stop_expr, step = args[0], args[1], 1
+        elif len(args) == 3:
+            start_expr, stop_expr = args[0], args[1]
+            step_node = args[2]
+            const_step = self._constant_int(step_node)
+            if const_step is None or const_step == 0:
+                raise self._fail(stmt, "range step must be a non-zero constant")
+            step = const_step
+        else:
+            raise self._fail(stmt, "range takes 1-3 arguments")
+
+        ivar = self._define(stmt.target.id)
+        if start_expr is None:
+            self.kb.write(ivar, self.kb.const(0))
+        else:
+            self.kb.write(ivar, self.eval_expr(start_expr))
+        # evaluate the bound once, before the loop (range semantics)
+        bound = self._fresh_temp()
+        self.kb.write(bound, self.eval_expr(stop_expr))
+
+        cmp_op = "IFLT" if step > 0 else "IFGT"
+
+        def cond() -> CondExpr:
+            return self.kb.cmp(cmp_op, self.kb.read(ivar), self.kb.read(bound))
+
+        def body() -> None:
+            self._compile_block(stmt.body)
+            inc = self.kb.binop(
+                "IADD", self.kb.read(ivar), self.kb.const(step)
+            )
+            self.kb.write(ivar, inc)
+
+        self.kb.while_(cond, body)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        else_fn = None
+        if stmt.orelse:
+            else_fn = lambda: self._compile_block(stmt.orelse)  # noqa: E731
+        self.kb.if_(
+            lambda: self.eval_cond(stmt.test),
+            lambda: self._compile_block(stmt.body),
+            else_fn,
+        )
+
+    def _compile_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.compile_stmt(stmt)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _constant_int(self, node: ast.expr) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return int(node.value)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self._constant_int(node.operand)
+            if inner is not None:
+                return -inner
+        return None
+
+    def eval_expr(self, node: ast.expr) -> Node:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return self.kb.const(int(node.value))
+            if isinstance(node.value, int):
+                return self.kb.const(node.value)
+            raise self._fail(node, f"unsupported constant {node.value!r}")
+        if isinstance(node, ast.Name):
+            entry = self.names.get(node.id)
+            if isinstance(entry, Var):
+                return self.kb.read(entry)
+            if isinstance(entry, ArrayRef):
+                raise self._fail(node, f"{node.id} is an array, not a value")
+            # fall back to module-level integer constants
+            if node.id in self.globals and isinstance(self.globals[node.id], int):
+                return self.kb.const(self.globals[node.id])
+            raise self._fail(node, f"unbound variable {node.id!r}")
+        if isinstance(node, ast.BinOp):
+            opcode = _BINOPS.get(type(node.op))
+            if opcode is None:
+                detail = type(node.op).__name__
+                hint = ""
+                if isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+                    hint = " (the CGRA has no divider, as in the paper)"
+                raise self._fail(node, f"unsupported operator {detail}{hint}")
+            return self.kb.binop(
+                opcode, self.eval_expr(node.left), self.eval_expr(node.right)
+            )
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return self.kb.unop("INEG", self.eval_expr(node.operand))
+            if isinstance(node.op, ast.Invert):
+                return self.kb.unop("INOT", self.eval_expr(node.operand))
+            raise self._fail(node, "unsupported unary operator")
+        if isinstance(node, ast.Subscript):
+            array = self._lookup_array(node.value)
+            return self.kb.load(array, self.eval_expr(node.slice))
+        if isinstance(node, ast.Call):
+            result = self._compile_call(node)
+            if result is None:
+                raise self._fail(node, "called function returns no value")
+            return result
+        if isinstance(node, ast.Compare):
+            raise self._fail(
+                node,
+                "comparisons are conditions, not values; use if/else "
+                "(statuses route to the C-Box, Section IV-A.1)",
+            )
+        raise self._fail(node, f"unsupported expression {type(node).__name__}")
+
+    # -- calls / method inlining ----------------------------------------------
+
+    def _compile_call(self, node: ast.Call) -> Optional[Node]:
+        if not isinstance(node.func, ast.Name):
+            raise self._fail(node, "only direct function calls are supported")
+        fname = node.func.id
+        if node.keywords:
+            raise self._fail(node, "keyword arguments are not supported")
+        if fname == "ushr":
+            if len(node.args) != 2:
+                raise self._fail(node, "ushr(a, b) takes two arguments")
+            return self.kb.binop(
+                "IUSHR", self.eval_expr(node.args[0]), self.eval_expr(node.args[1])
+            )
+        if fname in ("min", "max"):
+            if len(node.args) != 2:
+                raise self._fail(node, f"{fname}(a, b) takes two arguments")
+            opcode = "IMIN" if fname == "min" else "IMAX"
+            return self.kb.binop(
+                opcode, self.eval_expr(node.args[0]), self.eval_expr(node.args[1])
+            )
+        if fname == "abs":
+            if len(node.args) != 1:
+                raise self._fail(node, "abs(a) takes one argument")
+            return self.kb.unop("IABS", self.eval_expr(node.args[0]))
+        if fname == "range":
+            raise self._fail(node, "range(...) only in for headers")
+        target = self.globals.get(fname)
+        if not callable(target):
+            raise self._fail(node, f"cannot resolve function {fname!r}")
+        return self._inline(node, target)
+
+    def _inline(self, node: ast.Call, target: Callable) -> Optional[Node]:
+        """Method inlining (Fig. 1's optional first synthesis step)."""
+        if self.depth >= _MAX_INLINE_DEPTH:
+            raise self._fail(
+                node, "inlining depth exceeded (recursion is not supported)"
+            )
+        fdef = _parse_function(target)
+        params = [a.arg for a in fdef.args.args]
+        if len(params) != len(node.args):
+            raise self._fail(
+                node, f"{fdef.name} expects {len(params)} args, got {len(node.args)}"
+            )
+        self._inline_counter += 1
+        inner = _FunctionCompiler(
+            self.kb,
+            getattr(target, "__globals__", self.globals),
+            prefix=f"{self.prefix}{fdef.name}{self._inline_counter}__",
+            depth=self.depth + 1,
+        )
+        # bind arguments: arrays pass by reference, ints by value
+        for pname, arg in zip(params, node.args):
+            if isinstance(arg, ast.Name) and isinstance(
+                self.names.get(arg.id), ArrayRef
+            ):
+                inner.names[pname] = self.names[arg.id]
+            else:
+                value = self.eval_expr(arg)
+                pvar = self.kb.local(inner.prefix + pname)
+                self.kb.write(pvar, value)
+                inner.names[pname] = pvar
+
+        result_vars = inner.compile_function_body(fdef.body)
+        if not result_vars:
+            return None
+        if len(result_vars) > 1:
+            raise self._fail(
+                node, "inlined functions may return at most one value"
+            )
+        return self.kb.read(result_vars[0])
+
+    # -- conditions --------------------------------------------------------------
+
+    def eval_cond(self, node: ast.expr) -> CondExpr:
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1 or len(node.comparators) != 1:
+                raise self._fail(node, "chained comparisons are not supported")
+            opcode = _COMPARES.get(type(node.ops[0]))
+            if opcode is None:
+                raise self._fail(node, "unsupported comparison operator")
+            return self.kb.cmp(
+                opcode,
+                self.eval_expr(node.left),
+                self.eval_expr(node.comparators[0]),
+            )
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            expr = self.eval_cond(node.values[0])
+            for value in node.values[1:]:
+                rhs = self.eval_cond(value)
+                expr = (
+                    self.kb.c_and(expr, rhs) if op == "and" else self.kb.c_or(expr, rhs)
+                )
+            return expr
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return self.eval_cond(node.operand).negated()
+        # truthiness of an integer expression: expr != 0
+        value = self.eval_expr(node)
+        return self.kb.cmp("IFNE", value, self.kb.const(0))

@@ -1,0 +1,110 @@
+"""Loop graph: which loop does each node belong to (Section V-C).
+
+"A loop graph is used to determine if a node belongs to a loop.
+Additionally, a set of controlling nodes (nodes producing the loop
+condition) tells in which cases the loop execution is terminated."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import Node
+from repro.ir.regions import LoopRegion, Region
+
+__all__ = ["LoopGraph"]
+
+
+class LoopGraph:
+    """Loop-nesting structure of a kernel.
+
+    * ``loop_of(node)`` — the innermost loop containing the node
+      (``None`` for top-level nodes),
+    * ``depth(node)``   — nesting depth (0 = outside all loops),
+    * ``parent(loop)``  — enclosing loop,
+    * ``children(loop)``— directly nested loops,
+    * ``controlling_nodes(loop)`` — condition-producing nodes.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._loop_of: Dict[int, Optional[LoopRegion]] = {}
+        self._parent: Dict[int, Optional[LoopRegion]] = {}
+        self._children: Dict[Optional[int], List[LoopRegion]] = {None: []}
+        self._depth: Dict[int, int] = {}
+        self._loops: List[LoopRegion] = []
+        self._walk(kernel.body, None, 0)
+
+    def _walk(
+        self, region: Region, current: Optional[LoopRegion], depth: int
+    ) -> None:
+        if isinstance(region, LoopRegion):
+            self._loops.append(region)
+            self._parent[id(region)] = current
+            key = id(current) if current is not None else None
+            self._children.setdefault(key, []).append(region)
+            self._children.setdefault(id(region), [])
+            self._depth[id(region)] = depth + 1
+            for node in region.header.node_list:
+                self._register(node, region)
+            self._walk(region.body, region, depth + 1)
+            return
+        # blocks register their nodes with the current loop
+        from repro.ir.regions import BlockRegion, IfRegion, SeqRegion
+
+        if isinstance(region, BlockRegion):
+            for node in region.node_list:
+                self._register(node, current)
+        elif isinstance(region, SeqRegion):
+            for child in region.items:
+                self._walk(child, current, depth)
+        elif isinstance(region, IfRegion):
+            for node in region.cond_block.node_list:
+                self._register(node, current)
+            self._walk(region.then_body, current, depth)
+            self._walk(region.else_body, current, depth)
+        else:  # pragma: no cover - future region kinds
+            raise TypeError(f"unknown region {type(region).__name__}")
+
+    def _register(self, node: Node, loop: Optional[LoopRegion]) -> None:
+        self._loop_of[node.id] = loop
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def loops(self) -> Tuple[LoopRegion, ...]:
+        return tuple(self._loops)
+
+    def loop_of(self, node: Node) -> Optional[LoopRegion]:
+        return self._loop_of[node.id]
+
+    def depth_of_loop(self, loop: LoopRegion) -> int:
+        return self._depth[id(loop)]
+
+    def depth(self, node: Node) -> int:
+        loop = self.loop_of(node)
+        return 0 if loop is None else self._depth[id(loop)]
+
+    def parent(self, loop: LoopRegion) -> Optional[LoopRegion]:
+        return self._parent[id(loop)]
+
+    def children(self, loop: Optional[LoopRegion]) -> Tuple[LoopRegion, ...]:
+        key = id(loop) if loop is not None else None
+        return tuple(self._children.get(key, ()))
+
+    def controlling_nodes(self, loop: LoopRegion) -> Tuple[Node, ...]:
+        return loop.controlling_nodes()
+
+    def same_loop(self, a: Node, b: Node) -> bool:
+        return self.loop_of(a) is self.loop_of(b)
+
+    def enclosing_chain(self, node: Node) -> Tuple[LoopRegion, ...]:
+        """Innermost-to-outermost loops containing ``node``."""
+        chain: List[LoopRegion] = []
+        loop = self.loop_of(node)
+        while loop is not None:
+            chain.append(loop)
+            loop = self.parent(loop)
+        return tuple(chain)

@@ -1,0 +1,159 @@
+"""CDFG nodes, local variables and array references.
+
+Nodes are operations; data edges are the ``operands`` lists (value flow
+from producer to consumer) plus explicit ``deps`` ordering edges for
+memory/variable hazards.  Terminology follows Section V-A: a node whose
+predecessors have all finished is a *candidate*, one being executed is
+*pending*, a finished one is *handled* — those states live in the
+scheduler, the IR is immutable once built.
+
+Cross-region dataflow goes exclusively through :class:`Var` locals
+(predicated writes, Section V-B); node *values* never leave their block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.operations import OPS
+
+__all__ = ["Var", "ArrayRef", "Node"]
+
+
+@dataclass(eq=False)
+class Var:
+    """A local variable of the kernel (Section V-D).
+
+    Live-in locals (``is_param``) are transferred from the host at
+    invocation start; locals whose value may change (``is_result``) are
+    written back afterwards.  The scheduler assigns each variable a
+    *home* PE and RF slot.
+    """
+
+    name: str
+    is_param: bool = False
+    is_result: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tags = "".join(
+            t for t, on in (("p", self.is_param), ("r", self.is_result)) if on
+        )
+        return f"Var({self.name}{':' + tags if tags else ''})"
+
+
+@dataclass(eq=False)
+class ArrayRef:
+    """A heap array accessed via DMA (Section V-D).
+
+    ``handle`` identifies the array in the host heap; the CGRA loads and
+    stores elements autonomously through its DMA PEs.
+    """
+
+    name: str
+    handle: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArrayRef({self.name}@{self.handle})"
+
+
+_node_ids = itertools.count()
+
+#: Opcodes that are not PE ALU operations but IR-level pseudo-ops.
+PSEUDO_OPS = frozenset({"VARREAD", "VARWRITE"})
+
+
+@dataclass(eq=False)
+class Node:
+    """One CDFG node.
+
+    ``opcode`` is either a PE operation mnemonic (``IADD``, ``IFGE``,
+    ``DMA_LOAD``, ``CONST``, ...) or one of the IR pseudo-ops:
+
+    * ``VARREAD var``         — read a local variable (fused into its
+      consumers by the scheduler, Section V-E),
+    * ``VARWRITE var <- src`` — predicated write of a local variable
+      (pWRITE, Section V-B).
+
+    ``operands`` are value-producing predecessor nodes; ``deps`` are
+    pure ordering edges (variable/memory hazards).
+    """
+
+    opcode: str
+    operands: List["Node"] = field(default_factory=list)
+    deps: List["Node"] = field(default_factory=list)
+    var: Optional[Var] = None
+    array: Optional[ArrayRef] = None
+    value: Optional[int] = None
+    id: int = field(default_factory=lambda: next(_node_ids))
+
+    def __post_init__(self) -> None:
+        if self.opcode in PSEUDO_OPS:
+            if self.var is None:
+                raise ValueError(f"{self.opcode} requires a variable")
+            arity = {"VARREAD": 0, "VARWRITE": 1}[self.opcode]
+            if len(self.operands) != arity:
+                raise ValueError(
+                    f"{self.opcode} takes {arity} operand(s), "
+                    f"got {len(self.operands)}"
+                )
+        elif self.opcode == "CONST":
+            if self.value is None:
+                raise ValueError("CONST requires a value")
+        elif self.opcode in ("DMA_LOAD", "DMA_STORE"):
+            if self.array is None:
+                raise ValueError(f"{self.opcode} requires an array reference")
+            arity = OPS[self.opcode].arity
+            if len(self.operands) != arity:
+                raise ValueError(
+                    f"{self.opcode} takes {arity} operand(s), "
+                    f"got {len(self.operands)}"
+                )
+        elif self.opcode in OPS:
+            spec = OPS[self.opcode]
+            if len(self.operands) != spec.arity:
+                raise ValueError(
+                    f"{self.opcode} takes {spec.arity} operand(s), "
+                    f"got {len(self.operands)}"
+                )
+        else:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_pseudo(self) -> bool:
+        return self.opcode in PSEUDO_OPS
+
+    @property
+    def is_compare(self) -> bool:
+        return self.opcode in OPS and OPS[self.opcode].produces_status
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in ("DMA_LOAD", "DMA_STORE")
+
+    @property
+    def produces_value(self) -> bool:
+        if self.opcode == "VARREAD":
+            return True
+        if self.opcode == "VARWRITE":
+            return False
+        return OPS[self.opcode].produces_value
+
+    def predecessors(self) -> Tuple["Node", ...]:
+        """All predecessors: data operands plus ordering deps."""
+        return tuple(self.operands) + tuple(self.deps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.opcode]
+        if self.var is not None:
+            parts.append(self.var.name)
+        if self.array is not None:
+            parts.append(self.array.name)
+        if self.value is not None:
+            parts.append(str(self.value))
+        if self.operands:
+            parts.append("(" + ",".join(f"n{o.id}" for o in self.operands) + ")")
+        return f"n{self.id}:" + " ".join(parts)

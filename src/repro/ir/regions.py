@@ -1,0 +1,285 @@
+"""Region tree of a kernel: blocks, if/else regions and loop regions.
+
+The paper's scheduler keeps a *loop graph* telling which loop each node
+belongs to and enforces loop-compatibility rules during scheduling
+(Section V-C).  We represent the control structure explicitly as a tree:
+
+* :class:`BlockRegion` — straight-line dataflow DAG,
+* :class:`SeqRegion`   — ordered sequence of child regions,
+* :class:`IfRegion`    — condition block + then/else sequences,
+* :class:`LoopRegion`  — header block evaluating the loop condition +
+  body sequence; the loop repeats while the condition holds.
+
+Conditions are boolean expressions over compare nodes
+(:class:`CondExpr`).  The C-Box evaluates them one status bit per cycle
+(Listing 1), which restricts realisable conditions to *left-deep*
+and/or chains — :func:`CondExpr.linearize` produces the evaluation
+order or raises :class:`UnsupportedConditionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.nodes import Node
+
+__all__ = [
+    "Region",
+    "BlockRegion",
+    "SeqRegion",
+    "IfRegion",
+    "LoopRegion",
+    "CondExpr",
+    "CondLeaf",
+    "CondBin",
+    "UnsupportedConditionError",
+]
+
+
+class UnsupportedConditionError(Exception):
+    """A condition the one-status-per-cycle C-Box cannot evaluate."""
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class CondExpr:
+    """Boolean expression over compare-node statuses."""
+
+    def leaves(self) -> List["CondLeaf"]:
+        out: List[CondLeaf] = []
+        self._collect(out)
+        return out
+
+    def _collect(self, out: List["CondLeaf"]) -> None:
+        raise NotImplementedError
+
+    def linearize(self) -> List[Tuple["CondLeaf", Optional[str]]]:
+        """Left-deep evaluation order for the C-Box.
+
+        Returns ``[(leaf, combine_op), ...]`` where the first entry has
+        ``combine_op=None`` (it is stored) and subsequent entries carry
+        ``"and"`` / ``"or"``.  Raises
+        :class:`UnsupportedConditionError` for trees whose right-hand
+        sides are not single leaves — the C-Box combines exactly one
+        stored condition with one incoming status per cycle
+        (Section V-H).
+        """
+        steps: List[Tuple[CondLeaf, Optional[str]]] = []
+        self._linearize(steps, None)
+        return steps
+
+    def _linearize(
+        self, steps: List[Tuple["CondLeaf", Optional[str]]], op: Optional[str]
+    ) -> None:
+        raise NotImplementedError
+
+    def negated(self) -> "CondExpr":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CondLeaf(CondExpr):
+    """A single compare node's status, optionally negated."""
+
+    node: Node
+    negate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.node.is_compare:
+            raise ValueError(
+                f"condition leaf must reference a compare node, got "
+                f"{self.node.opcode}"
+            )
+
+    def _collect(self, out: List["CondLeaf"]) -> None:
+        out.append(self)
+
+    def _linearize(self, steps, op) -> None:
+        steps.append((self, op))
+
+    def negated(self) -> "CondExpr":
+        return CondLeaf(self.node, not self.negate)
+
+
+@dataclass(frozen=True)
+class CondBin(CondExpr):
+    """``left AND right`` / ``left OR right``."""
+
+    op: str  # "and" | "or"
+    left: CondExpr
+    right: CondExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ValueError(f"unknown boolean op {self.op!r}")
+
+    def _collect(self, out: List["CondLeaf"]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def _linearize(self, steps, op) -> None:
+        if not isinstance(self.right, CondLeaf):
+            raise UnsupportedConditionError(
+                "the C-Box combines one stored condition with one incoming "
+                "status per cycle; rewrite the condition as a left-deep "
+                "and/or chain (e.g. nested ifs instead of (a and b) or "
+                "(c and d))"
+            )
+        self.left._linearize(steps, op)
+        steps.append((self.right, self.op))
+
+    def negated(self) -> "CondExpr":
+        # De Morgan keeps the tree shape (left-deep stays left-deep).
+        other = "and" if self.op == "or" else "or"
+        return CondBin(other, self.left.negated(), self.right.negated())
+
+
+# ---------------------------------------------------------------------------
+# Regions
+# ---------------------------------------------------------------------------
+
+
+class Region:
+    """Base class of all region kinds."""
+
+    parent: Optional["Region"] = None
+
+    def blocks(self) -> Iterator["BlockRegion"]:
+        """All block regions in this subtree, in program order."""
+        raise NotImplementedError
+
+    def nodes(self) -> Iterator[Node]:
+        for block in self.blocks():
+            yield from block.node_list
+
+    def contains_loop(self) -> bool:
+        """True if a loop lives anywhere in this subtree.
+
+        Decides speculatability: loop-free if/else bodies are speculated
+        with predication; anything containing a loop is realised with
+        real CCNT branches (Section V-C).
+        """
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Region"]:
+        """This region and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Sequence["Region"]:
+        return ()
+
+
+@dataclass(eq=False)
+class BlockRegion(Region):
+    """Straight-line DAG of nodes, in construction (program) order."""
+
+    node_list: List[Node] = field(default_factory=list)
+    parent: Optional[Region] = None
+
+    def append(self, node: Node) -> Node:
+        self.node_list.append(node)
+        return node
+
+    def blocks(self) -> Iterator["BlockRegion"]:
+        yield self
+
+    def contains_loop(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.node_list)
+
+
+@dataclass(eq=False)
+class SeqRegion(Region):
+    """Ordered sequence of child regions."""
+
+    items: List[Region] = field(default_factory=list)
+    parent: Optional[Region] = None
+
+    def append(self, region: Region) -> Region:
+        region.parent = self
+        self.items.append(region)
+        return region
+
+    def blocks(self) -> Iterator[BlockRegion]:
+        for item in self.items:
+            yield from item.blocks()
+
+    def contains_loop(self) -> bool:
+        return any(item.contains_loop() for item in self.items)
+
+    def children(self) -> Sequence[Region]:
+        return tuple(self.items)
+
+
+@dataclass(eq=False)
+class IfRegion(Region):
+    """``if cond: then_body else: else_body``.
+
+    ``cond_block`` computes the compare nodes the condition references.
+    """
+
+    cond_block: BlockRegion
+    cond: CondExpr
+    then_body: SeqRegion
+    else_body: SeqRegion
+    parent: Optional[Region] = None
+
+    def __post_init__(self) -> None:
+        for child in (self.cond_block, self.then_body, self.else_body):
+            child.parent = self
+
+    def blocks(self) -> Iterator[BlockRegion]:
+        yield self.cond_block
+        yield from self.then_body.blocks()
+        yield from self.else_body.blocks()
+
+    def contains_loop(self) -> bool:
+        return self.then_body.contains_loop() or self.else_body.contains_loop()
+
+    def children(self) -> Sequence[Region]:
+        return (self.cond_block, self.then_body, self.else_body)
+
+    def is_speculatable(self) -> bool:
+        """Loop-free bodies are executed speculatively with predication."""
+        return not self.contains_loop()
+
+
+@dataclass(eq=False)
+class LoopRegion(Region):
+    """``while cond: body``.
+
+    ``header`` computes the condition's compare nodes and is re-executed
+    every iteration; the set of *controlling nodes* of the loop
+    (Section V-C) is exactly the compare nodes referenced by ``cond``.
+    """
+
+    header: BlockRegion
+    cond: CondExpr
+    body: SeqRegion
+    parent: Optional[Region] = None
+
+    def __post_init__(self) -> None:
+        self.header.parent = self
+        self.body.parent = self
+
+    def blocks(self) -> Iterator[BlockRegion]:
+        yield self.header
+        yield from self.body.blocks()
+
+    def contains_loop(self) -> bool:
+        return True
+
+    def children(self) -> Sequence[Region]:
+        return (self.header, self.body)
+
+    def controlling_nodes(self) -> Tuple[Node, ...]:
+        """Nodes producing the loop condition (Section V-C)."""
+        return tuple(leaf.node for leaf in self.cond.leaves())

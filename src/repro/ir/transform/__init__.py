@@ -1,0 +1,19 @@
+"""Optional CDFG transformations of the synthesis flow (Fig. 1).
+
+* method inlining happens in the frontend (:mod:`repro.ir.frontend`),
+* :mod:`repro.ir.transform.unroll` — partial loop unrolling ("A maximum
+  unroll factor of 2 for inner loops was used", Section VI-B),
+* :mod:`repro.ir.transform.cse` — common-subexpression elimination
+  ("This step can include common subexpression elimination", Section
+  V-A).
+"""
+
+from repro.ir.transform.clone import clone_region
+from repro.ir.transform.unroll import unroll_inner_loops
+from repro.ir.transform.cse import eliminate_common_subexpressions
+
+__all__ = [
+    "clone_region",
+    "unroll_inner_loops",
+    "eliminate_common_subexpressions",
+]

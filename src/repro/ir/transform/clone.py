@@ -1,0 +1,96 @@
+"""Deep-cloning of region subtrees (used by loop unrolling).
+
+Clones produce fresh :class:`~repro.ir.nodes.Node` objects while sharing
+the kernel's :class:`~repro.ir.nodes.Var` and
+:class:`~repro.ir.nodes.ArrayRef` instances (variables are storage, not
+values — a clone reads/writes the same storage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.nodes import Node, Var
+from repro.ir.regions import (
+    BlockRegion,
+    CondBin,
+    CondExpr,
+    CondLeaf,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+
+__all__ = ["clone_region", "clone_cond"]
+
+
+def _clone_node(
+    node: Node,
+    mapping: Dict[int, Node],
+    var_map: Optional[Dict[Var, Var]] = None,
+) -> Node:
+    var = node.var
+    if var is not None and var_map is not None:
+        var = var_map.setdefault(var, Var(var.name))
+    clone = Node(
+        opcode=node.opcode,
+        operands=[mapping[o.id] for o in node.operands],
+        deps=[mapping[d.id] for d in node.deps if d.id in mapping],
+        var=var,
+        array=node.array,
+        value=node.value,
+    )
+    mapping[node.id] = clone
+    return clone
+
+
+def clone_cond(cond: CondExpr, mapping: Dict[int, Node]) -> CondExpr:
+    """Rebuild a condition over cloned compare nodes."""
+    if isinstance(cond, CondLeaf):
+        return CondLeaf(mapping[cond.node.id], cond.negate)
+    if isinstance(cond, CondBin):
+        return CondBin(
+            cond.op, clone_cond(cond.left, mapping), clone_cond(cond.right, mapping)
+        )
+    raise TypeError(f"unknown condition {type(cond).__name__}")
+
+
+def clone_region(
+    region: Region,
+    mapping: Dict[int, Node],
+    var_map: Optional[Dict[Var, Var]] = None,
+) -> Region:
+    """Clone ``region`` recursively; ``mapping`` collects node id -> clone.
+
+    With ``var_map``, variables are replaced by fresh :class:`Var`
+    objects (kernel extraction); without it the clone shares the
+    original variables (unrolling: same storage).
+    """
+    if isinstance(region, BlockRegion):
+        block = BlockRegion()
+        for node in region.node_list:
+            block.append(_clone_node(node, mapping, var_map))
+        return block
+    if isinstance(region, SeqRegion):
+        seq = SeqRegion()
+        for child in region.items:
+            seq.append(clone_region(child, mapping, var_map))
+        return seq
+    if isinstance(region, IfRegion):
+        cond_block = clone_region(region.cond_block, mapping, var_map)
+        cond = clone_cond(region.cond, mapping)
+        then_body = clone_region(region.then_body, mapping, var_map)
+        else_body = clone_region(region.else_body, mapping, var_map)
+        return IfRegion(
+            cond_block=cond_block,  # type: ignore[arg-type]
+            cond=cond,
+            then_body=then_body,  # type: ignore[arg-type]
+            else_body=else_body,  # type: ignore[arg-type]
+        )
+    if isinstance(region, LoopRegion):
+        header = clone_region(region.header, mapping, var_map)
+        cond = clone_cond(region.cond, mapping)
+        body = clone_region(region.body, mapping, var_map)
+        return LoopRegion(header=header, cond=cond, body=body)  # type: ignore[arg-type]
+    raise TypeError(f"unknown region {type(region).__name__}")

@@ -1,0 +1,93 @@
+"""Common-subexpression elimination (Section V-A).
+
+Per-block value numbering: pure nodes (ALU ops, constants, variable
+reads with identical hazard state) computing the same function over the
+same inputs are merged; dead pure nodes are removed afterwards.  Memory
+operations and pWRITEs are never merged or removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.operations import OPS
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import Node
+from repro.ir.regions import BlockRegion
+
+__all__ = ["eliminate_common_subexpressions"]
+
+_IMPURE = {"VARWRITE", "DMA_LOAD", "DMA_STORE"}
+
+
+def _value_key(node: Node, replaced: Dict[int, Node]) -> Tuple:
+    def rid(n: Node) -> int:
+        return replaced.get(n.id, n).id
+
+    if node.opcode == "CONST":
+        return ("CONST", node.value)
+    if node.opcode == "VARREAD":
+        # reads are equal iff they see the same last write (deps capture
+        # the hazard state within the block)
+        deps = tuple(sorted(rid(d) for d in node.deps))
+        return ("VARREAD", id(node.var), deps)
+    operands = tuple(rid(o) for o in node.operands)
+    if node.opcode in OPS and OPS[node.opcode].commutative:
+        operands = tuple(sorted(operands))
+    return (node.opcode, operands)
+
+
+def _cse_block(block: BlockRegion) -> int:
+    replaced: Dict[int, Node] = {}
+    seen: Dict[Tuple, Node] = {}
+    for node in block.node_list:
+        # rewrite references through earlier replacements
+        node.operands = [replaced.get(o.id, o) for o in node.operands]
+        new_deps = []
+        for d in node.deps:
+            nd = replaced.get(d.id, d)
+            if nd is not node and nd not in new_deps:
+                new_deps.append(nd)
+        node.deps = new_deps
+        if node.opcode in _IMPURE:
+            continue
+        if node.is_compare:
+            # compare statuses feed conditions; region conditions hold
+            # direct node references, so compares are never merged away
+            continue
+        key = _value_key(node, replaced)
+        prior = seen.get(key)
+        if prior is not None:
+            replaced[node.id] = prior
+        else:
+            seen[key] = node
+
+    if not replaced:
+        return 0
+
+    # drop now-dead pure nodes (no remaining consumers inside the block)
+    consumers: Dict[int, int] = {}
+    for node in block.node_list:
+        if node.id in replaced:
+            continue
+        for ref in list(node.operands) + list(node.deps):
+            consumers[ref.id] = consumers.get(ref.id, 0) + 1
+
+    removed = 0
+    kept: List[Node] = []
+    for node in block.node_list:
+        if node.id in replaced and consumers.get(node.id, 0) == 0:
+            removed += 1
+            continue
+        kept.append(node)
+    block.node_list = kept
+    return removed
+
+
+def eliminate_common_subexpressions(kernel: Kernel) -> int:
+    """Run CSE over every block; returns the number of removed nodes."""
+    removed = 0
+    for block in kernel.blocks():
+        removed += _cse_block(block)
+    kernel.validate()
+    return removed

@@ -1,0 +1,89 @@
+"""Partial loop unrolling (Fig. 1 / Section VI-B).
+
+The paper schedules the ADPCM decoder with "a maximum unroll factor of 2
+for inner loops".  Partial unrolling of a data-dependent ``while`` loop
+wraps each extra body copy in a guard re-evaluating the loop condition::
+
+    while c: B        ==>        while c:
+                                     B
+                                     if c':      # re-evaluated
+                                         B'      # clone
+
+For *innermost* loops the guarded copy is loop-free, so the scheduler
+speculates it into the same superblock as the first copy — this is where
+the unrolled parallelism comes from.  The transformation is semantics-
+preserving for any condition without side effects (our loop headers are
+side-effect free by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.cdfg import Kernel
+from repro.ir.nodes import Node
+from repro.ir.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from repro.ir.transform.clone import clone_cond, clone_region
+
+__all__ = ["unroll_loop", "unroll_inner_loops"]
+
+
+def _is_innermost(loop: LoopRegion) -> bool:
+    return not loop.body.contains_loop()
+
+
+def _guarded_copies(loop: LoopRegion, copies: int) -> SeqRegion:
+    """``copies`` further body copies, each guarded by the condition."""
+    seq = SeqRegion()
+    if copies <= 0:
+        return seq
+    mapping: Dict[int, Node] = {}
+    cond_block = clone_region(loop.header, mapping)
+    cond = clone_cond(loop.cond, mapping)
+    body_copy = clone_region(loop.body, {})
+    inner = SeqRegion()
+    inner.append(body_copy)
+    rest = _guarded_copies(loop, copies - 1)
+    for item in rest.items:
+        inner.append(item)
+    guard = IfRegion(
+        cond_block=cond_block,  # type: ignore[arg-type]
+        cond=cond,
+        then_body=inner,
+        else_body=SeqRegion(),
+    )
+    seq.append(guard)
+    return seq
+
+
+def unroll_loop(loop: LoopRegion, factor: int) -> None:
+    """Partially unroll ``loop`` in place to ``factor`` body copies."""
+    if factor < 2:
+        return
+    new_body = SeqRegion()
+    new_body.append(clone_region(loop.body, {}))
+    for item in _guarded_copies(loop, factor - 1).items:
+        new_body.append(item)
+    loop.body = new_body
+    new_body.parent = loop
+
+
+def unroll_inner_loops(kernel: Kernel, factor: int = 2) -> Kernel:
+    """Unroll every *innermost* loop of ``kernel`` in place.
+
+    Returns the kernel (re-validated) for chaining.  ``factor=2``
+    reproduces the paper's evaluation setting.
+    """
+    if factor < 2:
+        return kernel
+    for loop in kernel.loops():
+        if _is_innermost(loop):
+            unroll_loop(loop, factor)
+    kernel.validate()
+    return kernel

@@ -1,0 +1,22 @@
+"""Workload kernels.
+
+Each module provides a restricted-Python kernel function (compiled by
+:mod:`repro.ir.frontend`), a plain-Python *golden* reference model, and
+input generators.  The headline workload is the paper's evaluation
+kernel, the ADPCM decoder (Section VI-A); the others exercise the same
+control-flow features at smaller scale and serve as test/benchmark
+material.
+"""
+
+from repro.kernels import adpcm, crc32, dotp, fir, gcd, histogram, matmul, sort
+
+__all__ = [
+    "adpcm",
+    "crc32",
+    "dotp",
+    "fir",
+    "gcd",
+    "histogram",
+    "matmul",
+    "sort",
+]

@@ -1,0 +1,56 @@
+"""Bit-serial CRC-32 (IEEE 802.3 polynomial).
+
+A classic control-flow-dense kernel: the inner loop conditionally XORs
+the reflected polynomial depending on the running remainder's low bit —
+a data-dependent if inside a nested loop, the exact pattern the paper's
+C-Box targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arch.operations import wrap32
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel, ushr
+
+__all__ = ["crc32_kernel", "build_kernel", "golden"]
+
+#: reflected IEEE 802.3 polynomial
+POLY = 0xEDB88320 - (1 << 32)  # as a Java int (negative)
+
+
+def crc32_kernel(n: int, data: IntArray) -> int:
+    """CRC-32 over ``n`` bytes (one byte per array entry)."""
+    crc = -1  # 0xFFFFFFFF
+    i = 0
+    while i < n:
+        byte = data[i] & 255
+        crc = crc ^ byte
+        bit = 0
+        while bit < 8:
+            if crc & 1:
+                crc = ushr(crc, 1) ^ POLY
+            else:
+                crc = ushr(crc, 1)
+            bit += 1
+        i += 1
+    result = ~crc
+    return result
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(crc32_kernel, name="crc32")
+
+
+def golden(data: Sequence[int]) -> int:
+    """Reference CRC-32 (matches binascii.crc32 for byte inputs)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte & 0xFF
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+    return wrap32(crc ^ 0xFFFFFFFF)

@@ -1,0 +1,42 @@
+"""Dot product: the canonical single-loop DMA streaming kernel."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+
+__all__ = ["dotp_kernel", "build_kernel", "golden", "sample_inputs"]
+
+
+def dotp_kernel(n: int, xs: IntArray, ys: IntArray) -> int:
+    acc = 0
+    for i in range(n):
+        acc += xs[i] * ys[i]
+    return acc
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(dotp_kernel, name="dotp")
+
+
+def golden(xs: Sequence[int], ys: Sequence[int]) -> int:
+    from repro.arch.operations import wrap32
+
+    acc = 0
+    for a, b in zip(xs, ys):
+        acc = wrap32(acc + wrap32(a * b))
+    return acc
+
+
+def sample_inputs(n: int, *, seed: int = 7) -> Tuple[List[int], List[int]]:
+    state = seed
+    xs: List[int] = []
+    ys: List[int] = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        xs.append((state % 2048) - 1024)
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ys.append((state % 2048) - 1024)
+    return xs, ys

@@ -1,0 +1,40 @@
+"""FIR filter: nested loops over samples and taps (no data-dependent
+control flow — a pure nested-loop MAC workload)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arch.operations import wrap32
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+
+__all__ = ["fir_kernel", "build_kernel", "golden"]
+
+
+def fir_kernel(n: int, taps: int, xs: IntArray, coeffs: IntArray, ys: IntArray) -> int:
+    """y[i] = sum_k coeffs[k] * xs[i + k] for i in [0, n)."""
+    i = 0
+    while i < n:
+        acc = 0
+        k = 0
+        while k < taps:
+            acc += coeffs[k] * xs[i + k]
+            k += 1
+        ys[i] = acc
+        i += 1
+    return i
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(fir_kernel, name="fir")
+
+
+def golden(xs: Sequence[int], coeffs: Sequence[int], n: int) -> List[int]:
+    out = []
+    for i in range(n):
+        acc = 0
+        for k, c in enumerate(coeffs):
+            acc = wrap32(acc + wrap32(c * xs[i + k]))
+        out.append(acc)
+    return out

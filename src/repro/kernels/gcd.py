@@ -1,0 +1,31 @@
+"""Subtraction-based GCD: a data-dependent while loop with an if/else body.
+
+The smallest kernel exercising "non-static and data dependent control
+flow" — the loop bound is unknown at compile time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import compile_kernel
+
+__all__ = ["gcd_kernel", "build_kernel", "golden"]
+
+
+def gcd_kernel(a: int, b: int) -> int:
+    while a != b:
+        if a > b:
+            a = a - b
+        else:
+            b = b - a
+    return a
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(gcd_kernel, name="gcd")
+
+
+def golden(a: int, b: int) -> int:
+    return math.gcd(a, b)

@@ -1,0 +1,49 @@
+"""Histogram: data-dependent (indirect) DMA stores.
+
+Bins are addressed by the data itself — each iteration performs a
+read-modify-write at a runtime-computed heap index, stressing the
+DMA-hazard ordering of the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+
+__all__ = ["histogram_kernel", "build_kernel", "golden"]
+
+
+def histogram_kernel(n: int, nbins: int, data: IntArray, bins: IntArray) -> int:
+    clipped = 0
+    i = 0
+    while i < n:
+        v = data[i]
+        if v < 0:
+            v = 0
+            clipped += 1
+        if v >= nbins:
+            v = nbins - 1
+            clipped += 1
+        bins[v] = bins[v] + 1
+        i += 1
+    return clipped
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(histogram_kernel, name="histogram")
+
+
+def golden(data: Sequence[int], nbins: int) -> tuple:
+    bins = [0] * nbins
+    clipped = 0
+    for v in data:
+        if v < 0:
+            v = 0
+            clipped += 1
+        if v >= nbins:
+            v = nbins - 1
+            clipped += 1
+        bins[v] += 1
+    return bins, clipped

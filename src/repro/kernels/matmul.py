@@ -1,0 +1,43 @@
+"""Matrix multiplication: triple-nested loops (depth-3 nesting test)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arch.operations import wrap32
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+
+__all__ = ["matmul_kernel", "build_kernel", "golden"]
+
+
+def matmul_kernel(n: int, a: IntArray, b: IntArray, c: IntArray) -> int:
+    """C = A x B for row-major n x n matrices."""
+    i = 0
+    while i < n:
+        j = 0
+        while j < n:
+            acc = 0
+            k = 0
+            while k < n:
+                acc += a[i * n + k] * b[k * n + j]
+                k += 1
+            c[i * n + j] = acc
+            j += 1
+        i += 1
+    return i
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(matmul_kernel, name="matmul")
+
+
+def golden(a: Sequence[int], b: Sequence[int], n: int) -> List[int]:
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = wrap32(acc + wrap32(a[i * n + k] * b[k * n + j]))
+            c[i * n + j] = acc
+    return c

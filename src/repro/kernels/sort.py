@@ -1,0 +1,36 @@
+"""Bubble sort: nested loops + conditional swap with DMA stores.
+
+Exercises predicated memory writes inside a speculated if within two
+levels of loops — the control-flow pattern Section V-C's Fig. 11
+illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.cdfg import Kernel
+from repro.ir.frontend import IntArray, compile_kernel
+
+__all__ = ["bubble_kernel", "build_kernel", "golden"]
+
+
+def bubble_kernel(n: int, data: IntArray) -> int:
+    swaps = 0
+    for i in range(n):
+        for j in range(n - i - 1):
+            a = data[j]
+            b = data[j + 1]
+            if a > b:
+                data[j] = b
+                data[j + 1] = a
+                swaps += 1
+    return swaps
+
+
+def build_kernel() -> Kernel:
+    return compile_kernel(bubble_kernel, name="bubble_sort")
+
+
+def golden(data: Sequence[int]) -> List[int]:
+    return sorted(data)

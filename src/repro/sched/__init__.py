@@ -1,0 +1,38 @@
+"""The paper's scheduler (Section V).
+
+A resource- and routing-aware list scheduler for inhomogeneous and
+irregular CGRA compositions with support for complex control flow:
+
+* list scheduling with longest-path priorities (Algorithm 1),
+* speculation + predication instead of phi nodes (Section V-B),
+* loop-compatibility handling for nested loops (Section V-C),
+* local-variable home assignment and copy tracking (Section V-D),
+* read/pWRITE fusing (Section V-E),
+* attraction-based PE ordering (Section V-G),
+* Floyd-shortest-path copy insertion for routing (Section V-G),
+* C-Box condition planning, one status per cycle (Section V-H),
+* lifetime analysis + left-edge RF/C-Box allocation (Section V-I).
+
+Entry point: :func:`repro.sched.scheduler.schedule_kernel`.
+"""
+
+from repro.sched.schedule import (
+    OperandSource,
+    PlacedOp,
+    PlannedCBoxOp,
+    PlannedBranch,
+    Schedule,
+    SchedulingError,
+)
+from repro.sched.scheduler import RegionScheduler, schedule_kernel
+
+__all__ = [
+    "OperandSource",
+    "PlacedOp",
+    "PlannedCBoxOp",
+    "PlannedBranch",
+    "Schedule",
+    "SchedulingError",
+    "RegionScheduler",
+    "schedule_kernel",
+]

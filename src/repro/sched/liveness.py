@@ -1,0 +1,97 @@
+"""Value lifetimes with loop extension (Section V-I).
+
+"To determine variable lifetimes the loops have to be taken into
+account.  A value that is read in an inner loop needs an extended
+lifetime until the end of that loop.  The same holds for the lifetimes
+of condition bits."
+
+Rules (applied to the raw [first-event, last-event] interval):
+
+* a value whose last event lies inside a loop it was defined before is
+  needed in *every* iteration -> extend to the loop's end (fixpoint over
+  nested loops),
+* a variable *home* entry is live across the whole span of any loop it
+  is written in (loop-carried values wrap around the back edge, so the
+  static interval alone would let the left-edge allocator clobber them
+  between the write and the next iteration's read).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sched.schedule import LoopSpan, Schedule, ValueInfo, ValueKind
+
+__all__ = ["extend_interval", "value_lifetimes", "condition_pair_lifetimes"]
+
+
+def extend_interval(
+    interval: Tuple[int, int],
+    loop_spans: Sequence[LoopSpan],
+    *,
+    cover_touched_loops: bool = False,
+) -> Tuple[int, int]:
+    """Apply the loop-extension rules to one [start, end] interval."""
+    start, end = interval
+    changed = True
+    while changed:
+        changed = False
+        for span in loop_spans:
+            if cover_touched_loops and (
+                span.contains(start) or span.contains(end)
+            ):
+                if start > span.start or end < span.end:
+                    start = min(start, span.start)
+                    end = max(end, span.end)
+                    changed = True
+                continue
+            # defined before the loop, (last) used inside it
+            if start < span.start and span.start <= end <= span.end:
+                if end != span.end:
+                    end = span.end
+                    changed = True
+    return start, end
+
+
+def value_lifetimes(schedule: Schedule) -> Dict[int, Tuple[int, int]]:
+    """Lifetime interval per value id (after loop extension)."""
+    out: Dict[int, Tuple[int, int]] = {}
+    for vid, info in schedule.values.items():
+        interval = info.interval()
+        if interval is None:
+            continue
+        out[vid] = extend_interval(
+            interval,
+            schedule.loop_spans,
+            # home entries may be loop-carried: cover whole loops they touch
+            cover_touched_loops=info.kind is ValueKind.HOME,
+        )
+    return out
+
+
+def condition_pair_lifetimes(schedule: Schedule) -> Dict[int, Tuple[int, int]]:
+    """Lifetime interval per condition pair (C-Box slots, Section V-I).
+
+    A pair is defined at its combine cycle and used whenever a stored
+    read, predication broadcast or branch selection references it.
+    """
+    defs: Dict[int, List[int]] = {}
+    uses: Dict[int, List[int]] = {}
+    for cycle, plan in schedule.cbox.items():
+        if plan.write_pair is not None:
+            defs.setdefault(plan.write_pair, []).append(cycle)
+        if plan.read is not None:
+            uses.setdefault(plan.read.pair, []).append(cycle)
+        for sel in (plan.out_pe, plan.out_ctrl):
+            if sel is not None and not isinstance(sel, str):
+                uses.setdefault(sel.pair, []).append(cycle)
+    out: Dict[int, Tuple[int, int]] = {}
+    for pair, dcycles in defs.items():
+        events = dcycles + uses.get(pair, [])
+        interval = (min(events), max(events))
+        # condition bits of loops are re-read every iteration and nested
+        # predicates must survive inner loops: cover touched loops
+        out[pair] = extend_interval(
+            interval, schedule.loop_spans, cover_touched_loops=True
+        )
+    return out

@@ -1,0 +1,145 @@
+"""C-Box condition planning (Sections V-B and V-H).
+
+Conditions are evaluated one status bit per cycle: the first compare's
+status is *stored* as a complementary pair, every further leaf is
+*combined* with the stored pair (``AND``/``OR``, negated variants for
+negated leaves).  For a condition nested below an enclosing speculation
+predicate, the pair is the FORK of the outer predicate ("the stored
+condition bit is a conjunction of the outer and current condition"):
+``pos = outer ∧ s``, ``neg = outer ∧ ¬s``.
+
+The planner assigns each compare node of a condition a :class:`CondStep`
+(function, stored operand, destination pair); the scheduler books the
+C-Box combine in the same cycle the compare finishes (PE statuses are
+transient).  ``pair_ready[pair] = combine_cycle + 1`` is when stored
+reads of the pair become legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cbox import CBoxFunc
+from repro.ir.nodes import Node
+from repro.ir.regions import CondExpr, CondLeaf, UnsupportedConditionError
+from repro.sched.schedule import PredRef, SchedulingError
+
+__all__ = ["CondStep", "PredPlanner"]
+
+
+@dataclass
+class CondStep:
+    """C-Box activity bound to one condition compare node."""
+
+    leaf: Node
+    func: CBoxFunc
+    #: stored operand (None for STORE/STORE_NOT)
+    read: Optional[PredRef]
+    #: pair receiving the (pos, neg) results
+    write_pair: int
+    #: swap pos/neg destinations (FORK_AND of a negated leaf)
+    swap_writes: bool
+    #: True for the last step: ``write_pair`` is the condition's pair
+    is_final: bool
+
+
+class PredPlanner:
+    """Allocates condition pairs and plans their evaluation."""
+
+    def __init__(self) -> None:
+        self._next_pair = 0
+        #: pair -> cycle from which stored reads are legal
+        self.pair_ready: Dict[int, int] = {}
+        #: pair -> cycle of the combine that wrote it
+        self.combined_at: Dict[int, int] = {}
+        #: compare node id -> its CondStep
+        self.steps: Dict[int, CondStep] = {}
+
+    def new_pair(self) -> int:
+        pair = self._next_pair
+        self._next_pair += 1
+        return pair
+
+    @property
+    def n_pairs(self) -> int:
+        return self._next_pair
+
+    def plan_condition(
+        self, cond: CondExpr, outer: Optional[PredRef]
+    ) -> int:
+        """Plan evaluation of ``cond`` under ``outer``; returns the pair.
+
+        The pair's pos side is ``outer ∧ cond`` (or plain ``cond`` at the
+        outermost level); neg is ``outer ∧ ¬cond`` / ``¬cond``.
+        """
+        steps = cond.linearize()
+        if outer is not None and len(steps) > 1:
+            raise UnsupportedConditionError(
+                "compound conditions under an enclosing speculation "
+                "predicate are not supported by the C-Box's "
+                "one-stored-one-incoming combine; use nested ifs"
+            )
+        plan: List[CondStep] = []
+        if outer is not None:
+            leaf, _ = steps[0]
+            pair = self.new_pair()
+            plan.append(
+                CondStep(
+                    leaf=leaf.node,
+                    func=CBoxFunc.FORK_AND,
+                    read=outer,
+                    write_pair=pair,
+                    swap_writes=leaf.negate,
+                    is_final=True,
+                )
+            )
+        else:
+            prev_pair: Optional[int] = None
+            for index, (leaf, combine) in enumerate(steps):
+                pair = self.new_pair()
+                last = index == len(steps) - 1
+                if combine is None:
+                    func = CBoxFunc.STORE_NOT if leaf.negate else CBoxFunc.STORE
+                    read = None
+                elif combine == "and":
+                    func = CBoxFunc.AND_NOT if leaf.negate else CBoxFunc.AND
+                    read = PredRef(prev_pair, True)  # type: ignore[arg-type]
+                else:  # "or"
+                    func = CBoxFunc.OR_NOT if leaf.negate else CBoxFunc.OR
+                    read = PredRef(prev_pair, True)  # type: ignore[arg-type]
+                plan.append(
+                    CondStep(
+                        leaf=leaf.node,
+                        func=func,
+                        read=read,
+                        write_pair=pair,
+                        swap_writes=False,
+                        is_final=last,
+                    )
+                )
+                prev_pair = pair
+        for step in plan:
+            if step.leaf.id in self.steps:
+                raise SchedulingError(
+                    f"compare {step.leaf!r} feeds two conditions"
+                )
+            self.steps[step.leaf.id] = step
+        return plan[-1].write_pair
+
+    # -- scheduling-time bookkeeping ------------------------------------
+
+    def step_for(self, node: Node) -> Optional[CondStep]:
+        return self.steps.get(node.id)
+
+    def note_combined(self, pair: int, cycle: int) -> None:
+        self.combined_at[pair] = cycle
+        self.pair_ready[pair] = cycle + 1
+
+    def ready_cycle(self, pair: int) -> Optional[int]:
+        """Cycle from which stored reads of ``pair`` are legal."""
+        return self.pair_ready.get(pair)
+
+    def read_allowed(self, pred: PredRef, cycle: int) -> bool:
+        ready = self.pair_ready.get(pred.pair)
+        return ready is not None and ready <= cycle

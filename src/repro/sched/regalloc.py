@@ -1,0 +1,54 @@
+"""Left-edge allocation for register files and C-Box slots (Section V-I).
+
+"For both RF and C-Box allocation the left edge algorithm is used."
+
+The classic left-edge algorithm sorts intervals by start ("left edge")
+and packs each into the lowest-numbered track (RF slot) whose previous
+occupant ended before the interval starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+__all__ = ["left_edge", "AllocationError"]
+
+
+class AllocationError(Exception):
+    """Intervals need more tracks than the resource provides."""
+
+
+def left_edge(
+    intervals: Dict[Hashable, Tuple[int, int]],
+    capacity: int,
+    *,
+    what: str = "register file",
+) -> Tuple[Dict[Hashable, int], int]:
+    """Assign a track to every interval; returns (assignment, tracks used).
+
+    Intervals are inclusive ``[start, end]``; two intervals may share a
+    track iff they do not overlap.
+    """
+    order = sorted(intervals.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+    track_end: List[int] = []  # last occupied cycle per track
+    assignment: Dict[Hashable, int] = {}
+    for key, (start, end) in order:
+        if end < start:
+            raise ValueError(f"interval of {key!r} ends before it starts")
+        placed = False
+        for track, last in enumerate(track_end):
+            if last < start:
+                track_end[track] = end
+                assignment[key] = track
+                placed = True
+                break
+        if not placed:
+            track = len(track_end)
+            if track >= capacity:
+                raise AllocationError(
+                    f"{what} overflow: {track + 1} entries needed, "
+                    f"{capacity} available"
+                )
+            track_end.append(end)
+            assignment[key] = track
+    return assignment, len(track_end)

@@ -1,0 +1,352 @@
+"""Superblock assembly: merge blocks + speculatable if/else regions.
+
+The paper's scheduler speculates across if/else structures: operations
+of both paths become ordinary candidates and only their pWRITEs / memory
+operations are predicated (Section V-B).  We realise this by flattening
+a maximal run of blocks and loop-free if/else regions into one
+*superblock*: a DAG of :class:`SBItem` scheduling items with
+
+* VARREAD nodes elided into variable operands (read fusing, V-E),
+* CONST nodes elided into constant operands (materialised on demand),
+* pWRITE fusing into single-consumer producers (V-E),
+* cross-block variable/array hazard edges,
+* a predicate (:class:`PredRef`) per item from its if-nesting, and
+* :class:`CondStep` plans attached to condition compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.ir.nodes import ArrayRef, Node, Var
+from repro.ir.regions import BlockRegion, IfRegion, Region, SeqRegion
+from repro.sched.predication import CondStep, PredPlanner
+from repro.sched.schedule import PredRef, SchedulingError
+
+__all__ = ["OperandSpec", "SBItem", "Superblock", "build_superblock"]
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One operand of a scheduling item after read/const elision."""
+
+    kind: str  # "node" | "var" | "const"
+    node: Optional[Node] = None
+    var: Optional[Var] = None
+    const: Optional[int] = None
+
+    @staticmethod
+    def of_node(node: Node) -> "OperandSpec":
+        return OperandSpec("node", node=node)
+
+    @staticmethod
+    def of_var(var: Var) -> "OperandSpec":
+        return OperandSpec("var", var=var)
+
+    @staticmethod
+    def of_const(const: int) -> "OperandSpec":
+        return OperandSpec("const", const=const)
+
+
+@dataclass
+class SBItem:
+    """One schedulable operation of a superblock."""
+
+    node: Node
+    pred: Optional[PredRef]
+    operands: List[OperandSpec]
+    deps: Set[int] = field(default_factory=set)  # item node-ids
+    #: variable written by this item (fused pWRITE target, or the
+    #: variable of an unfused VARWRITE)
+    dest_var: Optional[Var] = None
+    #: the VARWRITE node fused into this item, if any
+    fused_write: Optional[Node] = None
+    cond_step: Optional[CondStep] = None
+    priority: int = 0
+
+    @property
+    def key(self) -> int:
+        return self.node.id
+
+    @property
+    def opcode(self) -> str:
+        return self.node.opcode
+
+
+@dataclass
+class Superblock:
+    items: Dict[int, SBItem]  # keyed by node id
+    order: List[int]  # program order of item keys
+    #: pairs introduced by this superblock's speculated ifs
+    pairs: List[int]
+    #: fused pWRITE node id -> producer item key
+    fused_writes: Dict[int, int] = field(default_factory=dict)
+    #: successor map over the item graph (filled by priority analysis)
+    succs: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _flatten(
+    regions: Sequence[Region],
+    pred: Optional[PredRef],
+    planner: PredPlanner,
+    out: List[Tuple[Node, Optional[PredRef]]],
+    pairs: List[int],
+) -> None:
+    for region in regions:
+        if isinstance(region, BlockRegion):
+            for node in region.node_list:
+                out.append((node, pred))
+        elif isinstance(region, SeqRegion):
+            _flatten(region.items, pred, planner, out, pairs)
+        elif isinstance(region, IfRegion):
+            if not region.is_speculatable():
+                raise SchedulingError(
+                    "internal: non-speculatable if inside a superblock"
+                )
+            pair = planner.plan_condition(region.cond, pred)
+            pairs.append(pair)
+            for node in region.cond_block.node_list:
+                out.append((node, pred))
+            _flatten([region.then_body], PredRef(pair, True), planner, out, pairs)
+            _flatten([region.else_body], PredRef(pair, False), planner, out, pairs)
+        else:
+            raise SchedulingError(
+                f"internal: {type(region).__name__} inside a superblock"
+            )
+
+
+def build_superblock(
+    regions: Sequence[Region],
+    outer_pred: Optional[PredRef],
+    planner: PredPlanner,
+) -> Superblock:
+    """Flatten ``regions`` (blocks + speculatable ifs) into a superblock."""
+    flat: List[Tuple[Node, Optional[PredRef]]] = []
+    pairs: List[int] = []
+    _flatten(regions, outer_pred, planner, flat, pairs)
+
+    # -- cross-block hazards (uniform recomputation over the flat order) --
+    extra_deps: Dict[int, Set[int]] = {node.id: set() for node, _ in flat}
+    last_write: Dict[Var, Node] = {}
+    reads_since: Dict[Var, List[Node]] = {}
+    last_store: Dict[ArrayRef, Node] = {}
+    loads_since: Dict[ArrayRef, List[Node]] = {}
+    for node, _ in flat:
+        deps = extra_deps[node.id]
+        if node.opcode == "VARREAD":
+            var = node.var
+            if var in last_write:
+                deps.add(last_write[var].id)
+            reads_since.setdefault(var, []).append(node)
+        elif node.opcode == "VARWRITE":
+            var = node.var
+            if var in last_write:
+                deps.add(last_write[var].id)
+            for r in reads_since.get(var, ()):
+                if r is not node.operands[0]:
+                    deps.add(r.id)
+            last_write[var] = node
+            reads_since[var] = []
+        elif node.opcode == "DMA_LOAD":
+            arr = node.array
+            if arr in last_store:
+                deps.add(last_store[arr].id)
+            loads_since.setdefault(arr, []).append(node)
+        elif node.opcode == "DMA_STORE":
+            arr = node.array
+            if arr in last_store:
+                deps.add(last_store[arr].id)
+            for ld in loads_since.get(arr, ()):
+                deps.add(ld.id)
+            last_store[arr] = node
+            loads_since[arr] = []
+        for d in node.deps:
+            deps.add(d.id)
+
+    member: Dict[int, Tuple[Node, Optional[PredRef]]] = {
+        node.id: (node, pred) for node, pred in flat
+    }
+
+    # -- VARREAD / CONST elision -------------------------------------------
+    # consumers of each read node, and the read's own deps to transfer
+    read_nodes = {n.id: n for n, _ in flat if n.opcode == "VARREAD"}
+    const_nodes = {n.id: n for n, _ in flat if n.opcode == "CONST"}
+    read_consumers: Dict[int, List[int]] = {rid: [] for rid in read_nodes}
+
+    items: Dict[int, SBItem] = {}
+    order: List[int] = []
+    for node, pred in flat:
+        if node.id in read_nodes or node.id in const_nodes:
+            continue
+        operands: List[OperandSpec] = []
+        deps = set(extra_deps[node.id])
+        for op in node.operands:
+            if op.id in read_nodes:
+                operands.append(OperandSpec.of_var(op.var))  # type: ignore[arg-type]
+                read_consumers[op.id].append(node.id)
+                deps |= extra_deps[op.id]  # transfer the read's RAW dep
+            elif op.id in const_nodes:
+                operands.append(OperandSpec.of_const(op.value))  # type: ignore[arg-type]
+            else:
+                operands.append(OperandSpec.of_node(op))
+        item = SBItem(node=node, pred=pred, operands=operands, deps=deps)
+        items[node.id] = item
+        order.append(node.id)
+
+    # rewrite deps that point at elided reads/consts
+    for item in items.values():
+        new_deps: Set[int] = set()
+        for dep in item.deps:
+            if dep in read_nodes:
+                # WAR: wait for the read's consumers instead
+                for consumer in read_consumers[dep]:
+                    if consumer != item.key:
+                        new_deps.add(consumer)
+            elif dep in const_nodes:
+                continue
+            elif dep in items or dep == item.key:
+                if dep != item.key:
+                    new_deps.add(dep)
+            # deps outside the superblock were satisfied by region order
+        item.deps = new_deps
+
+    # -- pWRITE fusing (Section V-E) ---------------------------------------
+    consumer_count: Dict[int, int] = {}
+    for item in items.values():
+        for op in item.operands:
+            if op.kind == "node":
+                consumer_count[op.node.id] = consumer_count.get(op.node.id, 0) + 1
+
+    fused: Dict[int, int] = {}  # write node id -> producer node id
+    for key in list(order):
+        item = items.get(key)
+        if item is None or item.opcode != "VARWRITE":
+            continue
+        src_spec = item.operands[0]
+        if src_spec.kind != "node":
+            continue  # var-to-var move or constant write: keep as op
+        src = src_spec.node
+        if src.id not in items:
+            continue
+        if consumer_count.get(src.id, 0) != 1:
+            continue
+        src_item = items[src.id]
+        if src_item.dest_var is not None:
+            continue
+        if src_item.pred != item.pred:
+            # "if any control flow predecessor inhibits fusing, a pWRITE
+            # is not fused" — differing predicates would change semantics
+            continue
+        if src_item.opcode in ("DMA_STORE",):
+            continue
+        src_item.dest_var = item.node.var
+        src_item.fused_write = item.node
+        src_item.deps |= {d for d in item.deps if d != src.id}
+        fused[item.key] = src.id
+        del items[item.key]
+        order.remove(item.key)
+
+    # unfused VARWRITE items carry their own variable
+    for item in items.values():
+        if item.opcode == "VARWRITE":
+            item.dest_var = item.node.var
+
+    # Deps referencing a fused write are kept as-is: the scheduler marks
+    # the write id done when the fusion commits, or schedules it as its
+    # own item when fusing fails on placement (dynamic unfuse) — so
+    # readers always wait for the *actual* home update.  Deps referencing
+    # ids that are neither items nor fused writes (elided dead reads,
+    # consts) are dropped.
+    for item in items.values():
+        item.deps = {
+            d
+            for d in item.deps
+            if d != item.key and (d in items or d in fused)
+        }
+
+    # -- condition steps ------------------------------------------------------
+    for item in items.values():
+        step = planner.step_for(item.node)
+        if step is not None:
+            item.cond_step = step
+
+    # condition chains evaluate in order: each non-first step must wait
+    # for the previous leaf's combine (enforced at placement through
+    # pair_ready, plus an explicit dep for list-scheduling sanity)
+    _add_chain_deps(items, planner)
+
+    sb = Superblock(items=items, order=order, pairs=pairs, fused_writes=fused)
+    _compute_priorities(sb)
+    return sb
+
+
+def _add_chain_deps(items: Dict[int, SBItem], planner: PredPlanner) -> None:
+    by_pair: Dict[int, int] = {}
+    for item in items.values():
+        if item.cond_step is not None:
+            by_pair[item.cond_step.write_pair] = item.key
+    for item in items.values():
+        step = item.cond_step
+        if step is not None and step.read is not None:
+            prev = by_pair.get(step.read.pair)
+            if prev is not None and prev != item.key:
+                item.deps.add(prev)
+
+
+def _compute_priorities(sb: Superblock) -> None:
+    """Longest-path priorities over the item graph (Section V-F)."""
+    from repro.arch.operations import default_costs
+
+    succs: Dict[int, List[int]] = {k: [] for k in sb.items}
+    indeg: Dict[int, int] = {k: 0 for k in sb.items}
+
+    def preds_of(item: SBItem) -> Set[int]:
+        preds = set()
+        for dep in item.deps:
+            # deps may reference a fused write; for graph purposes the
+            # producer stands in (scheduling resolves the real timing)
+            while dep in sb.fused_writes:
+                dep = sb.fused_writes[dep]
+            if dep in sb.items:
+                preds.add(dep)
+        for op in item.operands:
+            if op.kind == "node" and op.node.id in sb.items:
+                preds.add(op.node.id)
+        preds.discard(item.key)
+        return preds
+
+    for item in sb.items.values():
+        for p in preds_of(item):
+            succs[p].append(item.key)
+            indeg[item.key] += 1
+
+    ready = [k for k, d in indeg.items() if d == 0]
+    topo: List[int] = []
+    while ready:
+        k = ready.pop()
+        topo.append(k)
+        for s in succs[k]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(topo) != len(sb.items):
+        raise SchedulingError("dependence cycle inside a superblock")
+    sb.succs = succs
+
+    def duration(item: SBItem) -> int:
+        if item.opcode == "VARWRITE":
+            return 1
+        return default_costs(item.opcode).duration
+
+    weight: Dict[int, int] = {}
+    for k in reversed(topo):
+        item = sb.items[k]
+        best = 0
+        for s in succs[k]:
+            best = max(best, weight[s])
+        weight[k] = duration(item) + best
+        item.priority = weight[k]

@@ -1,0 +1,21 @@
+"""Functional CGRA simulator.
+
+Executes generated context programs cycle by cycle: PE array with
+register files and out-ports, C-Box condition memory, CCU context
+counter with conditional branches, and DMA access to a host heap —
+the runtime half of the paper's toolchain (the AMIDAR simulator's CGRA
+functional unit, Section IV-B).
+"""
+
+from repro.sim.memory import Heap
+from repro.sim.machine import CGRASimulator, RunResult, SimulationError
+from repro.sim.invocation import invoke_kernel, InvocationResult
+
+__all__ = [
+    "Heap",
+    "CGRASimulator",
+    "RunResult",
+    "SimulationError",
+    "invoke_kernel",
+    "InvocationResult",
+]

@@ -1,0 +1,231 @@
+"""Cycle-accurate execution of a context program.
+
+Per dynamic cycle (one CCNT value):
+
+1. every PE with a fresh context entry reads its operands — local RF
+   slots, or a neighbour's out-port, which exposes the RF value selected
+   by *that* PE's ``out_addr`` field — and starts its operation,
+2. operations finishing this cycle present their compare *status* to
+   the C-Box, which executes its context entry and drives the
+   predication broadcast (``outPE``) and branch selection (``outctrl``),
+3. finishing operations commit: RF writes (gated by ``outPE`` when
+   predicated), DMA loads/stores against the host heap (also gated —
+   "these operations are always predicated ... to prevent stalls",
+   Section V-D),
+4. the CCU computes the next CCNT (increment, jump, or halt).
+
+Register files start zero-initialised; live-in locals are written by the
+host before cycle 0 (Section IV-A.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cbox import CBoxState
+from repro.arch.composition import Composition
+from repro.arch.operations import OPS, wrap32
+from repro.context.words import ContextProgram, PEContext
+from repro.sim.memory import Heap
+
+__all__ = ["CGRASimulator", "RunResult", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Inconsistent context program or runaway execution."""
+
+
+@dataclass
+class _InFlight:
+    """An operation in execution (commits after ``remaining`` cycles)."""
+
+    entry: PEContext
+    operands: Tuple[int, ...]
+    remaining: int
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    #: per-PE dynamic operation counts
+    ops_executed: List[int]
+    #: total abstract energy (sum of per-op energies, Fig. 9 scale)
+    energy: float
+    #: dynamic branch count (taken conditional branches)
+    branches_taken: int
+
+
+class CGRASimulator:
+    def __init__(
+        self,
+        comp: Composition,
+        program: ContextProgram,
+        heap: Optional[Heap] = None,
+        *,
+        max_cycles: int = 50_000_000,
+    ) -> None:
+        if program.n_cycles > comp.context_size:
+            raise SimulationError(
+                f"program needs {program.n_cycles} contexts, composition "
+                f"provides {comp.context_size}"
+            )
+        self.comp = comp
+        self.program = program
+        self.heap = heap if heap is not None else Heap()
+        self.max_cycles = max_cycles
+        self.rf: List[List[int]] = [
+            [0] * pe.regfile_size for pe in comp.pes
+        ]
+        self.cbox = CBoxState(comp.cbox_slots)
+
+    # -- host interface ----------------------------------------------------
+
+    def write_livein(self, pe: int, slot: int, value: int) -> None:
+        self.rf[pe][slot] = wrap32(value)
+
+    def read_liveout(self, pe: int, slot: int) -> int:
+        return self.rf[pe][slot]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, start_ccnt: int = 0) -> RunResult:
+        comp, program = self.comp, self.program
+        n_pes = comp.n_pes
+        # non-pipelined PEs hold at most one in-flight operation;
+        # pipelined PEs may hold several (Section VII pipeline stages)
+        in_flight: List[List[_InFlight]] = [[] for _ in range(n_pes)]
+        ops_executed = [0] * n_pes
+        energy = 0.0
+        branches_taken = 0
+        ccnt = start_ccnt
+        cycles = 0
+
+        while True:
+            if cycles >= self.max_cycles:
+                raise SimulationError(
+                    f"exceeded {self.max_cycles} cycles (runaway loop?)"
+                )
+            if not 0 <= ccnt < program.n_cycles:
+                raise SimulationError(f"CCNT {ccnt} out of program range")
+            cycles += 1
+
+            # ---- phase 1: operand reads + issue -------------------------
+            out_values: Dict[int, int] = {}
+            for pe in range(n_pes):
+                entry = program.pe_contexts[pe][ccnt]
+                if entry is not None and entry.out_addr is not None:
+                    out_values[pe] = self.rf[pe][entry.out_addr]
+
+            for pe in range(n_pes):
+                entry = program.pe_contexts[pe][ccnt]
+                if entry is None or entry.opcode == "NOP":
+                    continue
+                if in_flight[pe] and not comp.pes[pe].pipelined:
+                    raise SimulationError(
+                        f"PE {pe} issued {entry.opcode} at ccnt {ccnt} while busy"
+                    )
+                operands = []
+                for sel in entry.srcs:
+                    if sel.is_local:
+                        operands.append(self.rf[pe][sel.slot])
+                    else:
+                        if sel.pe not in out_values:
+                            raise SimulationError(
+                                f"PE {pe} reads PE {sel.pe}'s out-port at "
+                                f"ccnt {ccnt}, but no value is exposed"
+                            )
+                        if not comp.interconnect.has_link(sel.pe, pe):
+                            raise SimulationError(
+                                f"PE {pe} has no input from PE {sel.pe}"
+                            )
+                        operands.append(out_values[sel.pe])
+                in_flight[pe].append(
+                    _InFlight(
+                        entry=entry,
+                        operands=tuple(operands),
+                        remaining=entry.duration,
+                    )
+                )
+                ops_executed[pe] += 1
+                energy += comp.pes[pe].energy(entry.opcode)
+
+            # ---- phase 2: statuses of finishing compares + C-Box --------
+            statuses: List[Optional[int]] = [None] * n_pes
+            finishing: List[Tuple[int, _InFlight]] = []
+            for pe in range(n_pes):
+                done_here = 0
+                still: List[_InFlight] = []
+                for flight in in_flight[pe]:
+                    flight.remaining -= 1
+                    if flight.remaining == 0:
+                        done_here += 1
+                        finishing.append((pe, flight))
+                        spec = OPS[flight.entry.opcode]
+                        if spec.produces_status:
+                            statuses[pe] = spec.apply(*flight.operands)
+                    else:
+                        still.append(flight)
+                if done_here > 1:
+                    raise SimulationError(
+                        f"PE {pe} finishes {done_here} operations in one "
+                        "cycle (single write port)"
+                    )
+                in_flight[pe] = still
+
+            cbox_entry = program.cbox_contexts[ccnt]
+            out_pe: Optional[int] = None
+            out_ctrl: Optional[int] = None
+            if cbox_entry is not None:
+                out_pe, out_ctrl = self.cbox.step(cbox_entry, statuses)
+
+            # ---- phase 3: commits -----------------------------------------
+            for pe, flight in finishing:
+                entry = flight.entry
+                if entry.predicated:
+                    if out_pe is None:
+                        raise SimulationError(
+                            f"predicated {entry.opcode} on PE {pe} committed "
+                            f"at ccnt {ccnt} without a predication signal"
+                        )
+                    if out_pe == 0:
+                        continue  # squashed
+                self._commit(pe, entry, flight.operands)
+
+            # ---- phase 4: CCU ------------------------------------------------
+            ccu = program.ccu_contexts[ccnt]
+            nxt = ccu.next_ccnt(ccnt, out_ctrl)
+            if nxt is None:
+                if any(in_flight[pe] for pe in range(n_pes)):
+                    raise SimulationError("halt with operations in flight")
+                return RunResult(
+                    cycles=cycles,
+                    ops_executed=ops_executed,
+                    energy=energy,
+                    branches_taken=branches_taken,
+                )
+            if nxt != ccnt + 1:
+                branches_taken += 1
+            ccnt = nxt
+
+    def _commit(self, pe: int, entry: PEContext, operands: Tuple[int, ...]) -> None:
+        opcode = entry.opcode
+        if opcode == "CONST":
+            assert entry.immediate is not None and entry.dest_slot is not None
+            self.rf[pe][entry.dest_slot] = wrap32(entry.immediate)
+            return
+        if opcode == "DMA_LOAD":
+            assert entry.immediate is not None and entry.dest_slot is not None
+            value = self.heap.load(entry.immediate, operands[0])
+            self.rf[pe][entry.dest_slot] = value
+            return
+        if opcode == "DMA_STORE":
+            assert entry.immediate is not None
+            self.heap.store(entry.immediate, operands[0], operands[1])
+            return
+        spec = OPS[opcode]
+        if spec.produces_status:
+            return  # status was routed to the C-Box in phase 2
+        if spec.produces_value:
+            assert entry.dest_slot is not None, opcode
+            self.rf[pe][entry.dest_slot] = spec.apply(*operands)

@@ -1,0 +1,13 @@
+"""Human-readable views of schedules and context programs.
+
+Text-only (terminal-friendly) renderings used by the examples, the
+evaluation report and debugging sessions:
+
+* :func:`schedule_gantt` — PE x cycle occupancy chart of a schedule,
+  with C-Box and CCU rows (what Fig. 10's "contexts" look like),
+* :func:`program_listing` — per-cycle disassembly of generated contexts.
+"""
+
+from repro.viz.text import program_listing, schedule_gantt
+
+__all__ = ["schedule_gantt", "program_listing"]

@@ -1,0 +1,167 @@
+"""Text renderings of schedules and context programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.ccu import BranchKind
+from repro.arch.composition import Composition
+from repro.context.words import ContextProgram
+from repro.sched.schedule import Schedule
+
+__all__ = ["schedule_gantt", "program_listing"]
+
+_ABBREV = {
+    "IADD": "add", "ISUB": "sub", "IMUL": "mul", "INEG": "neg",
+    "IAND": "and", "IOR": "or ", "IXOR": "xor", "INOT": "not",
+    "ISHL": "shl", "ISHR": "shr", "IUSHR": "usr",
+    "IFEQ": "c==", "IFNE": "c!=", "IFLT": "c< ", "IFLE": "c<=",
+    "IFGT": "c> ", "IFGE": "c>=",
+    "MOVE": "mov", "CONST": "cst", "NOP": "   ",
+    "DMA_LOAD": "ld*", "DMA_STORE": "st*",
+}
+
+_BRANCH_MARK = {
+    BranchKind.CONDITIONAL: "?>",
+    BranchKind.UNCONDITIONAL: "->",
+    BranchKind.HALT: "##",
+    BranchKind.NONE: "  ",
+}
+
+
+def _abbrev(opcode: str, predicated: bool) -> str:
+    text = _ABBREV.get(opcode, opcode[:3].lower())
+    return text.rstrip() + ("!" if predicated else "")
+
+
+def schedule_gantt(schedule: Schedule, comp: Composition) -> str:
+    """PE x cycle occupancy chart.
+
+    One column per context; per-PE cells show the op (``!`` marks a
+    predicated write, ``.`` a busy continuation cycle of a multi-cycle
+    op); the CBOX row shows combines (``*``) and output selections
+    (``p`` = outPE, ``c`` = outctrl); the CCU row shows branches with
+    their targets.
+    """
+    n = schedule.n_cycles
+    width = 5
+    grid: List[List[str]] = [["" for _ in range(n)] for _ in range(comp.n_pes)]
+    for op in schedule.ops:
+        cell = _abbrev(op.opcode, op.predicate is not None)
+        grid[op.pe][op.cycle] = cell
+        for c in range(op.cycle + 1, op.cycle + op.duration):
+            grid[op.pe][c] = "."
+
+    lines = []
+    header = "cycle".ljust(7) + "".join(
+        str(c).rjust(width) for c in range(n)
+    )
+    lines.append(header)
+    for pe in range(comp.n_pes):
+        row = f"PE{pe}".ljust(7) + "".join(
+            (grid[pe][c] or "").rjust(width) for c in range(n)
+        )
+        lines.append(row)
+
+    cbox_cells = []
+    for c in range(n):
+        plan = schedule.cbox.get(c)
+        if plan is None:
+            cbox_cells.append("")
+            continue
+        mark = ""
+        if plan.func is not None:
+            mark += "*"
+        if plan.out_pe is not None:
+            mark += "p"
+        if plan.out_ctrl is not None:
+            mark += "c"
+        cbox_cells.append(mark)
+    lines.append(
+        "CBOX".ljust(7) + "".join(cell.rjust(width) for cell in cbox_cells)
+    )
+
+    ccu_cells = []
+    for c in range(n):
+        br = schedule.branches.get(c)
+        if br is None:
+            ccu_cells.append("")
+        elif br.kind is BranchKind.HALT:
+            ccu_cells.append("halt")
+        else:
+            ccu_cells.append(f"{_BRANCH_MARK[br.kind]}{br.target}")
+    lines.append(
+        "CCU".ljust(7) + "".join(cell.rjust(width) for cell in ccu_cells)
+    )
+
+    if schedule.loop_spans:
+        spans = ", ".join(
+            f"[{s.start}..{s.end}]" for s in schedule.loop_spans
+        )
+        lines.append(f"loops: {spans}")
+    return "\n".join(lines)
+
+
+def program_listing(program: ContextProgram) -> str:
+    """Per-cycle disassembly of a generated context program."""
+    lines = [
+        f"; {program.kernel_name} on {program.composition_name}: "
+        f"{program.n_cycles} contexts"
+    ]
+    for var, (pe, slot) in sorted(
+        program.livein_map.items(), key=lambda kv: kv[0].name
+    ):
+        lines.append(f"; live-in  {var.name:12s} -> PE{pe} r{slot}")
+    for var, (pe, slot) in sorted(
+        program.liveout_map.items(), key=lambda kv: kv[0].name
+    ):
+        lines.append(f"; live-out {var.name:12s} <- PE{pe} r{slot}")
+
+    for cycle in range(program.n_cycles):
+        parts: List[str] = []
+        for pe, rows in enumerate(program.pe_contexts):
+            entry = rows[cycle]
+            if entry is None or (
+                entry.opcode == "NOP" and entry.out_addr is None
+            ):
+                continue
+            srcs = []
+            for sel in entry.srcs:
+                srcs.append(
+                    f"r{sel.slot}" if sel.is_local else f"in(PE{sel.pe})"
+                )
+            text = f"PE{pe}: {entry.opcode}"
+            if entry.immediate is not None:
+                text += f" #{entry.immediate}"
+            if srcs:
+                text += " " + ",".join(srcs)
+            if entry.dest_slot is not None:
+                text += f" -> r{entry.dest_slot}"
+                if entry.predicated:
+                    text += "?"
+            if entry.out_addr is not None:
+                text += f" [out=r{entry.out_addr}]"
+            parts.append(text)
+        cb = program.cbox_contexts[cycle]
+        if cb is not None and not cb.is_idle:
+            text = "CBOX:"
+            if cb.func is not None:
+                text += f" {cb.func.name} s({cb.status_pe})"
+                if cb.read_pos is not None:
+                    text += f" rd({cb.read_pos},{cb.read_neg})"
+                text += f" wr({cb.write_pos},{cb.write_neg})"
+            if cb.out_pe_slot is not None:
+                text += f" outPE={cb.out_pe_slot}"
+            if cb.out_ctrl_slot is not None:
+                text += f" outctrl={cb.out_ctrl_slot}"
+            parts.append(text)
+        ccu = program.ccu_contexts[cycle]
+        if ccu.kind is not BranchKind.NONE:
+            if ccu.kind is BranchKind.HALT:
+                parts.append("CCU: halt")
+            else:
+                cond = "if-ctrl " if ccu.kind is BranchKind.CONDITIONAL else ""
+                parts.append(f"CCU: {cond}jump {ccu.target}")
+        body = "; ".join(parts) if parts else "(idle)"
+        lines.append(f"{cycle:4d}: {body}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Tests for the C-Box and CCU behavioural models, including Listing 1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.cbox import CBOX_NOP, FRESH, CBoxFunc, CBoxOp, CBoxState
+from repro.arch.ccu import CCU_NOP, BranchKind, CCUEntry
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestCBoxFunc:
+    @given(bits, bits, bits)
+    def test_pairing_funcs_produce_complementary_pairs(self, rp, s, _unused):
+        """If the stored pair is complementary, results stay complementary."""
+        rn = 1 - rp
+        for func in CBoxFunc:
+            if func is CBoxFunc.FORK_AND:
+                continue
+            pos, neg = func.combine(rp, rn, s)
+            assert neg == 1 - pos, func
+
+    @given(bits, bits)
+    def test_fork_and_partitions_outer_predicate(self, outer, s):
+        """FORK_AND splits an outer predicate into then/else predicates.
+
+        Exactly one of (pos, neg) is active when the outer path is
+        active; both are inactive when it is not (Section V-H).
+        """
+        pos, neg = CBoxFunc.FORK_AND.combine(outer, 1 - outer, s)
+        assert pos == (outer & s)
+        assert neg == (outer & (1 - s))
+        assert pos + neg == outer
+
+    @given(bits, bits)
+    def test_or_truth_table(self, x, y):
+        pos, neg = CBoxFunc.OR.combine(x, 1 - x, y)
+        assert pos == (x | y)
+        assert neg == ((1 - x) & (1 - y))
+
+    @given(bits, bits)
+    def test_and_truth_table(self, x, y):
+        pos, neg = CBoxFunc.AND.combine(x, 1 - x, y)
+        assert pos == (x & y)
+
+    @given(bits)
+    def test_store(self, s):
+        assert CBoxFunc.STORE.combine(0, 0, s) == (s, 1 - s)
+        assert CBoxFunc.STORE_NOT.combine(0, 0, s) == (1 - s, s)
+
+    def test_needs_read(self):
+        assert not CBoxFunc.STORE.needs_read
+        assert CBoxFunc.AND.needs_read
+        assert CBoxFunc.OR_NOT.needs_read
+
+
+class TestCBoxOpValidation:
+    def test_combine_requires_status(self):
+        with pytest.raises(ValueError):
+            CBoxOp(func=CBoxFunc.STORE)
+
+    def test_binary_func_requires_read_pair(self):
+        with pytest.raises(ValueError):
+            CBoxOp(status_pe=0, func=CBoxFunc.AND)
+
+    def test_status_requires_func(self):
+        with pytest.raises(ValueError):
+            CBoxOp(status_pe=0)
+
+    def test_fresh_output_requires_combine(self):
+        with pytest.raises(ValueError):
+            CBoxOp(out_ctrl_slot=FRESH)
+
+    def test_nop_is_idle(self):
+        assert CBOX_NOP.is_idle
+
+
+class TestCBoxState:
+    def test_store_and_read_back(self):
+        cb = CBoxState(8)
+        op = CBoxOp(
+            status_pe=2, func=CBoxFunc.STORE, write_pos=0, write_neg=1
+        )
+        cb.step(op, [None, None, 1])
+        assert cb.bits[0] == 1 and cb.bits[1] == 0
+
+    def test_fresh_output_same_cycle(self):
+        cb = CBoxState(8)
+        op = CBoxOp(
+            status_pe=0,
+            func=CBoxFunc.STORE,
+            write_pos=0,
+            write_neg=1,
+            out_ctrl_slot=FRESH,
+            out_pe_slot=FRESH,
+        )
+        out_pe, out_ctrl = cb.step(op, [1])
+        assert out_pe == 1 and out_ctrl == 1
+
+    def test_stored_output_later_cycle(self):
+        cb = CBoxState(8)
+        cb.step(
+            CBoxOp(status_pe=0, func=CBoxFunc.STORE, write_pos=3, write_neg=4),
+            [0],
+        )
+        out_pe, out_ctrl = cb.step(CBoxOp(out_pe_slot=3, out_ctrl_slot=4), [None])
+        assert out_pe == 0 and out_ctrl == 1
+
+    def test_read_before_write_semantics(self):
+        """A slot read in the same cycle it is written observes the old value."""
+        cb = CBoxState(8)
+        cb.bits[0] = 1
+        out_pe, _ = cb.step(
+            CBoxOp(
+                status_pe=0,
+                func=CBoxFunc.STORE,
+                write_pos=0,
+                write_neg=1,
+                out_pe_slot=0,
+            ),
+            [0],
+        )
+        assert out_pe == 1  # old stored value, not this cycle's 0
+
+    def test_missing_status_raises(self):
+        cb = CBoxState(4)
+        with pytest.raises(RuntimeError):
+            cb.step(
+                CBoxOp(status_pe=1, func=CBoxFunc.STORE, write_pos=0, write_neg=1),
+                [1, None],
+            )
+
+    def test_slot_bounds_checked(self):
+        cb = CBoxState(4)
+        with pytest.raises(IndexError):
+            cb.step(CBoxOp(out_pe_slot=9), [None])
+
+    def test_reset(self):
+        cb = CBoxState(4)
+        cb.bits[2] = 1
+        cb.reset()
+        assert cb.bits == [0, 0, 0, 0]
+
+    @given(bits, bits)
+    def test_listing1_two_cycle_evaluation(self, x, y):
+        """Listing 1 / Fig. 4: evaluate ``if (x || y)`` in two cycles.
+
+        Cycle 1 stores x and x̄; cycle 2 combines the stored pair with the
+        incoming y to A = x∨y (path A condition) and B = x̄∧ȳ (path B).
+        """
+        cb = CBoxState(8)
+        # cycle 1: PE0 produced status x
+        cb.step(
+            CBoxOp(status_pe=0, func=CBoxFunc.STORE, write_pos=0, write_neg=1),
+            [x],
+        )
+        # cycle 2: PE1 produced status y; combine
+        cb.step(
+            CBoxOp(
+                status_pe=1,
+                func=CBoxFunc.OR,
+                read_pos=0,
+                read_neg=1,
+                write_pos=2,
+                write_neg=3,
+            ),
+            [None, y],
+        )
+        assert cb.bits[2] == (x | y)  # A = x ∨ y  (eq. 1)
+        assert cb.bits[3] == ((1 - x) & (1 - y))  # B = x̄ ∧ ȳ  (eq. 2)
+
+
+class TestCCU:
+    def test_default_increments(self):
+        assert CCU_NOP.next_ccnt(5, None) == 6
+
+    def test_unconditional(self):
+        entry = CCUEntry(BranchKind.UNCONDITIONAL, 42)
+        assert entry.next_ccnt(5, None) == 42
+
+    def test_conditional_taken_and_not_taken(self):
+        entry = CCUEntry(BranchKind.CONDITIONAL, 10)
+        assert entry.next_ccnt(5, 1) == 10
+        assert entry.next_ccnt(5, 0) == 6
+
+    def test_conditional_without_signal_raises(self):
+        entry = CCUEntry(BranchKind.CONDITIONAL, 10)
+        with pytest.raises(RuntimeError):
+            entry.next_ccnt(5, None)
+
+    def test_halt(self):
+        assert CCUEntry(BranchKind.HALT).next_ccnt(7, None) is None
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            CCUEntry(BranchKind.UNCONDITIONAL)
+        with pytest.raises(ValueError):
+            CCUEntry(BranchKind.NONE, target=3)

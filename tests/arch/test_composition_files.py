@@ -1,0 +1,37 @@
+"""The shipped composition JSON files must match the in-code library."""
+
+import json
+import os
+
+import pytest
+
+from repro.arch.description import load_composition
+from repro.arch.library import all_paper_compositions
+
+COMP_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "compositions")
+
+
+@pytest.fixture(scope="module")
+def index():
+    with open(os.path.join(COMP_DIR, "index.json")) as fh:
+        return json.load(fh)["compositions"]
+
+
+class TestShippedCompositions:
+    def test_index_covers_all_twelve(self, index):
+        assert set(index) == set(all_paper_compositions())
+
+    def test_files_load_and_match_library(self, index):
+        library = all_paper_compositions()
+        for label, fname in index.items():
+            loaded = load_composition(os.path.join(COMP_DIR, fname))
+            assert loaded == library[label], label
+
+    def test_files_are_usable_directly(self, index):
+        """A downstream user can map a kernel from a JSON file alone."""
+        from repro.kernels import gcd
+        from repro.sim.invocation import invoke_kernel
+
+        comp = load_composition(os.path.join(COMP_DIR, index["9 PEs"]))
+        res = invoke_kernel(gcd.build_kernel(), comp, {"a": 54, "b": 24})
+        assert res.results["a"] == 6

@@ -1,0 +1,105 @@
+"""Tests for the JSON composition description format (Figs. 8/9)."""
+
+import json
+
+import pytest
+
+from repro.arch.description import (
+    composition_from_dict,
+    composition_to_dict,
+    interconnect_from_dict,
+    interconnect_to_dict,
+    load_composition,
+    pe_from_dict,
+    pe_to_dict,
+    save_composition,
+)
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.arch.pe import PEDescription
+
+
+class TestPERoundtrip:
+    def test_roundtrip(self):
+        pe = PEDescription.homogeneous("PE_mem", has_dma=True, regfile_size=32)
+        again = pe_from_dict(pe_to_dict(pe))
+        assert again == pe
+
+    def test_fig9_style_document(self):
+        """Parse a document written in the exact style of the paper's Fig. 9."""
+        doc = {
+            "name": "PE_EXAMPLE",
+            "Regfile_size": 32,
+            "IADD": {"energy": 1.0, "duration": 1},
+            "ISUB": {"energy": 1.3, "duration": 1},
+            "IMUL": {"energy": 1.7, "duration": 4},
+            "IFGE": {"energy": 1.1, "duration": 1},
+            "IFLT": {"energy": 1.1, "duration": 1},
+            "NOP": {"energy": 0.7, "duration": 1},
+        }
+        pe = pe_from_dict(doc)
+        assert pe.name == "PE_EXAMPLE"
+        assert pe.regfile_size == 32
+        assert pe.duration("IMUL") == 4
+        assert pe.energy("ISUB") == pytest.approx(1.3)
+        assert not pe.has_dma
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError):
+            pe_from_dict({"name": "x", "IADD": 3})
+
+
+class TestInterconnectRoundtrip:
+    def test_roundtrip(self):
+        from repro.arch.interconnect import Interconnect
+
+        icn = Interconnect.mesh(2, 3)
+        again = interconnect_from_dict(interconnect_to_dict(icn))
+        assert again == icn
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interconnect_from_dict({"Number_of_PEs": 2, "Sources": {"5": [0]}})
+
+
+class TestCompositionRoundtrip:
+    @pytest.mark.parametrize("n", [4, 9, 16])
+    def test_mesh_roundtrip(self, n):
+        comp = mesh_composition(n)
+        again = composition_from_dict(composition_to_dict(comp))
+        assert again == comp
+
+    def test_irregular_roundtrip(self):
+        comp = irregular_composition("F")
+        again = composition_from_dict(composition_to_dict(comp))
+        assert again == comp
+        assert len(again.multiplier_pes()) == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        comp = mesh_composition(6)
+        path = tmp_path / "mesh6.json"
+        save_composition(comp, str(path))
+        again = load_composition(str(path))
+        assert again == comp
+
+    def test_file_references_resolved(self, tmp_path):
+        """Composition file referencing PE and interconnect files (Fig. 8)."""
+        comp = mesh_composition(4)
+        pe_paths = {}
+        for i, pe in enumerate(comp.pes):
+            p = tmp_path / f"pe{i}.json"
+            p.write_text(json.dumps(pe_to_dict(pe)))
+            pe_paths[str(i)] = f"pe{i}.json"
+        icn_path = tmp_path / "icn.json"
+        icn_path.write_text(json.dumps(interconnect_to_dict(comp.interconnect)))
+        doc = {
+            "name": comp.name,
+            "Number_of_PEs": 4,
+            "PEs": pe_paths,
+            "Interconnect": "icn.json",
+            "Context_memory_length": 256,
+            "CBox_slots": 32,
+        }
+        top = tmp_path / "comp.json"
+        top.write_text(json.dumps(doc))
+        again = load_composition(str(top))
+        assert again == comp

@@ -1,0 +1,154 @@
+"""Unit and property tests for the interconnect / Floyd shortest paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.interconnect import Interconnect
+
+
+class TestConstruction:
+    def test_from_sources_mapping(self):
+        icn = Interconnect.from_sources({0: [1], 1: [0], 2: [0, 1]})
+        assert icn.n == 3
+        assert icn.sources_of(2) == (0, 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Interconnect(n=2, sources=((1,), (0, 1)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Interconnect(n=2, sources=((5,), ()))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Interconnect(n=3, sources=((), ()))
+
+
+class TestTopologies:
+    def test_mesh_2x2(self):
+        icn = Interconnect.mesh(2, 2)
+        assert icn.n == 4
+        # every corner of a 2x2 mesh has exactly two neighbours
+        for q in range(4):
+            assert len(icn.sources_of(q)) == 2
+
+    def test_mesh_3x3_center(self):
+        icn = Interconnect.mesh(3, 3)
+        assert set(icn.sources_of(4)) == {1, 3, 5, 7}
+
+    def test_mesh_symmetric(self):
+        icn = Interconnect.mesh(3, 4)
+        for q in range(icn.n):
+            for p in icn.sources_of(q):
+                assert icn.has_link(q, p), "paper meshes are bidirectional"
+
+    def test_line_endpoints(self):
+        icn = Interconnect.line(5)
+        assert icn.sources_of(0) == (1,)
+        assert icn.sources_of(4) == (3,)
+
+    def test_ring(self):
+        icn = Interconnect.ring(6)
+        assert set(icn.sources_of(0)) == {1, 5}
+
+    def test_full_crossbar(self):
+        icn = Interconnect.full(4)
+        for q in range(4):
+            assert len(icn.sources_of(q)) == 3
+        assert icn.max_in_degree() == 3
+
+
+class TestFloyd:
+    def test_distance_line(self):
+        icn = Interconnect.line(6)
+        assert icn.distance(0, 5) == 5
+        assert icn.distance(0, 0) == 0
+
+    def test_path_endpoints_and_links(self):
+        icn = Interconnect.mesh(3, 3)
+        path = icn.path(0, 8)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 8
+        for a, b in zip(path, path[1:]):
+            assert icn.has_link(a, b)
+
+    def test_unreachable(self):
+        icn = Interconnect.from_sources({0: [], 1: []})
+        assert icn.path(0, 1) is None
+        assert icn.distance(0, 1) == float("inf")
+        assert not icn.is_strongly_connected()
+
+    def test_directed_asymmetry(self):
+        # 0 -> 1 -> 2 one way only
+        icn = Interconnect.from_sources({0: [], 1: [0], 2: [1]})
+        assert icn.distance(0, 2) == 2
+        assert icn.distance(2, 0) == float("inf")
+
+    def test_meshes_strongly_connected(self):
+        for dims in [(2, 2), (2, 3), (3, 3), (4, 4)]:
+            assert Interconnect.mesh(*dims).is_strongly_connected()
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=5))
+    def test_mesh_distance_is_manhattan(self, rows, cols):
+        icn = Interconnect.mesh(rows, cols)
+        for p in range(icn.n):
+            for q in range(icn.n):
+                pr, pc = divmod(p, cols)
+                qr, qc = divmod(q, cols)
+                assert icn.distance(p, q) == abs(pr - qr) + abs(pc - qc)
+
+
+@st.composite
+def random_interconnects(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    sources = []
+    for q in range(n):
+        candidates = [p for p in range(n) if p != q]
+        sources.append(draw(st.sets(st.sampled_from(candidates))))
+    return Interconnect.from_sources(sources)
+
+
+class TestFloydProperties:
+    @given(random_interconnects())
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, icn):
+        for i in range(icn.n):
+            for j in range(icn.n):
+                for k in range(icn.n):
+                    assert icn.distance(i, j) <= icn.distance(i, k) + icn.distance(k, j)
+
+    @given(random_interconnects())
+    @settings(max_examples=60)
+    def test_path_length_matches_distance(self, icn):
+        for p in range(icn.n):
+            for q in range(icn.n):
+                path = icn.path(p, q)
+                if path is None:
+                    assert icn.distance(p, q) == float("inf")
+                else:
+                    assert len(path) - 1 == icn.distance(p, q)
+
+    @given(random_interconnects())
+    @settings(max_examples=60)
+    def test_direct_links_have_distance_one(self, icn):
+        for q in range(icn.n):
+            for p in icn.sources_of(q):
+                assert icn.distance(p, q) == 1
+
+    @given(random_interconnects())
+    @settings(max_examples=40)
+    def test_sinks_inverse_of_sources(self, icn):
+        for q in range(icn.n):
+            for p in icn.sources_of(q):
+                assert q in icn.sinks_of(p)
+        for p in range(icn.n):
+            for q in icn.sinks_of(p):
+                assert p in icn.sources_of(q)
+
+    @given(random_interconnects())
+    @settings(max_examples=40)
+    def test_degree_counts_both_directions(self, icn):
+        for q in range(icn.n):
+            assert icn.degree(q) == len(icn.sources_of(q)) + len(icn.sinks_of(q))

@@ -1,0 +1,159 @@
+"""Unit tests for the operation set and its Java-int semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.operations import (
+    ARITH_OPS,
+    COMPARE_NEGATION,
+    COMPARE_OPS,
+    COMPARE_SWAP,
+    DEFAULT_INT_OPS,
+    OPS,
+    OpCategory,
+    OpCost,
+    default_costs,
+    evaluate,
+    to_unsigned32,
+    wrap32,
+)
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+anyints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(0) == 0
+        assert wrap32(2**31 - 1) == 2**31 - 1
+        assert wrap32(-(2**31)) == -(2**31)
+
+    def test_overflow_wraps(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+        assert wrap32(2**32) == 0
+
+    @given(anyints)
+    def test_range_invariant(self, x):
+        assert -(2**31) <= wrap32(x) <= 2**31 - 1
+
+    @given(anyints)
+    def test_idempotent(self, x):
+        assert wrap32(wrap32(x)) == wrap32(x)
+
+    @given(int32s)
+    def test_unsigned_roundtrip(self, x):
+        assert wrap32(to_unsigned32(x)) == x
+
+
+class TestArithmetic:
+    def test_iadd_wraps(self):
+        assert evaluate("IADD", 2**31 - 1, 1) == -(2**31)
+
+    def test_isub(self):
+        assert evaluate("ISUB", 3, 10) == -7
+
+    def test_imul_wraps(self):
+        assert evaluate("IMUL", 65536, 65536) == 0
+        assert evaluate("IMUL", 48271, 2147483647) == wrap32(48271 * 2147483647)
+
+    def test_ineg_min_int(self):
+        # Java: -Integer.MIN_VALUE == Integer.MIN_VALUE
+        assert evaluate("INEG", -(2**31)) == -(2**31)
+
+    @given(int32s, int32s)
+    def test_add_commutes(self, a, b):
+        assert evaluate("IADD", a, b) == evaluate("IADD", b, a)
+
+    @given(int32s, int32s)
+    def test_add_sub_inverse(self, a, b):
+        assert evaluate("ISUB", evaluate("IADD", a, b), b) == a
+
+
+class TestShifts:
+    def test_shift_amount_masked(self):
+        assert evaluate("ISHL", 1, 33) == 2  # 33 & 31 == 1
+        assert evaluate("ISHR", -8, 32) == -8
+
+    def test_arithmetic_vs_logical_right(self):
+        assert evaluate("ISHR", -1, 1) == -1
+        assert evaluate("IUSHR", -1, 1) == 2**31 - 1
+
+    @given(int32s, st.integers(min_value=0, max_value=31))
+    def test_ushr_nonnegative(self, a, s):
+        r = evaluate("IUSHR", a, s)
+        if s > 0:
+            assert r >= 0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(0, 31))
+    def test_shr_matches_ushr_for_nonnegative(self, a, s):
+        assert evaluate("ISHR", a, s) == evaluate("IUSHR", a, s)
+
+
+class TestLogic:
+    @given(int32s, int32s)
+    def test_de_morgan(self, a, b):
+        lhs = evaluate("INOT", evaluate("IAND", a, b))
+        rhs = evaluate("IOR", evaluate("INOT", a), evaluate("INOT", b))
+        assert lhs == rhs
+
+    @given(int32s)
+    def test_xor_self_is_zero(self, a):
+        assert evaluate("IXOR", a, a) == 0
+
+
+class TestCompares:
+    def test_status_flags(self):
+        for op in COMPARE_OPS:
+            spec = OPS[op]
+            assert spec.produces_status
+            assert not spec.produces_value
+
+    @given(int32s, int32s)
+    def test_negation_map(self, a, b):
+        for op, neg in COMPARE_NEGATION.items():
+            assert evaluate(op, a, b) == 1 - evaluate(neg, a, b)
+
+    @given(int32s, int32s)
+    def test_swap_map(self, a, b):
+        for op, swapped in COMPARE_SWAP.items():
+            assert evaluate(op, a, b) == evaluate(swapped, b, a)
+
+    def test_trichotomy(self):
+        assert evaluate("IFLT", 1, 2) == 1
+        assert evaluate("IFEQ", 2, 2) == 1
+        assert evaluate("IFGT", 3, 2) == 1
+
+
+class TestOpSpecs:
+    def test_every_op_has_default_cost(self):
+        for op in OPS:
+            cost = default_costs(op)
+            assert cost.duration >= 1
+
+    def test_default_block_multiplier_is_two_cycles(self):
+        assert default_costs("IMUL").duration == 2
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            evaluate("IADD", 1)
+
+    def test_dma_and_nop_have_no_direct_semantics(self):
+        with pytest.raises(ValueError):
+            OPS["NOP"].apply()
+
+    def test_default_int_ops_exclude_dma(self):
+        assert "DMA_LOAD" not in DEFAULT_INT_OPS
+        assert "IADD" in DEFAULT_INT_OPS
+
+    def test_categories(self):
+        assert OPS["IADD"].category is OpCategory.ARITH
+        assert OPS["IFGE"].category is OpCategory.COMPARE
+        assert "ISHL" in ARITH_OPS
+
+    def test_opcost_validation(self):
+        with pytest.raises(ValueError):
+            OpCost(duration=0)
+        with pytest.raises(ValueError):
+            OpCost(energy=-1.0)

@@ -1,0 +1,160 @@
+"""Tests for PE descriptions, compositions and the paper library."""
+
+import pytest
+
+from repro.arch.composition import MAX_DMA_PES, Composition
+from repro.arch.interconnect import Interconnect
+from repro.arch.library import (
+    IRREGULAR_NAMES,
+    MESH_SIZES,
+    all_paper_compositions,
+    irregular_composition,
+    mesh_composition,
+    paper_irregular_compositions,
+    paper_mesh_compositions,
+)
+from repro.arch.operations import OpCost, default_costs
+from repro.arch.pe import PEDescription
+
+
+class TestPEDescription:
+    def test_homogeneous_supports_full_int_set(self):
+        pe = PEDescription.homogeneous("p")
+        for op in ("IADD", "ISUB", "IMUL", "IAND", "ISHL", "IFGE", "MOVE",
+                   "CONST", "NOP"):
+            assert pe.supports(op)
+        assert not pe.supports("DMA_LOAD")
+
+    def test_dma_pe(self):
+        pe = PEDescription.homogeneous("m", has_dma=True)
+        assert pe.has_dma
+        assert pe.supports("DMA_LOAD") and pe.supports("DMA_STORE")
+
+    def test_mul_duration_selectable(self):
+        assert PEDescription.homogeneous("a", mul_duration=2).duration("IMUL") == 2
+        assert PEDescription.homogeneous("b", mul_duration=1).duration("IMUL") == 1
+
+    def test_exclude_ops_makes_inhomogeneous(self):
+        pe = PEDescription.homogeneous("nomul", exclude_ops=("IMUL",))
+        assert not pe.has_multiplier
+        with pytest.raises(KeyError):
+            pe.cost("IMUL")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            PEDescription("x", 8, {"FROB": OpCost(), "NOP": OpCost()})
+
+    def test_rejects_dma_ops_without_dma(self):
+        with pytest.raises(ValueError):
+            PEDescription(
+                "x", 8,
+                {"NOP": OpCost(), "DMA_LOAD": default_costs("DMA_LOAD")},
+                has_dma=False,
+            )
+
+    def test_dma_pe_requires_dma_ops(self):
+        with pytest.raises(ValueError):
+            PEDescription("x", 8, {"NOP": OpCost()}, has_dma=True)
+
+    def test_requires_nop(self):
+        with pytest.raises(ValueError):
+            PEDescription("x", 8, {"IADD": OpCost()})
+
+    def test_minimum_regfile(self):
+        with pytest.raises(ValueError):
+            PEDescription("x", 1, {"NOP": OpCost()})
+
+
+class TestComposition:
+    def test_pe_interconnect_size_must_match(self):
+        pes = tuple(PEDescription.homogeneous(f"p{i}") for i in range(3))
+        with pytest.raises(ValueError):
+            Composition("bad", pes, Interconnect.mesh(2, 2))
+
+    def test_dma_limit_enforced(self):
+        pes = tuple(
+            PEDescription.homogeneous(f"p{i}", has_dma=True) for i in range(6)
+        )
+        with pytest.raises(ValueError):
+            Composition("toomanydma", pes, Interconnect.full(6))
+
+    def test_queries(self):
+        comp = mesh_composition(8)
+        assert comp.n_pes == 8
+        assert 0 < len(comp.dma_pes()) <= MAX_DMA_PES
+        assert comp.supports("IMUL")
+        assert comp.is_homogeneous()
+        assert comp.validate_for_kernel_ops(["IADD", "IMUL"]) == []
+
+    def test_unsupported_ops_reported(self):
+        comp = mesh_composition(4)
+        nomul = Composition(
+            "nomul",
+            tuple(
+                PEDescription.homogeneous(f"p{i}", exclude_ops=("IMUL",))
+                for i in range(4)
+            ),
+            Interconnect.mesh(2, 2),
+        )
+        assert nomul.validate_for_kernel_ops(["IMUL"]) == ["IMUL"]
+        assert comp.validate_for_kernel_ops(["IMUL"]) == []
+
+    def test_describe_mentions_every_pe(self):
+        comp = mesh_composition(6)
+        text = comp.describe()
+        for i in range(6):
+            assert f"PE{i}" in text
+
+
+class TestLibrary:
+    def test_all_mesh_sizes_buildable(self):
+        comps = paper_mesh_compositions()
+        assert set(comps) == set(MESH_SIZES)
+        for n, comp in comps.items():
+            assert comp.n_pes == n
+            assert comp.interconnect.is_strongly_connected()
+            assert comp.is_homogeneous()
+            assert 1 <= len(comp.dma_pes()) <= MAX_DMA_PES
+
+    def test_mesh_context_and_rf_defaults_match_paper(self):
+        comp = mesh_composition(9)
+        assert comp.context_size == 256
+        assert all(pe.regfile_size == 128 for pe in comp.pes)
+
+    def test_single_cycle_multiplier_variant(self):
+        comp = mesh_composition(9, mul_duration=1)
+        assert all(pe.duration("IMUL") == 1 for pe in comp.pes)
+
+    def test_irregular_compositions(self):
+        comps = paper_irregular_compositions()
+        assert set(comps) == set(IRREGULAR_NAMES)
+        for name, comp in comps.items():
+            assert comp.n_pes == 8
+            assert comp.interconnect.is_strongly_connected(), name
+            assert 1 <= len(comp.dma_pes()) <= MAX_DMA_PES
+
+    def test_b_is_sparsest(self):
+        comps = paper_irregular_compositions()
+        edges = {name: comp.interconnect.edge_count() for name, comp in comps.items()}
+        assert edges["B"] == min(edges.values())
+
+    def test_f_has_two_multiplier_pes(self):
+        comp = irregular_composition("F")
+        assert len(comp.multiplier_pes()) == 2
+        assert not comp.is_homogeneous()
+
+    def test_f_shares_d_interconnect(self):
+        d = irregular_composition("D")
+        f = irregular_composition("F")
+        assert d.interconnect.sources == f.interconnect.sources
+
+    def test_all_paper_compositions_labels(self):
+        comps = all_paper_compositions()
+        assert "9 PEs" in comps and "8 PEs F" in comps
+        assert len(comps) == 12
+
+    def test_unknown_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            mesh_composition(5)
+        with pytest.raises(ValueError):
+            irregular_composition("Z")

@@ -1,0 +1,123 @@
+"""Baseline interpreter tests: semantics, cost accounting, calibration."""
+
+import pytest
+
+from repro.baseline import AMIDAR_COSTS, run_baseline
+from repro.baseline.costs import BRANCH_COST, LOOP_OVERHEAD
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.kernels import adpcm
+
+
+def k_three_adds(a: int) -> int:
+    b = a + 1
+    c = b + 2
+    d = c + 3
+    return d
+
+
+def k_loop(n: int) -> int:
+    acc = 0
+    i = 0
+    while i < n:
+        acc += i
+        i += 1
+    return acc
+
+
+class TestSemantics:
+    def test_simple(self):
+        res = run_baseline(compile_kernel(k_three_adds), {"a": 10})
+        assert res.results["d"] == 16
+
+    def test_unset_locals_read_zero(self):
+        def k(a: int) -> int:
+            r = 0
+            if a > 0:
+                r = never_set + 1  # noqa: F821 (resolved as local below)
+            return r
+
+        # build via builder to allow an uninitialised read
+        from repro.ir.builder import KernelBuilder
+
+        kb = KernelBuilder("k")
+        a = kb.param("a")
+        never = kb.local("never_set")
+        r = kb.local("r")
+        kb.write(r, kb.binop("IADD", kb.read(never), kb.const(1)))
+        kernel = kb.finish(results=[r])
+        res = run_baseline(kernel, {"a": 1})
+        assert res.results["r"] == 1  # locals start at 0
+
+    def test_missing_livein_rejected(self):
+        with pytest.raises(KeyError, match="missing"):
+            run_baseline(compile_kernel(k_three_adds), {})
+
+    def test_unknown_livein_rejected(self):
+        with pytest.raises(KeyError):
+            run_baseline(compile_kernel(k_three_adds), {"a": 1, "zz": 2})
+
+    def test_missing_array_rejected(self):
+        def k(n: int, xs: IntArray) -> int:
+            v = xs[0]
+            return v
+
+        with pytest.raises(KeyError, match="xs"):
+            run_baseline(compile_kernel(k), {"n": 1})
+
+
+class TestCostAccounting:
+    def test_straightline_cost_is_sum_of_nodes(self):
+        kernel = compile_kernel(k_three_adds)
+        res = run_baseline(kernel, {"a": 0})
+        expected = sum(
+            AMIDAR_COSTS[n.opcode] for n in kernel.nodes()
+        )
+        assert res.cycles == expected
+
+    def test_loop_costs_scale_with_iterations(self):
+        kernel = compile_kernel(k_loop)
+        r5 = run_baseline(kernel, {"n": 5})
+        r10 = run_baseline(kernel, {"n": 10})
+        per_iter = (r10.cycles - r5.cycles) / 5
+        assert per_iter > 0
+        # 5 extra iterations add branch + loop overhead each
+        assert per_iter >= BRANCH_COST + LOOP_OVERHEAD
+
+    def test_executed_histogram(self):
+        res = run_baseline(compile_kernel(k_loop), {"n": 3})
+        assert res.executed["IFLT"] == 4  # 3 taken + 1 exit check
+        assert res.executed["VARWRITE"] >= 6
+
+    def test_runaway_guard(self):
+        from repro.baseline.amidar import AmidarInterpreter, BaselineError
+
+        def k(a: int) -> int:
+            while a < 1:
+                pass
+            return a
+
+        kernel = compile_kernel(k)
+        interp = AmidarInterpreter(kernel, max_nodes=1000)
+        with pytest.raises(BaselineError):
+            interp.run({"a": 0})
+
+
+class TestCalibration:
+    def test_adpcm_416_lands_near_paper_baseline(self):
+        """The paper reports 926 k cycles for the ADPCM decoder on
+        AMIDAR; our documented cost table is calibrated to that."""
+        n = adpcm.N_SAMPLES
+        kernel = adpcm.build_decoder_kernel()
+        packed, expect = adpcm.encoded_reference(n)
+        res = run_baseline(
+            kernel,
+            {"n": n, "gain": 4096},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(adpcm.STEP_TABLE),
+                "indextab": list(adpcm.INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect
+        assert 0.9e6 < res.cycles < 1.0e6  # paper: 926k

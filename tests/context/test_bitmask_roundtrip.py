@@ -1,0 +1,86 @@
+"""Pack/unpack roundtrip properties of the bit-mask context encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.arch.operations import OPS
+from repro.context.bitmask import ContextEncoding
+from repro.context.generator import generate_contexts
+from repro.context.words import PEContext, SrcSel
+from repro.kernels import sort
+from repro.sched.scheduler import schedule_kernel
+
+COMP = mesh_composition(4)
+ENC = ContextEncoding(COMP, 0)
+RF = COMP.pes[0].regfile_size
+SOURCES = COMP.interconnect.sources_of(0)
+
+value_ops = [
+    op
+    for op in ENC.opcodes
+    if op in OPS and OPS[op].produces_value and OPS[op].arity >= 1
+]
+
+
+@st.composite
+def pe_entries(draw):
+    opcode = draw(st.sampled_from(sorted(value_ops)))
+    arity = OPS[opcode].arity
+    srcs = tuple(
+        draw(
+            st.one_of(
+                st.builds(
+                    SrcSel.rf, st.integers(min_value=0, max_value=RF - 1)
+                ),
+                st.builds(SrcSel.port, st.sampled_from(SOURCES)),
+            )
+        )
+        for _ in range(arity)
+    )
+    return PEContext(
+        opcode=opcode,
+        srcs=srcs,
+        dest_slot=draw(st.integers(min_value=0, max_value=RF - 1)),
+        predicated=draw(st.booleans()),
+        out_addr=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=RF - 1))
+        ),
+    )
+
+
+class TestRoundtrip:
+    @given(pe_entries())
+    @settings(max_examples=150)
+    def test_pack_unpack_identity(self, entry):
+        word = ENC.pack(entry)
+        again = ENC.unpack(word)
+        assert again.opcode == entry.opcode
+        assert again.srcs == entry.srcs
+        assert again.dest_slot == entry.dest_slot
+        assert again.predicated == entry.predicated
+        assert again.out_addr == entry.out_addr
+
+    def test_const_immediate_roundtrip(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31), 12345, -9876):
+            entry = PEContext(opcode="CONST", immediate=value, dest_slot=3)
+            again = ENC.unpack(ENC.pack(entry))
+            assert again.immediate == value
+
+    def test_whole_program_roundtrips(self):
+        comp = irregular_composition("D")
+        kernel = sort.build_kernel()
+        schedule = schedule_kernel(kernel, comp)
+        program = generate_contexts(schedule, comp, kernel)
+        for pe in range(comp.n_pes):
+            enc = ContextEncoding(comp, pe)
+            for entry in program.pe_contexts[pe]:
+                if entry is None or entry.opcode == "NOP":
+                    continue
+                again = enc.unpack(enc.pack(entry))
+                assert again.opcode == entry.opcode
+                assert again.dest_slot == entry.dest_slot
+                assert again.predicated == entry.predicated
+                assert again.out_addr == entry.out_addr
+                assert again.srcs == entry.srcs

@@ -1,0 +1,165 @@
+"""Context generation tests: allocation, consistency, bit-mask widths."""
+
+import pytest
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.context.bitmask import (
+    ContextEncoding,
+    composition_context_bits,
+    pe_context_width,
+)
+from repro.context.generator import generate_contexts
+from repro.context.words import PEContext, SrcSel
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.kernels import gcd, sort
+from repro.sched.schedule import SchedulingError
+from repro.sched.scheduler import schedule_kernel
+
+
+def build(kernel_mod=gcd, comp=None):
+    comp = comp or mesh_composition(4)
+    kernel = kernel_mod.build_kernel()
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    return kernel, comp, schedule, program
+
+
+class TestGeneration:
+    def test_shapes(self):
+        kernel, comp, schedule, program = build()
+        assert program.n_cycles == schedule.n_cycles
+        assert len(program.pe_contexts) == comp.n_pes
+        assert all(len(rows) == program.n_cycles for rows in program.pe_contexts)
+        assert len(program.ccu_contexts) == program.n_cycles
+
+    def test_rf_usage_within_capacity(self):
+        kernel, comp, schedule, program = build(sort, mesh_composition(9))
+        for pe, used in enumerate(program.rf_used):
+            assert used <= comp.pes[pe].regfile_size
+        assert program.max_rf_entries == max(program.rf_used)
+
+    def test_cbox_slots_within_capacity(self):
+        kernel, comp, schedule, program = build(sort, mesh_composition(9))
+        assert program.cbox_slots_used <= comp.cbox_slots
+
+    def test_out_addr_set_for_port_reads(self):
+        kernel, comp, schedule, program = build(sort, mesh_composition(9))
+        for pe in range(comp.n_pes):
+            for cycle in range(program.n_cycles):
+                entry = program.pe_contexts[pe][cycle]
+                if entry is None:
+                    continue
+                for sel in entry.srcs:
+                    if not sel.is_local:
+                        neighbour = program.pe_contexts[sel.pe][cycle]
+                        assert neighbour is not None
+                        assert neighbour.out_addr is not None
+
+    def test_livein_liveout_maps(self):
+        kernel, comp, schedule, program = build()
+        names = {v.name for v in program.livein_map}
+        assert names == {"a", "b"}
+        for var, (pe, slot) in program.livein_map.items():
+            assert 0 <= pe < comp.n_pes
+            assert 0 <= slot < comp.pes[pe].regfile_size
+        assert {v.name for v in program.liveout_map} == {"a"}
+
+    def test_slot_reuse_respects_lifetimes(self):
+        """Two ops writing the same (pe, slot) must not be live-range
+        overlapping: validated indirectly by simulating correctness in
+        the integration suite; here we check slots stay in range."""
+        kernel, comp, schedule, program = build(sort, mesh_composition(4))
+        for pe, rows in enumerate(program.pe_contexts):
+            cap = comp.pes[pe].regfile_size
+            for entry in rows:
+                if entry is None:
+                    continue
+                if entry.dest_slot is not None:
+                    assert 0 <= entry.dest_slot < cap
+                if entry.out_addr is not None:
+                    assert 0 <= entry.out_addr < cap
+
+    def test_cbox_overflow_detected(self):
+        def k(a: int) -> int:
+            r = 0
+            s = 0
+            t = 0
+            # three pair lifetimes overlap: each outer predicate is
+            # still needed for a write after its nested if completes
+            if a > 0:
+                if a > 1:
+                    if a > 2:
+                        r = 1
+                    s = 2
+                t = 3
+            return r + s + t
+
+        kernel = compile_kernel(k)
+        comp = mesh_composition(4, context_size=256)
+        comp = comp.__class__(
+            name=comp.name,
+            pes=comp.pes,
+            interconnect=comp.interconnect,
+            context_size=comp.context_size,
+            cbox_slots=2,
+        )
+        schedule = schedule_kernel(kernel, comp)
+        with pytest.raises(SchedulingError, match="C-Box"):
+            generate_contexts(schedule, comp, kernel)
+
+
+class TestBitmask:
+    def test_widths_grow_with_connectivity(self):
+        lean = mesh_composition(4)
+        rich = irregular_composition("D")  # high fan-in clusters
+        w_lean = pe_context_width(lean, 0)
+        w_rich = pe_context_width(rich, 0)
+        assert w_lean > 0 and w_rich > 0
+
+    def test_rf_size_shrinks_context(self):
+        big = mesh_composition(4, regfile_size=128)
+        small = mesh_composition(4, regfile_size=32)
+        assert pe_context_width(small, 0) < pe_context_width(big, 0)
+
+    def test_composition_bits(self):
+        stats = composition_context_bits(mesh_composition(9))
+        assert stats["total_bits"] == (
+            stats["pe_width_total"] + stats["cbox_width"] + stats["ccu_width"]
+        ) * 256
+        assert stats["pe_width_max"] >= stats["pe_width_total"] // 9
+
+    def test_pack_roundtrippable_fields(self):
+        comp = mesh_composition(4)
+        enc = ContextEncoding(comp, 0)
+        entry = PEContext(
+            opcode="IADD",
+            srcs=(SrcSel.rf(5), SrcSel.port(comp.interconnect.sources_of(0)[0])),
+            dest_slot=9,
+            predicated=True,
+            out_addr=3,
+        )
+        word = enc.pack(entry)
+        f = enc.fields
+        assert (word >> f["opcode"].offset) & (
+            (1 << f["opcode"].width) - 1
+        ) == enc.opcodes["IADD"]
+        assert (word >> f["dest"].offset) & ((1 << f["dest"].width) - 1) == 9
+        assert (word >> f["predicated"].offset) & 1 == 1
+        assert (word >> f["out_en"].offset) & 1 == 1
+
+    def test_pack_none_is_nop(self):
+        comp = mesh_composition(4)
+        enc = ContextEncoding(comp, 0)
+        word = enc.pack(None)
+        f = enc.fields
+        assert (word >> f["opcode"].offset) & (
+            (1 << f["opcode"].width) - 1
+        ) == enc.opcodes["NOP"]
+
+    def test_all_program_entries_packable(self):
+        kernel, comp, schedule, program = build(sort, mesh_composition(4))
+        for pe in range(comp.n_pes):
+            enc = ContextEncoding(comp, pe)
+            for entry in program.pe_contexts[pe]:
+                word = enc.pack(entry)
+                assert 0 <= word < (1 << enc.width)

@@ -1,0 +1,108 @@
+"""Tests for multi-schedule context memories (Section IV-A.3)."""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.context.multi import combine_programs
+from repro.ir.frontend import compile_kernel
+from repro.kernels import gcd
+from repro.sched.schedule import SchedulingError
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.memory import Heap
+
+
+def k_triple(a: int) -> int:
+    b = a * 3
+    return b
+
+
+def k_square(a: int) -> int:
+    b = a * a
+    return b
+
+
+def build_program(fn_or_kernel, comp):
+    kernel = (
+        fn_or_kernel
+        if hasattr(fn_or_kernel, "body")
+        else compile_kernel(fn_or_kernel)
+    )
+    schedule = schedule_kernel(kernel, comp)
+    return generate_contexts(schedule, comp, kernel)
+
+
+class TestCombine:
+    def test_two_kernels_resident(self):
+        comp = mesh_composition(4)
+        multi = combine_programs(
+            comp,
+            {
+                "triple": build_program(k_triple, comp),
+                "square": build_program(k_square, comp),
+            },
+        )
+        assert multi.kernels == ("triple", "square")
+        assert multi.start_ccnt("triple") == 0
+        assert multi.start_ccnt("square") > 0
+
+        results, run, _ = multi.invoke("triple", {"a": 7})
+        assert results["b"] == 21
+        results, run, _ = multi.invoke("square", {"a": 7})
+        assert results["b"] == 49
+
+    def test_kernel_with_control_flow_relocated(self):
+        """Branch targets must be rebased by the kernel's start CCNT."""
+        comp = mesh_composition(4)
+        multi = combine_programs(
+            comp,
+            {
+                "triple": build_program(k_triple, comp),
+                "gcd": build_program(gcd.build_kernel(), comp),
+            },
+        )
+        assert multi.start_ccnt("gcd") > 0
+        results, run, _ = multi.invoke("gcd", {"a": 48, "b": 36})
+        assert results["a"] == 12
+        # and the first kernel still works
+        results, _, _ = multi.invoke("triple", {"a": -5})
+        assert results["b"] == -15
+
+    def test_repeated_invocations(self):
+        comp = mesh_composition(4)
+        multi = combine_programs(
+            comp, {"gcd": build_program(gcd.build_kernel(), comp)}
+        )
+        for a, b, expect in [(6, 4, 2), (35, 14, 7), (13, 13, 13)]:
+            results, _, _ = multi.invoke("gcd", {"a": a, "b": b})
+            assert results["a"] == expect
+
+    def test_capacity_enforced(self):
+        comp = mesh_composition(4, context_size=8)
+        prog = build_program(gcd.build_kernel(), comp)
+        assert prog.n_cycles <= 8  # fits alone...
+        with pytest.raises(SchedulingError, match="combined contexts"):
+            combine_programs(comp, {"a": prog, "b": prog})  # ...not twice
+
+    def test_unknown_kernel(self):
+        comp = mesh_composition(4)
+        multi = combine_programs(
+            comp, {"triple": build_program(k_triple, comp)}
+        )
+        with pytest.raises(KeyError, match="resident"):
+            multi.invoke("nope", {})
+
+    def test_mismatched_composition_rejected(self):
+        comp4 = mesh_composition(4)
+        comp9 = mesh_composition(9)
+        prog9 = build_program(k_triple, comp9)
+        with pytest.raises(SchedulingError, match="different"):
+            combine_programs(comp4, {"triple": prog9})
+
+    def test_missing_livein(self):
+        comp = mesh_composition(4)
+        multi = combine_programs(
+            comp, {"triple": build_program(k_triple, comp)}
+        )
+        with pytest.raises(KeyError, match="missing"):
+            multi.invoke("triple", {})

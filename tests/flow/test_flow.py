@@ -1,0 +1,196 @@
+"""Tests for the Fig. 1 online-synthesis flow: profile, extract, hybrid."""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.baseline import run_baseline
+from repro.flow import accelerate, extract_loop
+from repro.flow.hybrid import HybridExecutor
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.ir.loops import LoopGraph
+from repro.sim.invocation import invoke_kernel
+
+
+def k_hot_loop(n: int, xs: IntArray) -> int:
+    setup = n * 3 - 1
+    acc = 0
+    i = 0
+    while i < n:           # the hot loop: O(n) of the work
+        acc += xs[i] * xs[i]
+        i += 1
+    tail = acc + setup
+    return tail
+
+
+def k_two_loops(n: int, xs: IntArray, ys: IntArray) -> int:
+    a = 0
+    i = 0
+    while i < n:
+        a += xs[i]
+        i += 1
+    b = 0
+    j = 0
+    while j < n:
+        b += ys[j] * 2
+        j += 1
+    total = a + b
+    return total
+
+
+class TestProfiling:
+    def test_loop_profiles_recorded(self):
+        kernel = compile_kernel(k_hot_loop)
+        res = run_baseline(kernel, {"n": 10}, {"xs": list(range(10))})
+        assert len(res.loop_profiles) == 1
+        (profile,) = res.loop_profiles.values()
+        assert profile.entries == 1
+        assert profile.iterations == 10
+        assert 0 < profile.cycles < res.cycles
+
+    def test_hottest_loops_threshold(self):
+        kernel = compile_kernel(k_hot_loop)
+        res = run_baseline(kernel, {"n": 50}, {"xs": [1] * 50})
+        hot = res.hottest_loops(0.5)
+        assert len(hot) == 1
+        assert hot[0][1].share_of(res.cycles) > 0.9
+        assert res.hottest_loops(0.999) == []
+
+    def test_nested_loop_cycles_attributed_to_parent(self):
+        def k(n: int) -> int:
+            acc = 0
+            i = 0
+            while i < n:
+                j = 0
+                while j < n:
+                    acc += 1
+                    j += 1
+                i += 1
+            return acc
+
+        kernel = compile_kernel(k)
+        res = run_baseline(kernel, {"n": 5})
+        lg = LoopGraph(kernel)
+        outer = next(l for l in lg.loops if lg.depth_of_loop(l) == 1)
+        inner = next(l for l in lg.loops if lg.depth_of_loop(l) == 2)
+        assert res.loop_profiles[outer].cycles > res.loop_profiles[inner].cycles
+        assert res.loop_profiles[inner].entries == 5
+        assert res.loop_profiles[inner].iterations == 25
+
+
+class TestExtraction:
+    def test_interface_inference(self):
+        kernel = compile_kernel(k_hot_loop)
+        loop = kernel.loops()[0]
+        extracted = extract_loop(kernel, loop)
+        names_in = {v.name for v in extracted.kernel.params}
+        names_out = {v.name for v in extracted.kernel.results}
+        assert {"acc", "i", "n"} <= names_in
+        assert names_out == {"acc", "i"}
+        assert [a.name for a in extracted.kernel.arrays] == ["xs"]
+
+    def test_extracted_kernel_is_independent(self):
+        kernel = compile_kernel(k_hot_loop)
+        loop = kernel.loops()[0]
+        extracted = extract_loop(kernel, loop)
+        original_vars = set(kernel.variables.values())
+        for var in extracted.kernel.variables.values():
+            assert var not in original_vars
+
+    def test_extracted_kernel_runs_standalone(self):
+        kernel = compile_kernel(k_hot_loop)
+        loop = kernel.loops()[0]
+        extracted = extract_loop(kernel, loop)
+        xs = [3, 1, 4, 1, 5]
+        res = invoke_kernel(
+            extracted.kernel,
+            mesh_composition(4),
+            {"n": 5, "acc": 0, "i": 0},
+            {"xs": xs},
+        )
+        assert res.results["acc"] == sum(x * x for x in xs)
+        assert res.results["i"] == 5
+
+    def test_foreign_loop_rejected(self):
+        k1 = compile_kernel(k_hot_loop)
+        k2 = compile_kernel(k_two_loops)
+        with pytest.raises(ValueError):
+            extract_loop(k1, k2.loops()[0])
+
+
+class TestHybrid:
+    def test_results_match_baseline(self):
+        kernel = compile_kernel(k_hot_loop)
+        comp = mesh_composition(4)
+        xs = [2, -3, 5, 7, -1, 4]
+        base = run_baseline(kernel, {"n": 6}, {"xs": list(xs)})
+        executor = HybridExecutor(kernel, comp, kernel.loops())
+        # the hybrid needs the heap pre-loaded
+        from repro.sim.memory import Heap
+
+        heap = Heap()
+        heap.allocate(kernel.arrays[0].handle, list(xs))
+        hybrid = executor.run({"n": 6}, heap)
+        assert hybrid.results == base.results
+        assert hybrid.invocations == 1
+        assert hybrid.cgra_cycles > 0
+        assert hybrid.transfer_cycles > 0
+
+    def test_hybrid_beats_baseline(self):
+        kernel = compile_kernel(k_hot_loop)
+        comp = mesh_composition(4)
+        xs = list(range(64))
+        base = run_baseline(kernel, {"n": 64}, {"xs": list(xs)})
+        from repro.sim.memory import Heap
+
+        heap = Heap()
+        heap.allocate(kernel.arrays[0].handle, list(xs))
+        executor = HybridExecutor(kernel, comp, kernel.loops())
+        hybrid = executor.run({"n": 64}, heap)
+        assert hybrid.results == base.results
+        assert hybrid.total_cycles < base.cycles
+
+    def test_accelerate_end_to_end(self):
+        kernel = compile_kernel(k_hot_loop)
+        comp = mesh_composition(4)
+        xs = list(range(40))
+        executor, base, hybrid = accelerate(
+            kernel, comp, {"n": 40}, {"xs": xs}, threshold=0.5
+        )
+        assert len(executor.mapped) == 1
+        assert hybrid.results == base.results
+        assert hybrid.total_cycles < base.host_cycles
+        speedup = base.host_cycles / hybrid.total_cycles
+        assert speedup > 2
+
+    def test_accelerate_two_hot_loops(self):
+        kernel = compile_kernel(k_two_loops)
+        comp = mesh_composition(4)
+        xs = list(range(30))
+        ys = list(range(30, 60))
+        executor, base, hybrid = accelerate(
+            kernel, comp, {"n": 30}, {"xs": xs, "ys": ys}, threshold=0.3
+        )
+        assert len(executor.mapped) == 2
+        assert hybrid.results == base.results
+        assert hybrid.invocations == 2
+
+    def test_nested_hot_loop_maps_outermost_only(self):
+        def k(n: int) -> int:
+            acc = 0
+            i = 0
+            while i < n:
+                j = 0
+                while j < n:
+                    acc += i ^ j
+                    j += 1
+                i += 1
+            return acc
+
+        kernel = compile_kernel(k)
+        comp = mesh_composition(4)
+        executor, base, hybrid = accelerate(
+            kernel, comp, {"n": 8}, threshold=0.4
+        )
+        assert len(executor.mapped) == 1  # the outer loop subsumes inner
+        assert hybrid.results == base.results
+        assert hybrid.invocations == 1

@@ -1,0 +1,102 @@
+"""FPGA cost model tests: calibration against the paper's Table II."""
+
+import pytest
+
+from repro.arch.library import (
+    all_paper_compositions,
+    irregular_composition,
+    mesh_composition,
+)
+from repro.fpga import estimate
+
+#: Table II rows: (freq MHz, LUT-logic %, LUT-mem %, DSP %, BRAM %)
+PAPER_TABLE2 = {
+    "4 PEs": (103.6, 1.01, 0.61, 0.33, 0.34),
+    "6 PEs": (99.5, 1.49, 0.81, 0.50, 0.48),
+    "8 PEs": (98.0, 1.89, 1.01, 0.67, 0.61),
+    "9 PEs": (93.6, 2.22, 1.11, 0.75, 0.68),
+    "12 PEs": (88.1, 2.80, 1.41, 1.00, 0.88),
+    "16 PEs": (86.9, 3.61, 1.82, 1.33, 1.16),
+    "8 PEs A": (94.8, 1.92, 0.91, 0.67, 0.61),
+    "8 PEs B": (93.6, 1.87, 0.91, 0.67, 0.61),
+    "8 PEs C": (100.4, 1.91, 1.01, 0.67, 0.61),
+    "8 PEs D": (96.0, 1.88, 1.01, 0.67, 0.61),
+    "8 PEs E": (94.3, 1.90, 1.01, 0.67, 0.61),
+    "8 PEs F": (93.5, 1.80, 1.01, 0.17, 0.61),
+}
+
+#: Table III mesh frequencies with single-cycle multipliers
+PAPER_TABLE3_FREQ = {
+    4: 86.9, 6: 84.0, 8: 81.3, 9: 79.7, 12: 79.0, 16: 76.3,
+}
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("label", list(PAPER_TABLE2))
+    def test_within_tolerance_of_table2(self, label):
+        comp = all_paper_compositions()[label]
+        e = estimate(comp)
+        freq, lut, lutm, dsp, bram = PAPER_TABLE2[label]
+        assert e.frequency_mhz == pytest.approx(freq, rel=0.06)
+        assert e.lut_logic_pct == pytest.approx(lut, abs=0.15)
+        assert e.lut_mem_pct == pytest.approx(lutm, abs=0.15)
+        assert e.dsp_pct == pytest.approx(dsp, abs=0.01)
+        assert e.bram_pct == pytest.approx(bram, abs=0.05)
+
+    def test_dsp_exactly_reproduced(self):
+        """DSP utilisation is purely structural: must match every row."""
+        for label, comp in all_paper_compositions().items():
+            assert estimate(comp).dsp_pct == PAPER_TABLE2[label][3]
+
+    def test_rf32_frequency_bonus(self):
+        """Section VI-B: RF 32 raises the 4-PE clock by 7.2 %."""
+        big = estimate(mesh_composition(4, regfile_size=128))
+        small = estimate(mesh_composition(4, regfile_size=32))
+        gain = small.frequency_mhz / big.frequency_mhz
+        assert gain == pytest.approx(1.072, abs=0.01)
+        assert small.frequency_mhz == pytest.approx(111.1, rel=0.01)
+
+    @pytest.mark.parametrize("n,freq", list(PAPER_TABLE3_FREQ.items()))
+    def test_single_cycle_multiplier_slowdown(self, n, freq):
+        comp = mesh_composition(n, mul_duration=1)
+        assert estimate(comp).frequency_mhz == pytest.approx(freq, rel=0.06)
+
+
+class TestShapes:
+    def test_frequency_falls_with_pe_count(self):
+        freqs = [
+            estimate(mesh_composition(n)).frequency_mhz
+            for n in (4, 6, 8, 9, 12, 16)
+        ]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_resources_grow_with_pe_count(self):
+        for attr in ("lut_logic_pct", "lut_mem_pct", "dsp_pct", "bram_pct"):
+            values = [
+                getattr(estimate(mesh_composition(n)), attr)
+                for n in (4, 6, 8, 9, 12, 16)
+            ]
+            assert values == sorted(values), attr
+
+    def test_f_saves_dsp_vs_d(self):
+        """Section VI-C: F's DSP utilisation drops by 75 % vs D."""
+        d = estimate(irregular_composition("D"))
+        f = estimate(irregular_composition("F"))
+        assert f.dsp_pct == pytest.approx(d.dsp_pct * 0.25, abs=0.01)
+        assert f.lut_logic_pct < d.lut_logic_pct
+
+    def test_execution_time_helper(self):
+        e = estimate(mesh_composition(4))
+        ms = e.execution_time_ms(103_600)
+        assert ms == pytest.approx(1.0, rel=0.01)
+
+    def test_dual_cycle_wins_wall_clock(self):
+        """Table IV: block multipliers win despite more cycles, because
+        the clock is ~17 % faster and the cycle delta is small."""
+        slow_clock = estimate(mesh_composition(9, mul_duration=1))
+        fast_clock = estimate(mesh_composition(9, mul_duration=2))
+        # same cycle count would clearly favour dual-cycle composition
+        cycles = 100_000
+        assert fast_clock.execution_time_ms(cycles) < slow_clock.execution_time_ms(
+            cycles
+        )

@@ -1,0 +1,102 @@
+"""Structural tests of the generated Verilog (no synthesis available)."""
+
+import re
+
+import pytest
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.hdl import generate_verilog, write_verilog
+
+
+@pytest.fixture(scope="module")
+def mesh4_files():
+    return generate_verilog(mesh_composition(4))
+
+
+@pytest.fixture(scope="module")
+def irrF_files():
+    return generate_verilog(irregular_composition("F"))
+
+
+class TestFileSet:
+    def test_one_alu_and_pe_per_processing_element(self, mesh4_files):
+        for i in range(4):
+            assert f"alu_pe{i}.v" in mesh4_files
+            assert f"pe{i}.v" in mesh4_files
+
+    def test_static_modules_present(self, mesh4_files):
+        for name in ("register_file.v", "context_memory.v", "ccu.v", "cbox.v"):
+            assert name in mesh4_files
+
+    def test_top_module(self, mesh4_files):
+        top = mesh4_files["cgra_top.v"]
+        assert "module cgra_top" in top
+        for i in range(4):
+            assert f"pe{i} u_pe{i}" in top
+        assert "u_ccu" in top and "u_cbox" in top
+
+    def test_write_to_disk(self, tmp_path):
+        paths = write_verilog(mesh_composition(4), str(tmp_path))
+        assert len(paths) == len(generate_verilog(mesh_composition(4)))
+        for p in paths:
+            assert (tmp_path / p.split("/")[-1]).exists()
+
+
+class TestInhomogeneity:
+    def test_alu_contains_exactly_supported_ops(self, irrF_files):
+        comp = irregular_composition("F")
+        for pe in range(comp.n_pes):
+            text = irrF_files[f"alu_pe{pe}.v"]
+            if pe in comp.multiplier_pes():
+                assert "a * b" in text, f"PE {pe} should multiply"
+            else:
+                assert "a * b" not in text, f"PE {pe} must not multiply"
+
+    def test_dma_pes_have_dma_ports(self, irrF_files):
+        comp = irregular_composition("F")
+        for pe in range(comp.n_pes):
+            text = irrF_files[f"pe{pe}.v"]
+            if comp.pes[pe].has_dma:
+                assert "dma_req" in text
+            else:
+                assert "dma_req" not in text
+
+
+class TestInterconnectWiring:
+    def test_pe_inputs_match_source_lists(self, mesh4_files):
+        comp = mesh_composition(4)
+        for pe in range(4):
+            text = mesh4_files[f"pe{pe}.v"]
+            sources = comp.interconnect.sources_of(pe)
+            for i, src in enumerate(sources):
+                assert f"in_{i},  // from PE {src}" in text
+            assert f"in_{len(sources)}," not in text
+
+    def test_top_wires_follow_interconnect(self, irrF_files):
+        comp = irregular_composition("F")
+        top = irrF_files["cgra_top.v"]
+        for pe in range(comp.n_pes):
+            for i, src in enumerate(comp.interconnect.sources_of(pe)):
+                assert f".in_{i} (pe_out_{src})" in top.split(
+                    f"pe{pe} u_pe{pe}"
+                )[1].split(");")[0]
+
+
+class TestModuleSyntaxSanity:
+    """Cheap structural lint: balanced module/endmodule, begin/end."""
+
+    @pytest.mark.parametrize("comp_name", ["mesh", "irregular"])
+    def test_balanced_constructs(self, comp_name, mesh4_files, irrF_files):
+        files = mesh4_files if comp_name == "mesh" else irrF_files
+        for name, text in files.items():
+            assert text.count("module ") - text.count("endmodule") == 0, name
+            assert text.count("case") == text.count("endcase") * 2 or (
+                text.count("case (") == text.count("endcase")
+            ), name
+
+    def test_no_unresolved_format_placeholders(self, mesh4_files, irrF_files):
+        for files in (mesh4_files, irrF_files):
+            for name, text in files.items():
+                assert not re.search(r"\{[a-z_]+\}", text), (
+                    f"unformatted placeholder in {name}"
+                )

@@ -1,0 +1,155 @@
+"""Random-kernel generation shared by the property-test modules.
+
+Hypothesis strategies produce an abstract statement tree (assignments,
+array stores, nested if/else, bounded counted loops); ``lower`` turns it
+into a real :class:`~repro.ir.cdfg.Kernel` through the builder API.
+"""
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import KernelBuilder
+
+ARRAY_LEN = 8
+VARS = ["v0", "v1", "v2"]
+BINOPS = ["IADD", "ISUB", "IMUL", "IAND", "IOR", "IXOR", "ISHL", "ISHR"]
+COMPARES = ["IFEQ", "IFNE", "IFLT", "IFLE", "IFGT", "IFGE"]
+
+exprs = st.recursive(
+    st.one_of(
+        st.tuples(st.just("const"), st.integers(-50, 50)),
+        st.tuples(st.just("var"), st.sampled_from(VARS)),
+        st.tuples(st.just("load"),),
+    ),
+    lambda children: st.tuples(
+        st.just("bin"), st.sampled_from(BINOPS), children, children
+    ),
+    max_leaves=6,
+)
+
+conditions = st.one_of(
+    st.tuples(st.just("cmp"), st.sampled_from(COMPARES), exprs, exprs),
+    st.tuples(
+        st.just("bool"),
+        st.sampled_from(["and", "or"]),
+        st.tuples(st.just("cmp"), st.sampled_from(COMPARES), exprs, exprs),
+        st.tuples(st.just("cmp"), st.sampled_from(COMPARES), exprs, exprs),
+    ),
+    st.tuples(
+        st.just("not"),
+        st.tuples(st.just("cmp"), st.sampled_from(COMPARES), exprs, exprs),
+    ),
+)
+
+statements = st.recursive(
+    st.one_of(
+        st.tuples(st.just("assign"), st.sampled_from(VARS), exprs),
+        st.tuples(st.just("store"), exprs, exprs),
+    ),
+    lambda children: st.one_of(
+        st.tuples(
+            st.just("if"),
+            conditions,
+            st.lists(children, min_size=1, max_size=3),
+            st.lists(children, min_size=0, max_size=2),
+        ),
+        st.tuples(
+            st.just("loop"),
+            st.integers(1, 3),  # constant trip count
+            st.lists(children, min_size=1, max_size=3),
+        ),
+    ),
+    max_leaves=10,
+)
+
+programs = st.lists(statements, min_size=1, max_size=6)
+
+
+class Lowerer:
+    """Lowers the abstract statement tree onto a :class:`KernelBuilder`."""
+
+    def __init__(self) -> None:
+        self.kb = KernelBuilder("fuzz")
+        self.vars = {name: self.kb.param(name) for name in VARS}
+        self.arr = self.kb.array("arr")
+        self._loop_counter = 0
+
+    def expr(self, e):
+        kb = self.kb
+        kind = e[0]
+        if kind == "const":
+            return kb.const(e[1])
+        if kind == "var":
+            return kb.read(self.vars[e[1]])
+        if kind == "load":
+            idx = kb.binop(
+                "IAND", kb.read(self.vars["v0"]), kb.const(ARRAY_LEN - 1)
+            )
+            return kb.load(self.arr, idx)
+        if kind == "bin":
+            _, op, left, right = e
+            lhs = self.expr(left)
+            rhs = self.expr(right)
+            if op in ("ISHL", "ISHR"):
+                rhs = kb.binop("IAND", rhs, kb.const(7))
+            return kb.binop(op, lhs, rhs)
+        raise AssertionError(e)
+
+    def cond(self, c):
+        kb = self.kb
+        kind = c[0]
+        if kind == "cmp":
+            _, op, left, right = c
+            return kb.cmp(op, self.expr(left), self.expr(right))
+        if kind == "bool":
+            _, op, a, b = c
+            ca = self.cond(a)
+            cb = self.cond(b)
+            return kb.c_and(ca, cb) if op == "and" else kb.c_or(ca, cb)
+        if kind == "not":
+            return self.cond(c[1]).negated()
+        raise AssertionError(c)
+
+    def stmt(self, s):
+        kb = self.kb
+        kind = s[0]
+        if kind == "assign":
+            _, name, e = s
+            kb.write(self.vars[name], self.expr(e))
+        elif kind == "store":
+            _, idx_e, val_e = s
+            idx = kb.binop("IAND", self.expr(idx_e), kb.const(ARRAY_LEN - 1))
+            kb.store(self.arr, idx, self.expr(val_e))
+        elif kind == "if":
+            _, c, then_body, else_body = s
+            kb.if_(
+                lambda: self.cond(c),
+                lambda: self.block(then_body),
+                (lambda: self.block(else_body)) if else_body else None,
+            )
+        elif kind == "loop":
+            _, count, body = s
+            self._loop_counter += 1
+            i = kb.local(f"__i{self._loop_counter}")
+            kb.write(i, kb.const(0))
+            kb.while_(
+                lambda: kb.cmp("IFLT", kb.read(i), kb.const(count)),
+                lambda: (
+                    self.block(body),
+                    kb.write(i, kb.binop("IADD", kb.read(i), kb.const(1))),
+                ),
+            )
+        else:
+            raise AssertionError(s)
+
+    def block(self, body):
+        for s in body:
+            self.stmt(s)
+
+    def finish(self):
+        return self.kb.finish(results=[self.vars[n] for n in VARS])
+
+
+def lower(program):
+    lowerer = Lowerer()
+    lowerer.block(program)
+    return lowerer.finish(), lowerer.arr

@@ -1,0 +1,211 @@
+"""Integration: every workload kernel, CGRA-simulated vs golden model.
+
+Each kernel runs through the full pipeline (frontend -> scheduler ->
+contexts -> simulator) on several compositions, and additionally through
+the baseline interpreter; all three must agree.
+"""
+
+import pytest
+
+from repro.arch.library import (
+    irregular_composition,
+    mesh_composition,
+)
+from repro.baseline import run_baseline
+from repro.kernels import adpcm, dotp, fir, gcd, matmul, sort
+from repro.sim.invocation import invoke_kernel
+
+COMPS = {
+    "mesh4": mesh_composition(4),
+    "mesh9": mesh_composition(9),
+    "irrB": irregular_composition("B"),
+    "irrD": irregular_composition("D"),
+    "irrF": irregular_composition("F"),
+}
+
+
+@pytest.fixture(params=list(COMPS), scope="module")
+def comp(request):
+    return COMPS[request.param]
+
+
+class TestGCD:
+    @pytest.mark.parametrize("a,b", [(48, 36), (17, 5), (7, 7), (270, 192), (1, 99)])
+    def test_matches_golden(self, comp, a, b):
+        kernel = gcd.build_kernel()
+        res = invoke_kernel(kernel, comp, {"a": a, "b": b})
+        assert res.results["a"] == gcd.golden(a, b)
+
+    def test_baseline_agrees(self):
+        kernel = gcd.build_kernel()
+        res = run_baseline(kernel, {"a": 1071, "b": 462})
+        assert res.results["a"] == gcd.golden(1071, 462)
+
+
+class TestDotProduct:
+    def test_matches_golden(self, comp):
+        kernel = dotp.build_kernel()
+        xs, ys = dotp.sample_inputs(20)
+        res = invoke_kernel(kernel, comp, {"n": 20}, {"xs": xs, "ys": ys})
+        assert res.results["acc"] == dotp.golden(xs, ys)
+
+    def test_zero_length(self, comp):
+        kernel = dotp.build_kernel()
+        res = invoke_kernel(kernel, comp, {"n": 0}, {"xs": [0], "ys": [0]})
+        assert res.results["acc"] == 0
+
+    def test_wrapping_accumulation(self):
+        kernel = dotp.build_kernel()
+        xs = [2**20] * 4
+        ys = [2**15] * 4
+        res = invoke_kernel(
+            kernel, mesh_composition(4), {"n": 4}, {"xs": xs, "ys": ys}
+        )
+        assert res.results["acc"] == dotp.golden(xs, ys)
+
+
+class TestFIR:
+    def test_matches_golden(self, comp):
+        kernel = fir.build_kernel()
+        coeffs = [1, -2, 3]
+        xs = [((i * 31) % 17) - 8 for i in range(14)]
+        n = len(xs) - len(coeffs) + 1
+        res = invoke_kernel(
+            kernel,
+            comp,
+            {"n": n, "taps": len(coeffs)},
+            {"xs": xs, "coeffs": coeffs, "ys": [0] * n},
+        )
+        got = res.heap.array(kernel.arrays[2].handle)
+        assert got == fir.golden(xs, coeffs, n)
+
+
+class TestBubbleSort:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            [5, 1, 4, 2, 8],
+            [1, 2, 3],  # already sorted: zero swaps
+            [3, 2, 1],  # reverse
+            [7],
+            [2, 2, 2, 1],
+        ],
+    )
+    def test_matches_golden(self, comp, data):
+        kernel = sort.build_kernel()
+        res = invoke_kernel(kernel, comp, {"n": len(data)}, {"data": list(data)})
+        assert res.heap.array(kernel.arrays[0].handle) == sort.golden(data)
+
+    def test_swap_count(self):
+        kernel = sort.build_kernel()
+        data = [3, 2, 1]
+        res = invoke_kernel(
+            kernel, mesh_composition(4), {"n": 3}, {"data": list(data)}
+        )
+        assert res.results["swaps"] == 3
+
+
+class TestMatmul:
+    def test_matches_golden(self, comp):
+        kernel = matmul.build_kernel()
+        n = 3
+        a = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        b = [9, 8, 7, 6, 5, 4, 3, 2, 1]
+        res = invoke_kernel(
+            kernel, comp, {"n": n}, {"a": a, "b": b, "c": [0] * (n * n)}
+        )
+        assert res.heap.array(kernel.arrays[2].handle) == matmul.golden(a, b, n)
+
+
+class TestADPCM:
+    def test_matches_golden(self, comp):
+        n = 48
+        kernel = adpcm.build_decoder_kernel()
+        packed, expect = adpcm.encoded_reference(n)
+        res = invoke_kernel(
+            kernel,
+            comp,
+            {"n": n, "gain": 4096},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(adpcm.STEP_TABLE),
+                "indextab": list(adpcm.INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect
+        assert res.results["valpred"] == expect[-1]
+
+    def test_gain_scaling(self):
+        n = 16
+        kernel = adpcm.build_decoder_kernel()
+        packed, _ = adpcm.encoded_reference(n)
+        expect = adpcm.golden_decode(packed, n, gain=2048)  # half volume
+        res = invoke_kernel(
+            kernel,
+            mesh_composition(4),
+            {"n": n, "gain": 2048},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(adpcm.STEP_TABLE),
+                "indextab": list(adpcm.INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect
+
+    def test_reference_stream_covers_all_branches(self):
+        """The synthetic input substitution (DESIGN.md §4) must exercise
+        both nibble parities, all sign values, index clamping at both
+        ends and nonzero magnitudes of every bit."""
+        n = adpcm.N_SAMPLES
+        packed, _ = adpcm.encoded_reference(n)
+        deltas = []
+        for i in range(n):
+            byte = packed[i // 2]
+            deltas.append((byte & 15) if i % 2 == 0 else (byte >> 4) & 15)
+        assert any(d & 8 for d in deltas), "negative steps missing"
+        assert any(not d & 8 for d in deltas), "positive steps missing"
+        for bit in (1, 2, 4):
+            assert any(d & bit for d in deltas), f"magnitude bit {bit} unused"
+        # index clamps low (start) and walks high
+        assert max(deltas) >= 12 and min(deltas) >= 0
+
+    def test_unrolled_pipeline_end_to_end(self):
+        from repro.ir.transform import (
+            eliminate_common_subexpressions,
+            unroll_inner_loops,
+        )
+
+        n = 32
+        kernel = adpcm.build_decoder_kernel()
+        eliminate_common_subexpressions(kernel)
+        unroll_inner_loops(kernel, 2)
+        packed, expect = adpcm.encoded_reference(n)
+        res = invoke_kernel(
+            kernel,
+            mesh_composition(9),
+            {"n": n, "gain": 4096},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(adpcm.STEP_TABLE),
+                "indextab": list(adpcm.INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect
+
+
+class TestCycleAccounting:
+    def test_invocation_overhead(self):
+        kernel = gcd.build_kernel()
+        res = invoke_kernel(kernel, mesh_composition(4), {"a": 12, "b": 8})
+        # 2 live-in + 1 live-out transfers at 2 cycles each
+        assert res.total_cycles == res.run_cycles + 2 * 3
+
+    def test_more_iterations_more_cycles(self):
+        kernel = gcd.build_kernel()
+        comp = mesh_composition(4)
+        fast = invoke_kernel(kernel, comp, {"a": 8, "b": 8})
+        slow = invoke_kernel(kernel, comp, {"a": 1, "b": 100})
+        assert slow.run_cycles > fast.run_cycles

@@ -1,0 +1,84 @@
+"""Integration tests for the CRC-32 and histogram kernels."""
+
+import binascii
+
+import pytest
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.baseline import run_baseline
+from repro.kernels import crc32, histogram
+from repro.sim.invocation import invoke_kernel
+
+COMPS = [mesh_composition(4), mesh_composition(9), irregular_composition("D")]
+
+
+class TestCRC32:
+    def test_golden_matches_binascii(self):
+        data = list(b"hello, CGRA world")
+        assert crc32.golden(data) & 0xFFFFFFFF == binascii.crc32(bytes(data))
+
+    @pytest.mark.parametrize("comp", COMPS, ids=lambda c: c.name)
+    def test_cgra_matches_golden(self, comp):
+        data = [0x31, 0x32, 0x33, 0x80, 0xFF, 0x00, 0x7F]
+        kernel = crc32.build_kernel()
+        res = invoke_kernel(kernel, comp, {"n": len(data)}, {"data": data})
+        assert res.results["result"] == crc32.golden(data)
+
+    def test_baseline_matches_golden(self):
+        data = list(b"0123456789")
+        kernel = crc32.build_kernel()
+        res = run_baseline(kernel, {"n": len(data)}, {"data": data})
+        assert res.results["result"] == crc32.golden(data)
+
+    def test_empty_input(self):
+        kernel = crc32.build_kernel()
+        res = invoke_kernel(kernel, mesh_composition(4), {"n": 0}, {"data": [0]})
+        assert res.results["result"] == crc32.golden([])
+
+    def test_inner_loop_exercises_both_paths(self):
+        """The bit loop's if must go both ways on typical data."""
+        data = [0xA5]
+        kernel = crc32.build_kernel()
+        res = invoke_kernel(kernel, mesh_composition(4), {"n": 1}, {"data": data})
+        assert res.results["result"] == crc32.golden(data)
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("comp", COMPS, ids=lambda c: c.name)
+    def test_cgra_matches_golden(self, comp):
+        data = [3, 0, 7, 3, 3, -2, 11, 5, 7, 0]
+        nbins = 8
+        expect_bins, expect_clipped = histogram.golden(data, nbins)
+        kernel = histogram.build_kernel()
+        res = invoke_kernel(
+            kernel,
+            comp,
+            {"n": len(data), "nbins": nbins},
+            {"data": data, "bins": [0] * nbins},
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect_bins
+        assert res.results["clipped"] == expect_clipped
+
+    def test_all_clipped(self):
+        data = [-5, -1, 100, 200]
+        nbins = 4
+        expect_bins, expect_clipped = histogram.golden(data, nbins)
+        kernel = histogram.build_kernel()
+        res = invoke_kernel(
+            kernel,
+            mesh_composition(4),
+            {"n": len(data), "nbins": nbins},
+            {"data": data, "bins": [0] * nbins},
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect_bins
+        assert res.results["clipped"] == 4
+
+    def test_accumulates_over_existing_bins(self):
+        kernel = histogram.build_kernel()
+        res = invoke_kernel(
+            kernel,
+            mesh_composition(4),
+            {"n": 2, "nbins": 3},
+            {"data": [1, 1], "bins": [10, 20, 30]},
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == [10, 22, 30]

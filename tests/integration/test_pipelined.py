@@ -1,0 +1,130 @@
+"""Tests for pipelined PEs (Section VII's pipeline-stage investigation).
+
+A pipelined PE issues one operation per cycle even while a multi-cycle
+operation (block multiplier, DMA) is still in flight; only one operation
+may finish per cycle (single RF write port).
+"""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.baseline import run_baseline
+from repro.context.generator import generate_contexts
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.kernels import adpcm, dotp, gcd, sort
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+
+
+def k_mul_chain(a: int, b: int, c: int, d: int) -> int:
+    # four independent multiplications: a pipelined multiplier can issue
+    # them back to back, a blocking one serialises
+    p1 = a * b
+    p2 = c * d
+    p3 = a * d
+    p4 = b * c
+    total = p1 + p2 + p3 + p4
+    return total
+
+
+class TestPipelinedCorrectness:
+    @pytest.mark.parametrize("kernel_mod", [gcd, dotp, sort])
+    def test_kernels_correct_on_pipelined_mesh(self, kernel_mod):
+        comp = mesh_composition(4, pipelined=True)
+        if kernel_mod is gcd:
+            res = invoke_kernel(kernel_mod.build_kernel(), comp, {"a": 48, "b": 36})
+            assert res.results["a"] == 12
+        elif kernel_mod is dotp:
+            xs, ys = dotp.sample_inputs(16)
+            res = invoke_kernel(
+                kernel_mod.build_kernel(), comp, {"n": 16}, {"xs": xs, "ys": ys}
+            )
+            assert res.results["acc"] == dotp.golden(xs, ys)
+        else:
+            data = [9, 1, 8, 2, 7, 3]
+            res = invoke_kernel(
+                kernel_mod.build_kernel(), comp, {"n": 6}, {"data": data}
+            )
+            assert res.heap.array(kernel_mod.build_kernel().arrays[0].handle) != None  # noqa: E711
+
+    def test_adpcm_correct_on_pipelined_mesh(self):
+        n = 32
+        comp = mesh_composition(9, pipelined=True)
+        kernel = adpcm.build_decoder_kernel()
+        packed, expect = adpcm.encoded_reference(n)
+        res = invoke_kernel(
+            kernel,
+            comp,
+            {"n": n, "gain": 4096},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(adpcm.STEP_TABLE),
+                "indextab": list(adpcm.INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect
+
+    def test_mul_chain_matches_baseline(self):
+        kernel = compile_kernel(k_mul_chain)
+        livein = {"a": 3, "b": 5, "c": 7, "d": 11}
+        base = run_baseline(kernel, livein)
+        comp = mesh_composition(4, pipelined=True)
+        res = invoke_kernel(kernel, comp, livein)
+        assert res.results == base.results
+
+
+class TestPipelinedScheduling:
+    def test_issue_only_flag_set(self):
+        kernel = compile_kernel(k_mul_chain)
+        comp = mesh_composition(4, pipelined=True)
+        schedule = schedule_kernel(kernel, comp)
+        muls = [op for op in schedule.ops if op.opcode == "IMUL"]
+        assert muls and all(op.issue_only for op in muls)
+
+    def test_back_to_back_issue_on_one_pe(self):
+        """A pipelined PE may hold overlapping multi-cycle ops."""
+        kernel = compile_kernel(k_mul_chain)
+        comp = mesh_composition(4, pipelined=True)
+        schedule = schedule_kernel(kernel, comp)
+        by_pe = {}
+        for op in schedule.ops:
+            if op.opcode == "IMUL":
+                by_pe.setdefault(op.pe, []).append(op.cycle)
+        overlapped = any(
+            b - a == 1
+            for cycles in by_pe.values()
+            for a, b in zip(sorted(cycles), sorted(cycles)[1:])
+        )
+        assert overlapped, "pipelined multiplier should issue back to back"
+
+    def test_single_finish_per_cycle(self):
+        kernel = compile_kernel(k_mul_chain)
+        comp = mesh_composition(4, pipelined=True)
+        schedule = schedule_kernel(kernel, comp)
+        finals = {}
+        for op in schedule.ops:
+            key = (op.pe, op.final_cycle)
+            assert key not in finals, "write-port conflict"
+            finals[key] = op
+
+    def test_pipelined_not_slower(self):
+        kernel = compile_kernel(k_mul_chain)
+        blocking = schedule_kernel(kernel, mesh_composition(4))
+        pipelined = schedule_kernel(kernel, mesh_composition(4, pipelined=True))
+        assert pipelined.n_cycles <= blocking.n_cycles
+
+    def test_fpga_frequency_bonus(self):
+        from repro.fpga import estimate
+
+        base = estimate(mesh_composition(9))
+        piped = estimate(mesh_composition(9, pipelined=True))
+        assert piped.frequency_mhz > base.frequency_mhz
+
+    def test_description_roundtrip(self):
+        from repro.arch.description import composition_from_dict, composition_to_dict
+
+        comp = mesh_composition(4, pipelined=True)
+        again = composition_from_dict(composition_to_dict(comp))
+        assert again == comp
+        assert all(pe.pipelined for pe in again.pes)

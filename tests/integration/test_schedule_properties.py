@@ -1,0 +1,90 @@
+"""Property tests on *schedule structure* for random kernels.
+
+Complements the differential suite: instead of observing execution,
+these check the hardware-resource invariants of every produced schedule
+directly — the constraints Sections IV/V impose:
+
+* one C-Box combine per cycle, at the producing compare's final cycle,
+* one predication broadcast per cycle (all predicated commits in a
+  cycle share one PredRef), matching the booked ``outPE``,
+* multi-cycle operations never span a control-flow boundary,
+* every remote operand rides an existing interconnect link whose
+  out-port is booked for exactly that value,
+* branch targets stay within the program,
+* allocation fits the composition's RF and C-Box capacities.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.ccu import BranchKind
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.context.generator import generate_contexts
+from repro.sched.scheduler import schedule_kernel
+
+from .kernelgen import lower, programs
+
+COMPS = [
+    mesh_composition(4, context_size=4096),
+    irregular_composition("D", context_size=4096),
+]
+
+
+@given(program=programs, comp_index=st.integers(0, len(COMPS) - 1))
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_schedule_invariants(program, comp_index):
+    kernel, _ = lower(program)
+    comp = COMPS[comp_index]
+    schedule = schedule_kernel(kernel, comp)
+    schedule.validate(comp)  # PE booking + port/link legality
+
+    # C-Box: combines unique per cycle and aligned with compare finals
+    combine_cycles = [
+        c for c, p in schedule.cbox.items() if p.status_pe is not None
+    ]
+    assert len(combine_cycles) == len(set(combine_cycles))
+    compare_finals = {
+        op.final_cycle for op in schedule.ops if op.is_compare
+    }
+    assert set(combine_cycles) == compare_finals
+
+    # predication: single broadcast per cycle, matching the plan
+    preds_by_cycle = {}
+    for op in schedule.ops:
+        if op.predicate is not None:
+            preds_by_cycle.setdefault(op.final_cycle, set()).add(op.predicate)
+    for cycle, preds in preds_by_cycle.items():
+        assert len(preds) == 1
+        assert schedule.cbox[cycle].out_pe == next(iter(preds))
+
+    # ops never span branches
+    for op in schedule.ops:
+        for c in range(op.cycle, op.final_cycle):
+            assert c not in schedule.branches
+
+    # branches resolve within the program; exactly one halt at the end
+    for cycle, br in schedule.branches.items():
+        if br.kind in (BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL):
+            assert br.target is not None
+            assert 0 <= br.target < schedule.n_cycles
+    halts = [
+        c for c, b in schedule.branches.items() if b.kind is BranchKind.HALT
+    ]
+    assert halts == [schedule.n_cycles - 1]
+
+    # conditional branches have a branch-selection signal that cycle
+    for cycle, br in schedule.branches.items():
+        if br.kind is BranchKind.CONDITIONAL:
+            plan = schedule.cbox.get(cycle)
+            assert plan is not None and plan.out_ctrl is not None
+
+    # allocation fits the hardware
+    program_ctx = generate_contexts(schedule, comp, kernel)
+    for pe, used in enumerate(program_ctx.rf_used):
+        assert used <= comp.pes[pe].regfile_size
+    assert program_ctx.cbox_slots_used <= comp.cbox_slots
+    assert program_ctx.n_cycles <= comp.context_size

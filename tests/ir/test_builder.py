@@ -1,0 +1,179 @@
+"""Tests for the KernelBuilder construction API."""
+
+import pytest
+
+from repro.ir.builder import BuildError, KernelBuilder
+from repro.ir.cdfg import ValidationError
+
+
+class TestDeclarations:
+    def test_duplicate_names_rejected(self):
+        kb = KernelBuilder("k")
+        kb.param("x")
+        with pytest.raises(BuildError):
+            kb.local("x")
+        with pytest.raises(BuildError):
+            kb.array("x")
+
+    def test_array_handles_unique(self):
+        kb = KernelBuilder("k")
+        a = kb.array("a")
+        b = kb.array("b")
+        assert a.handle != b.handle
+
+    def test_explicit_handle(self):
+        kb = KernelBuilder("k")
+        a = kb.array("a", handle=7)
+        b = kb.array("b")
+        assert a.handle == 7 and b.handle == 8
+
+    def test_var_lookup(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        assert kb.var("x") is x
+        with pytest.raises(BuildError):
+            kb.var("nope")
+
+
+class TestDataflow:
+    def test_write_requires_value(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        y = kb.param("y")
+        cmp_leaf = kb.cmp("IFLT", kb.read(x), kb.read(y))
+        with pytest.raises(BuildError):
+            kb.write(x, cmp_leaf.node)
+
+    def test_hazard_read_after_write(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        w = kb.write(x, kb.const(1))
+        r = kb.read(x)
+        assert w in r.deps
+
+    def test_hazard_write_after_read(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        r = kb.read(x)
+        w = kb.write(x, kb.const(2))
+        assert r in w.deps
+
+    def test_write_not_dep_on_own_source(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        src = kb.binop("IADD", kb.read(x), kb.const(1))
+        w = kb.write(x, src)
+        assert src not in w.deps
+        assert src in w.operands
+
+    def test_array_hazards(self):
+        kb = KernelBuilder("k")
+        arr = kb.array("arr")
+        idx = kb.const(0)
+        ld = kb.load(arr, idx)
+        st = kb.store(arr, kb.const(0), kb.const(5))
+        assert ld in st.deps
+        ld2 = kb.load(arr, kb.const(0))
+        assert st in ld2.deps
+
+    def test_separate_arrays_no_hazard(self):
+        kb = KernelBuilder("k")
+        a = kb.array("a")
+        b = kb.array("b")
+        st = kb.store(a, kb.const(0), kb.const(1))
+        ld = kb.load(b, kb.const(0))
+        assert st not in ld.deps
+
+    def test_bad_opcodes(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        with pytest.raises(BuildError):
+            kb.binop("IFLT", kb.read(x), kb.read(x))  # compare is not a binop
+        with pytest.raises(BuildError):
+            kb.cmp("IADD", kb.read(x), kb.read(x))
+        with pytest.raises(BuildError):
+            kb.unop("IADD", kb.read(x))
+        with pytest.raises(BuildError):
+            kb.binop("BOGUS", kb.read(x), kb.read(x))
+
+    def test_const_wraps(self):
+        kb = KernelBuilder("k")
+        node = kb.const(2**31)
+        assert node.value == -(2**31)
+
+
+class TestControlFlow:
+    def test_condition_must_live_in_cond_block(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        stray = kb.cmp("IFLT", kb.read(x), kb.const(0))  # outside cond_fn
+        with pytest.raises(BuildError):
+            kb.if_(lambda: stray, lambda: None)
+
+    def test_while_condition_single_block(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+
+        def bad_cond():
+            kb.if_(
+                lambda: kb.cmp("IFGT", kb.read(x), kb.const(0)),
+                lambda: None,
+            )
+            return kb.cmp("IFGT", kb.read(x), kb.const(0))
+
+        with pytest.raises(BuildError):
+            kb.while_(bad_cond, lambda: None)
+
+    def test_if_without_else(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        region = kb.if_(
+            lambda: kb.cmp("IFGT", kb.read(x), kb.const(0)),
+            lambda: kb.write(x, kb.const(0)),
+        )
+        assert len(list(region.else_body.blocks())) == 0
+        kb.finish(results=[x])
+
+    def test_blocks_sealed_around_regions(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        kb.write(x, kb.const(1))
+        kb.if_(
+            lambda: kb.cmp("IFGT", kb.read(x), kb.const(0)),
+            lambda: kb.write(x, kb.const(2)),
+        )
+        kb.write(x, kb.const(3))
+        kernel = kb.finish(results=[x])
+        # pre-block, (cond block inside if), then-block, post-block
+        kinds = [type(r).__name__ for r in kernel.body.items]
+        assert kinds == ["BlockRegion", "IfRegion", "BlockRegion"]
+
+
+class TestFinish:
+    def test_double_finish(self):
+        kb = KernelBuilder("k")
+        kb.param("x")
+        kb.finish()
+        with pytest.raises(BuildError):
+            kb.finish()
+
+    def test_emit_after_finish(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        kb.finish()
+        with pytest.raises(BuildError):
+            kb.read(x)
+
+    def test_results_marked(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        kernel = kb.finish(results=["x"])
+        assert kernel.results == [x]
+        assert x.is_result
+
+    def test_validation_runs(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        kb.read(x)
+        kernel = kb.finish(results=[x])
+        kernel.validate()  # sound by construction

@@ -1,0 +1,130 @@
+"""Kernel container tests: validation and the flat-graph export."""
+
+import pytest
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import Kernel, ValidationError
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.ir.nodes import ArrayRef, Node, Var
+from repro.ir.regions import BlockRegion, SeqRegion
+
+
+def k_loop(n: int, xs: IntArray) -> int:
+    acc = 0
+    i = 0
+    while i < n:
+        acc += xs[i]
+        i += 1
+    return acc
+
+
+class TestValidation:
+    def test_cross_block_operand_rejected(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        first = kb.binop("IADD", kb.read(x), kb.const(1))
+        kernel = kb.finish(results=[x])
+        # manually splice a second block using a node of the first
+        bad_block = BlockRegion()
+        bad_block.append(Node("IADD", operands=[first, first]))
+        kernel.body.append(bad_block)
+        with pytest.raises(ValidationError, match="another"):
+            kernel.validate()
+
+    def test_compare_as_value_operand_rejected(self):
+        block = BlockRegion()
+        a = block.append(Node("CONST", value=1))
+        b = block.append(Node("CONST", value=2))
+        cmp_node = block.append(Node("IFLT", operands=[a, b]))
+        block.append(Node("IADD", operands=[cmp_node, a]))
+        body = SeqRegion()
+        body.append(block)
+        kernel = Kernel("bad", [], [], [], body, {})
+        with pytest.raises(ValidationError, match="C-Box"):
+            kernel.validate()
+
+    def test_undeclared_variable_rejected(self):
+        block = BlockRegion()
+        block.append(Node("VARREAD", var=Var("ghost")))
+        body = SeqRegion()
+        body.append(block)
+        kernel = Kernel("bad", [], [], [], body, {})
+        with pytest.raises(ValidationError, match="undeclared"):
+            kernel.validate()
+
+    def test_undeclared_array_rejected(self):
+        block = BlockRegion()
+        idx = block.append(Node("CONST", value=0))
+        block.append(
+            Node("DMA_LOAD", operands=[idx], array=ArrayRef("ghost", 9))
+        )
+        body = SeqRegion()
+        body.append(block)
+        kernel = Kernel("bad", [], [], [], body, {})
+        with pytest.raises(ValidationError, match="undeclared array"):
+            kernel.validate()
+
+    def test_duplicate_node_rejected(self):
+        block = BlockRegion()
+        node = block.append(Node("CONST", value=1))
+        block.append(node)
+        body = SeqRegion()
+        body.append(block)
+        kernel = Kernel("bad", [], [], [], body, {})
+        with pytest.raises(ValidationError, match="two blocks"):
+            kernel.validate()
+
+
+class TestFlatGraph:
+    def test_edge_kinds(self):
+        kernel = compile_kernel(k_loop)
+        g = kernel.to_flat_graph()
+        kinds = {d["kind"] for _, _, d in g.edges(data=True)}
+        assert kinds >= {"data", "control"}
+
+    def test_loop_carried_edges_flagged(self):
+        kernel = compile_kernel(k_loop)
+        g = kernel.to_flat_graph()
+        carried = [
+            (u, v)
+            for u, v, d in g.edges(data=True)
+            if d.get("weight") == 1
+        ]
+        assert carried, "acc/i are loop-carried"
+        for u, v in carried:
+            assert g.nodes[u]["opcode"] == "VARWRITE"
+            assert g.nodes[v]["opcode"] == "VARREAD"
+
+    def test_control_edges_from_loop_condition(self):
+        kernel = compile_kernel(k_loop)
+        g = kernel.to_flat_graph()
+        cmp_ids = [
+            nid for nid, d in g.nodes(data=True) if d["opcode"] == "IFLT"
+        ]
+        assert len(cmp_ids) == 1
+        out_kinds = {
+            g.edges[cmp_ids[0], t]["kind"] for t in g.successors(cmp_ids[0])
+        }
+        assert "control" in out_kinds
+
+    def test_labels_human_readable(self):
+        kernel = compile_kernel(k_loop)
+        g = kernel.to_flat_graph()
+        labels = {d["label"] for _, d in g.nodes(data=True)}
+        assert any("VARWRITE acc" in l for l in labels)
+        assert any("DMA_LOAD xs" in l for l in labels)
+
+    def test_summary_and_histogram(self):
+        kernel = compile_kernel(k_loop)
+        text = kernel.summary()
+        assert "k_loop" in text and "loops" in text
+        hist = kernel.opcode_histogram()
+        assert hist["DMA_LOAD"] == 1
+        assert kernel.node_count() == sum(hist.values())
+
+    def test_used_alu_opcodes(self):
+        kernel = compile_kernel(k_loop)
+        ops = kernel.used_alu_opcodes()
+        assert "IADD" in ops and "DMA_LOAD" in ops
+        assert "VARREAD" not in ops
+        assert "MOVE" in ops  # pWRITEs may execute as moves

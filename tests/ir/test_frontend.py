@@ -1,0 +1,341 @@
+"""Frontend tests: the supported subset, lowering, inlining, errors.
+
+Semantic equivalence is checked by executing the compiled CDFG on the
+baseline interpreter and comparing against the function run as plain
+Python (the kernels are valid Python).
+"""
+
+import pytest
+
+from repro.baseline import run_baseline
+from repro.ir.frontend import FrontendError, IntArray, compile_kernel, ushr
+
+# --- kernels used across tests (module level so inspect finds source) ---
+
+
+def k_arith(a: int, b: int) -> int:
+    c = a + b * 3 - (a & b)
+    d = (c ^ b) | (a << 2)
+    e = d >> 1
+    f = ushr(d, 1)
+    g = -e + ~f
+    return g
+
+
+def k_for_range(n: int) -> int:
+    acc = 0
+    for i in range(n):
+        acc += i
+    return acc
+
+
+def k_for_start_stop(a: int, b: int) -> int:
+    acc = 0
+    for i in range(a, b):
+        acc += i * i
+    return acc
+
+
+def k_for_step(n: int) -> int:
+    acc = 0
+    for i in range(n, 0, -2):
+        acc += i
+    return acc
+
+
+def k_while_nested_if(x: int) -> int:
+    steps = 0
+    while x != 1:
+        if x & 1:
+            x = 3 * x + 1
+        else:
+            x = ushr(x, 1)
+        steps += 1
+    return steps
+
+
+def k_tuple_swap(a: int, b: int) -> int:
+    a, b = b, a
+    c = a - b
+    return c
+
+def k_bool_conditions(a: int, b: int) -> int:
+    r = 0
+    if a > 0 and b > 0:
+        r = 1
+    if a > 5 or b > 5:
+        r += 2
+    if not a < b:
+        r += 4
+    return r
+
+
+def k_truthiness(a: int) -> int:
+    r = 0
+    if a:
+        r = 1
+    return r
+
+
+def k_augassign_array(n: int, data: IntArray) -> int:
+    for i in range(n):
+        data[i] += i
+    return n
+
+
+def k_annassign(a: int) -> int:
+    b: int = a * 2
+    return b
+
+
+def _helper_double(x: int) -> int:
+    y = x + x
+    return y
+
+
+def _helper_clamp(v: int, lo: int, hi: int) -> int:
+    if v < lo:
+        v = lo
+    if v > hi:
+        v = hi
+    return v
+
+
+def k_inline(a: int) -> int:
+    b = _helper_double(a) + _helper_double(a + 1)
+    c = _helper_clamp(b, 0, 100)
+    return c
+
+
+def _helper_store(i: int, v: int, out: IntArray) -> int:
+    out[i] = v
+    return 0
+
+
+def k_inline_array(n: int, out: IntArray) -> int:
+    for i in range(n):
+        _helper_store(i, i * 7, out)
+    return n
+
+
+def k_return_expr(a: int, b: int) -> int:
+    return a * b + 1
+
+
+def k_return_tuple(a: int, b: int):
+    c = a + b
+    d = a - b
+    return c, d
+
+
+def k_global_const(a: int) -> int:
+    return a + MODULE_CONST
+
+
+MODULE_CONST = 42
+
+
+# --- equivalence harness -------------------------------------------------
+
+
+def assert_equivalent(fn, livein, arrays=None, name=None):
+    kernel = compile_kernel(fn, name=name)
+    arrays = dict(arrays or {})
+    base = run_baseline(kernel, livein, {k: list(v) for k, v in arrays.items()})
+    py_args = []
+    import inspect
+
+    py_arrays = {k: list(v) for k, v in arrays.items()}
+    for pname in inspect.signature(fn).parameters:
+        if pname in livein:
+            py_args.append(livein[pname])
+        else:
+            py_args.append(py_arrays[pname])
+    expected = fn(*py_args)
+    if isinstance(expected, tuple):
+        got = tuple(base.results[v.name] for v in kernel.results)
+        assert got == expected
+    elif kernel.results:
+        assert base.results[kernel.results[0].name] == expected
+    for ref in kernel.arrays:
+        assert base.heap.array(ref.handle) == py_arrays[ref.name], ref.name
+    return kernel, base
+
+
+class TestLoweringEquivalence:
+    def test_arithmetic(self):
+        assert_equivalent(k_arith, {"a": 123, "b": -45})
+
+    def test_for_range(self):
+        assert_equivalent(k_for_range, {"n": 10})
+
+    def test_for_range_empty(self):
+        assert_equivalent(k_for_range, {"n": 0})
+
+    def test_for_start_stop(self):
+        assert_equivalent(k_for_start_stop, {"a": 3, "b": 9})
+
+    def test_for_negative_step(self):
+        assert_equivalent(k_for_step, {"n": 9})
+
+    def test_collatz(self):
+        assert_equivalent(k_while_nested_if, {"x": 27})
+
+    def test_tuple_swap(self):
+        assert_equivalent(k_tuple_swap, {"a": 3, "b": 11})
+
+    @pytest.mark.parametrize("a,b", [(1, 2), (7, 1), (-1, -2), (6, 6)])
+    def test_bool_conditions(self, a, b):
+        assert_equivalent(k_bool_conditions, {"a": a, "b": b})
+
+    @pytest.mark.parametrize("a", [0, 1, -5])
+    def test_truthiness(self, a):
+        assert_equivalent(k_truthiness, {"a": a})
+
+    def test_augassign_array(self):
+        assert_equivalent(
+            k_augassign_array, {"n": 5}, {"data": [10, 20, 30, 40, 50]}
+        )
+
+    def test_annassign(self):
+        assert_equivalent(k_annassign, {"a": 21})
+
+    def test_return_expr(self):
+        assert_equivalent(k_return_expr, {"a": 6, "b": 7})
+
+    def test_return_tuple(self):
+        assert_equivalent(k_return_tuple, {"a": 10, "b": 4})
+
+    def test_module_level_constant(self):
+        assert_equivalent(k_global_const, {"a": 1})
+
+
+class TestInlining:
+    def test_inline_scalar_helpers(self):
+        kernel, _ = assert_equivalent(k_inline, {"a": 20})
+        # the helpers are gone: only one kernel, no calls left
+        assert kernel.name == "k_inline"
+
+    def test_inline_array_helper(self):
+        assert_equivalent(k_inline_array, {"n": 4}, {"out": [0, 0, 0, 0]})
+
+    def test_recursion_rejected(self):
+        def recurse(a: int) -> int:
+            b = recurse(a - 1)
+            return b
+
+        globals()["recurse"] = recurse
+        with pytest.raises(FrontendError):
+            compile_kernel(recurse)
+
+
+class TestErrors:
+    def test_division_rejected_with_hint(self):
+        def bad(a: int) -> int:
+            b = a // 2
+            return b
+
+        with pytest.raises(FrontendError, match="divider"):
+            compile_kernel(bad)
+
+    def test_break_rejected(self):
+        def bad(n: int) -> int:
+            acc = 0
+            for i in range(n):
+                if i > 3:
+                    break
+                acc += i
+            return acc
+
+        with pytest.raises(FrontendError, match="break"):
+            compile_kernel(bad)
+
+    def test_compare_as_value_rejected(self):
+        def bad(a: int, b: int) -> int:
+            c = a < b
+            return c
+
+        with pytest.raises(FrontendError, match="C-Box"):
+            compile_kernel(bad)
+
+    def test_early_return_rejected(self):
+        def bad(a: int) -> int:
+            if a > 0:
+                return a
+            return -a
+
+        with pytest.raises(FrontendError):
+            compile_kernel(bad)
+
+    def test_unknown_name(self):
+        def bad(a: int) -> int:
+            b = a + undefined_thing  # noqa: F821
+            return b
+
+        with pytest.raises(FrontendError, match="unbound|resolve"):
+            compile_kernel(bad)
+
+    def test_float_rejected(self):
+        def bad(a: int) -> int:
+            b = a + 1.5
+            return b
+
+        with pytest.raises(FrontendError):
+            compile_kernel(bad)
+
+    def test_non_range_for_rejected(self):
+        def bad(xs: IntArray) -> int:
+            acc = 0
+            for x in xs:  # type: ignore[attr-defined]
+                acc += x
+            return acc
+
+        with pytest.raises(FrontendError, match="range"):
+            compile_kernel(bad)
+
+    def test_non_constant_step_rejected(self):
+        def bad(n: int, s: int) -> int:
+            acc = 0
+            for i in range(0, n, s):
+                acc += i
+            return acc
+
+        with pytest.raises(FrontendError, match="step"):
+            compile_kernel(bad)
+
+    def test_chained_compare_rejected(self):
+        def bad(a: int) -> int:
+            r = 0
+            if 0 < a < 10:
+                r = 1
+            return r
+
+        with pytest.raises(FrontendError):
+            compile_kernel(bad)
+
+    def test_while_else_rejected(self):
+        def bad(a: int) -> int:
+            while a > 0:
+                a -= 1
+            else:
+                a = 5
+            return a
+
+        with pytest.raises(FrontendError):
+            compile_kernel(bad)
+
+
+class TestInterfaceExtraction:
+    def test_params_and_arrays(self):
+        kernel = compile_kernel(k_augassign_array)
+        assert [v.name for v in kernel.params] == ["n"]
+        assert [a.name for a in kernel.arrays] == ["data"]
+
+    def test_results(self):
+        kernel = compile_kernel(k_return_tuple)
+        assert [v.name for v in kernel.results] == ["c", "d"]
+
+    def test_ushr_matches_java(self):
+        assert ushr(-1, 1) == 2**31 - 1
+        assert ushr(-8, 2) == (2**32 - 8) >> 2
+        assert ushr(16, 33) == 8  # shift masked to 5 bits

@@ -1,0 +1,97 @@
+"""Tests for the extended operator library (IMIN/IMAX/IABS) and its
+frontend intrinsics — Section VII's "improving the library of elements".
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.library import mesh_composition
+from repro.arch.operations import evaluate
+from repro.baseline import run_baseline
+from repro.ir.frontend import compile_kernel
+from repro.sim.invocation import invoke_kernel
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+def k_clamp(v: int, lo: int, hi: int) -> int:
+    r = min(max(v, lo), hi)
+    return r
+
+
+def k_manhattan(x1: int, y1: int, x2: int, y2: int) -> int:
+    d = abs(x1 - x2) + abs(y1 - y2)
+    return d
+
+
+class TestOpSemantics:
+    @given(int32s, int32s)
+    def test_min_max(self, a, b):
+        assert evaluate("IMIN", a, b) == min(a, b)
+        assert evaluate("IMAX", a, b) == max(a, b)
+
+    @given(int32s)
+    def test_abs(self, a):
+        expected = a if a >= 0 else evaluate("INEG", a)
+        assert evaluate("IABS", a) == expected
+
+    def test_abs_min_int_wraps_like_java(self):
+        # Java: Math.abs(Integer.MIN_VALUE) == Integer.MIN_VALUE
+        assert evaluate("IABS", -(2**31)) == -(2**31)
+
+    @given(int32s, int32s)
+    def test_min_max_commute(self, a, b):
+        assert evaluate("IMIN", a, b) == evaluate("IMIN", b, a)
+        assert evaluate("IMAX", a, b) == evaluate("IMAX", b, a)
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "v,lo,hi", [(5, 0, 10), (-3, 0, 10), (99, 0, 10), (7, 7, 7)]
+    )
+    def test_clamp_on_cgra(self, v, lo, hi):
+        kernel = compile_kernel(k_clamp)
+        res = invoke_kernel(
+            kernel, mesh_composition(4), {"v": v, "lo": lo, "hi": hi}
+        )
+        assert res.results["r"] == min(max(v, lo), hi)
+
+    def test_clamp_uses_single_ops_not_branches(self):
+        kernel = compile_kernel(k_clamp)
+        hist = kernel.opcode_histogram()
+        assert hist.get("IMIN") == 1 and hist.get("IMAX") == 1
+        assert not any(op.startswith("IF") for op in hist)
+
+    @pytest.mark.parametrize(
+        "p", [(0, 0, 3, 4), (-5, 2, 5, -2), (7, 7, 7, 7)]
+    )
+    def test_manhattan(self, p):
+        x1, y1, x2, y2 = p
+        kernel = compile_kernel(k_manhattan)
+        base = run_baseline(kernel, {"x1": x1, "y1": y1, "x2": x2, "y2": y2})
+        cgra = invoke_kernel(
+            kernel,
+            mesh_composition(4),
+            {"x1": x1, "y1": y1, "x2": x2, "y2": y2},
+        )
+        expected = abs(x1 - x2) + abs(y1 - y2)
+        assert base.results["d"] == expected
+        assert cgra.results["d"] == expected
+
+    def test_wrong_arity_rejected(self):
+        from repro.ir.frontend import FrontendError
+
+        def bad(a: int) -> int:
+            b = min(a)
+            return b
+
+        with pytest.raises(FrontendError, match="two arguments"):
+            compile_kernel(bad)
+
+    def test_hdl_covers_new_ops(self):
+        from repro.hdl import generate_verilog
+
+        files = generate_verilog(mesh_composition(4))
+        alu = files["alu_pe0.v"]
+        assert "IMIN" in alu and "IMAX" in alu and "IABS" in alu

@@ -1,0 +1,134 @@
+"""Tests for the loop graph and CDFG analyses."""
+
+import pytest
+
+from repro.ir.analysis import longest_path_weights, topological_order
+from repro.ir.builder import KernelBuilder
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.ir.loops import LoopGraph
+from repro.ir.nodes import Node
+
+
+def k_triple(n: int, a: IntArray, b: IntArray, c: IntArray) -> int:
+    i = 0
+    while i < n:
+        j = 0
+        while j < n:
+            acc = 0
+            k = 0
+            while k < n:
+                acc += a[i * n + k] * b[k * n + j]
+                k += 1
+            c[i * n + j] = acc
+            j += 1
+        i += 1
+    return i
+
+
+class TestLoopGraph:
+    def test_nesting_depths(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        assert len(lg.loops) == 3
+        depths = sorted(lg.depth_of_loop(l) for l in lg.loops)
+        assert depths == [1, 2, 3]
+
+    def test_parent_chain(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        inner = [l for l in lg.loops if lg.depth_of_loop(l) == 3][0]
+        mid = lg.parent(inner)
+        outer = lg.parent(mid)
+        assert lg.parent(outer) is None
+        assert lg.children(outer) == (mid,)
+        assert lg.children(inner) == ()
+
+    def test_node_membership(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        # header compare of the outer loop belongs to the outer loop
+        outer = [l for l in lg.loops if lg.depth_of_loop(l) == 1][0]
+        for cmp_node in outer.controlling_nodes():
+            assert lg.loop_of(cmp_node) is outer
+            assert lg.depth(cmp_node) == 1
+
+    def test_top_level_nodes_have_no_loop(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        first_block = next(kernel.blocks())
+        for node in first_block.node_list:
+            assert lg.loop_of(node) is None
+            assert lg.depth(node) == 0
+
+    def test_enclosing_chain(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        inner = [l for l in lg.loops if lg.depth_of_loop(l) == 3][0]
+        some_node = inner.header.node_list[0]
+        chain = lg.enclosing_chain(some_node)
+        assert len(chain) == 3
+        assert chain[0] is inner
+
+    def test_same_loop(self):
+        kernel = compile_kernel(k_triple)
+        lg = LoopGraph(kernel)
+        inner = [l for l in lg.loops if lg.depth_of_loop(l) == 3][0]
+        nodes = inner.header.node_list
+        assert lg.same_loop(nodes[0], nodes[-1])
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        r = kb.read(x)
+        add = kb.binop("IADD", r, kb.const(1))
+        kb.write(x, add)
+        kernel = kb.finish(results=[x])
+        block = next(kernel.blocks())
+        order = topological_order(block.node_list)
+        pos = {n.id: i for i, n in enumerate(order)}
+        for n in block.node_list:
+            for p in n.predecessors():
+                assert pos[p.id] < pos[n.id]
+
+    def test_cycle_detected(self):
+        a = Node("CONST", value=1)
+        b = Node("MOVE", operands=[a])
+        a.deps.append(b)  # artificial cycle
+        with pytest.raises(ValueError):
+            topological_order([a, b])
+
+
+class TestLongestPath:
+    def test_chain_weights_decrease(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        r = kb.read(x)
+        a = kb.binop("IADD", r, kb.const(1))
+        b = kb.binop("IMUL", a, kb.const(2))
+        w = kb.write(x, b)
+        kernel = kb.finish(results=[x])
+        block = next(kernel.blocks())
+        weights = longest_path_weights(block.node_list)
+        # upstream nodes carry at least their successors' weight
+        assert weights[r.id] >= weights[a.id] >= weights[b.id] >= weights[w.id]
+        # IMUL (block multiplier) counts 2 cycles in the estimate
+        assert weights[a.id] == weights[b.id] + 1
+        assert weights[b.id] == weights[w.id] + 2
+
+    def test_independent_chains(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+        y = kb.param("y")
+        long_chain = kb.read(x)
+        for _ in range(5):
+            long_chain = kb.binop("IADD", long_chain, kb.const(1))
+        kb.write(x, long_chain)
+        short = kb.binop("IADD", kb.read(y), kb.const(1))
+        kb.write(y, short)
+        kernel = kb.finish(results=[x, y])
+        block = next(kernel.blocks())
+        weights = longest_path_weights(block.node_list)
+        first_read = block.node_list[0]
+        assert weights[first_read.id] > weights[short.id]

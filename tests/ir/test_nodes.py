@@ -1,0 +1,82 @@
+"""Unit tests for CDFG nodes, variables and array references."""
+
+import pytest
+
+from repro.ir.nodes import ArrayRef, Node, Var
+
+
+def make_const(v=1):
+    return Node("CONST", value=v)
+
+
+class TestNodeValidation:
+    def test_const_requires_value(self):
+        with pytest.raises(ValueError):
+            Node("CONST")
+
+    def test_varread_requires_var(self):
+        with pytest.raises(ValueError):
+            Node("VARREAD")
+
+    def test_varwrite_arity(self):
+        v = Var("x")
+        with pytest.raises(ValueError):
+            Node("VARWRITE", var=v)  # missing source operand
+        node = Node("VARWRITE", operands=[make_const()], var=v)
+        assert node.var is v
+
+    def test_binop_arity_checked(self):
+        with pytest.raises(ValueError):
+            Node("IADD", operands=[make_const()])
+
+    def test_dma_requires_array(self):
+        with pytest.raises(ValueError):
+            Node("DMA_LOAD", operands=[make_const()])
+
+    def test_dma_store_arity(self):
+        arr = ArrayRef("a", 0)
+        with pytest.raises(ValueError):
+            Node("DMA_STORE", operands=[make_const()], array=arr)
+        node = Node(
+            "DMA_STORE", operands=[make_const(), make_const()], array=arr
+        )
+        assert node.is_memory
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Node("FROBNICATE")
+
+    def test_unique_ids(self):
+        a, b = make_const(), make_const()
+        assert a.id != b.id
+
+
+class TestNodeClassification:
+    def test_compare_flags(self):
+        cmp_node = Node("IFLT", operands=[make_const(), make_const()])
+        assert cmp_node.is_compare
+        assert not cmp_node.produces_value
+
+    def test_varread_produces_value(self):
+        node = Node("VARREAD", var=Var("x"))
+        assert node.produces_value
+        assert node.is_pseudo
+
+    def test_varwrite_produces_no_value(self):
+        node = Node("VARWRITE", operands=[make_const()], var=Var("x"))
+        assert not node.produces_value
+
+    def test_predecessors_combines_operands_and_deps(self):
+        a, b = make_const(), make_const()
+        dep = make_const()
+        node = Node("IADD", operands=[a, b], deps=[dep])
+        assert set(node.predecessors()) == {a, b, dep}
+
+
+class TestVarArray:
+    def test_var_identity_not_name_equality(self):
+        assert Var("x") != Var("x")  # eq=False: identity semantics
+
+    def test_array_ref(self):
+        arr = ArrayRef("buf", 3)
+        assert arr.handle == 3

@@ -1,0 +1,146 @@
+"""Tests for the region tree and condition expressions."""
+
+import pytest
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import Node
+from repro.ir.regions import (
+    BlockRegion,
+    CondBin,
+    CondLeaf,
+    IfRegion,
+    LoopRegion,
+    SeqRegion,
+    UnsupportedConditionError,
+)
+
+
+def cmp_node():
+    a = Node("CONST", value=1)
+    b = Node("CONST", value=2)
+    return Node("IFLT", operands=[a, b])
+
+
+class TestCondExpr:
+    def test_leaf_requires_compare(self):
+        with pytest.raises(ValueError):
+            CondLeaf(Node("CONST", value=1))
+
+    def test_negate_leaf(self):
+        leaf = CondLeaf(cmp_node())
+        assert leaf.negated().negate is True
+        assert leaf.negated().negated() == leaf
+
+    def test_de_morgan(self):
+        a, b = CondLeaf(cmp_node()), CondLeaf(cmp_node())
+        expr = CondBin("and", a, b)
+        neg = expr.negated()
+        assert isinstance(neg, CondBin) and neg.op == "or"
+        assert neg.left.negate and neg.right.negate
+
+    def test_linearize_left_deep(self):
+        a, b, c = (CondLeaf(cmp_node()) for _ in range(3))
+        expr = CondBin("or", CondBin("and", a, b), c)
+        steps = expr.linearize()
+        assert [op for _, op in steps] == [None, "and", "or"]
+        assert [leaf for leaf, _ in steps] == [a, b, c]
+
+    def test_linearize_rejects_right_deep(self):
+        a, b, c, d = (CondLeaf(cmp_node()) for _ in range(4))
+        expr = CondBin("or", CondBin("and", a, b), CondBin("and", c, d))
+        with pytest.raises(UnsupportedConditionError):
+            expr.linearize()
+
+    def test_negated_preserves_linearizability(self):
+        a, b = CondLeaf(cmp_node()), CondLeaf(cmp_node())
+        expr = CondBin("and", a, b)
+        steps = expr.negated().linearize()
+        assert [op for _, op in steps] == [None, "or"]
+
+    def test_bad_bool_op(self):
+        a, b = CondLeaf(cmp_node()), CondLeaf(cmp_node())
+        with pytest.raises(ValueError):
+            CondBin("xor", a, b)
+
+    def test_leaves(self):
+        a, b = CondLeaf(cmp_node()), CondLeaf(cmp_node())
+        assert CondBin("or", a, b).leaves() == [a, b]
+
+
+def build_nested_kernel():
+    """while (a != 0) { if (a > 10) { a -= 10 } else { a -= 1 } }"""
+    kb = KernelBuilder("nested")
+    a = kb.param("a")
+
+    def cond():
+        return kb.cmp("IFNE", kb.read(a), kb.const(0))
+
+    def body():
+        def inner_cond():
+            return kb.cmp("IFGT", kb.read(a), kb.const(10))
+
+        kb.if_(
+            inner_cond,
+            lambda: kb.write(a, kb.binop("ISUB", kb.read(a), kb.const(10))),
+            lambda: kb.write(a, kb.binop("ISUB", kb.read(a), kb.const(1))),
+        )
+
+    kb.while_(cond, body)
+    return kb.finish(results=[a])
+
+
+class TestRegionTree:
+    def test_structure(self):
+        kernel = build_nested_kernel()
+        loops = kernel.loops()
+        assert len(loops) == 1
+        loop = loops[0]
+        assert isinstance(loop, LoopRegion)
+        assert loop.contains_loop()
+        (ifr,) = [r for r in loop.body.walk() if isinstance(r, IfRegion)]
+        assert ifr.is_speculatable()
+
+    def test_contains_loop_propagation(self):
+        kernel = build_nested_kernel()
+        assert kernel.body.contains_loop()
+        loop = kernel.loops()[0]
+        assert not loop.body.contains_loop()  # the if inside is loop-free
+
+    def test_blocks_in_program_order(self):
+        kernel = build_nested_kernel()
+        blocks = list(kernel.blocks())
+        # header block first (holds the loop compare)
+        assert any(n.is_compare for n in blocks[0].node_list)
+
+    def test_controlling_nodes(self):
+        kernel = build_nested_kernel()
+        loop = kernel.loops()[0]
+        controlling = loop.controlling_nodes()
+        assert len(controlling) == 1
+        assert controlling[0].opcode == "IFNE"
+
+    def test_walk_preorder(self):
+        kernel = build_nested_kernel()
+        kinds = [type(r).__name__ for r in kernel.body.walk()]
+        assert kinds[0] == "SeqRegion"
+        assert "LoopRegion" in kinds and "IfRegion" in kinds
+
+    def test_if_speculatable_false_with_loop(self):
+        kb = KernelBuilder("ifloop")
+        a = kb.param("a")
+
+        def cond():
+            return kb.cmp("IFGT", kb.read(a), kb.const(0))
+
+        def then():
+            def inner_cond():
+                return kb.cmp("IFGT", kb.read(a), kb.const(0))
+
+            kb.while_(
+                inner_cond,
+                lambda: kb.write(a, kb.binop("ISUB", kb.read(a), kb.const(1))),
+            )
+
+        region = kb.if_(cond, then)
+        kb.finish(results=[a])
+        assert not region.is_speculatable()

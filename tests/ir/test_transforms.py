@@ -1,0 +1,207 @@
+"""Tests for the optional transformations: clone, unroll, CSE.
+
+Semantic preservation is checked with the baseline interpreter.
+"""
+
+import pytest
+
+from repro.baseline import run_baseline
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.ir.regions import IfRegion, LoopRegion
+from repro.ir.transform import (
+    clone_region,
+    eliminate_common_subexpressions,
+    unroll_inner_loops,
+)
+from repro.ir.transform.unroll import unroll_loop
+
+
+def k_sum(n: int) -> int:
+    acc = 0
+    i = 0
+    while i < n:
+        acc += i
+        i += 1
+    return acc
+
+
+def k_nested(n: int, data: IntArray) -> int:
+    total = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < i:
+            if data[j] > data[i]:
+                total += 1
+            j += 1
+        i += 1
+    return total
+
+
+def k_cse_rich(a: int, b: int) -> int:
+    x = (a + b) * (a + b)
+    y = (a + b) + (b + a)  # commutative duplicate
+    z = x + y + (a + b)
+    return z
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        kernel = compile_kernel(k_sum)
+        loop = kernel.loops()[0]
+        mapping = {}
+        copy = clone_region(loop.body, mapping)
+        orig_nodes = list(loop.body.nodes())
+        copy_nodes = list(copy.nodes())
+        assert len(orig_nodes) == len(copy_nodes)
+        orig_ids = {n.id for n in orig_nodes}
+        for n in copy_nodes:
+            assert n.id not in orig_ids
+            # operands are mapped clones, never originals
+            for op in n.operands:
+                assert op.id not in orig_ids
+
+    def test_clone_shares_vars(self):
+        kernel = compile_kernel(k_sum)
+        loop = kernel.loops()[0]
+        copy = clone_region(loop.body, {})
+        orig_vars = {n.var for n in loop.body.nodes() if n.var is not None}
+        copy_vars = {n.var for n in copy.nodes() if n.var is not None}
+        assert orig_vars == copy_vars  # same Var objects (storage)
+
+
+def baseline_value(kernel, livein, arrays=None):
+    res = run_baseline(kernel, livein, arrays or {})
+    return res.results, res.cycles
+
+
+class TestUnroll:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 9])
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    def test_sum_equivalence(self, n, factor):
+        plain = compile_kernel(k_sum)
+        unrolled = unroll_inner_loops(compile_kernel(k_sum), factor)
+        r1, _ = baseline_value(plain, {"n": n})
+        r2, _ = baseline_value(unrolled, {"n": n})
+        assert r1 == r2
+
+    def test_nested_only_innermost_unrolled(self):
+        kernel = compile_kernel(k_nested)
+        outer_before = kernel.loops()
+        assert len(outer_before) == 2
+        unroll_inner_loops(kernel, 2)
+        loops = kernel.loops()
+        assert len(loops) == 2  # no new loops, bodies duplicated
+        # the inner loop body now contains a guard IfRegion
+        inner = [l for l in loops if not l.body.contains_loop()]
+        assert inner, "inner loop should still be loop-free inside"
+        guard_ifs = [
+            r for r in inner[0].body.walk() if isinstance(r, IfRegion)
+        ]
+        assert len(guard_ifs) >= 1
+
+    def test_nested_equivalence(self):
+        data = [5, 3, 8, 1, 9, 2, 7]
+        plain = compile_kernel(k_nested)
+        unrolled = unroll_inner_loops(compile_kernel(k_nested), 2)
+        r1, _ = baseline_value(plain, {"n": len(data)}, {"data": list(data)})
+        r2, _ = baseline_value(unrolled, {"n": len(data)}, {"data": list(data)})
+        assert r1 == r2
+
+    def test_factor_one_is_noop(self):
+        kernel = compile_kernel(k_sum)
+        nodes_before = kernel.node_count()
+        unroll_inner_loops(kernel, 1)
+        assert kernel.node_count() == nodes_before
+
+    def test_unroll_increases_body_size(self):
+        kernel = compile_kernel(k_sum)
+        before = kernel.node_count()
+        unroll_loop(kernel.loops()[0], 2)
+        kernel.validate()
+        assert kernel.node_count() > before
+
+
+class TestCSE:
+    def test_removes_duplicates(self):
+        kernel = compile_kernel(k_cse_rich)
+        before = kernel.node_count()
+        removed = eliminate_common_subexpressions(kernel)
+        assert removed > 0
+        assert kernel.node_count() == before - removed
+
+    def test_commutative_merge(self):
+        kernel = compile_kernel(k_cse_rich)
+        eliminate_common_subexpressions(kernel)
+        # only one IADD over reads of {a, b} should survive
+        adds = [
+            n
+            for n in kernel.nodes()
+            if n.opcode == "IADD"
+            and all(o.opcode == "VARREAD" for o in n.operands)
+            and {o.var.name for o in n.operands} == {"a", "b"}
+        ]
+        assert len(adds) == 1
+
+    @pytest.mark.parametrize("a,b", [(3, 4), (-7, 11), (0, 0)])
+    def test_equivalence(self, a, b):
+        plain = compile_kernel(k_cse_rich)
+        optimised = compile_kernel(k_cse_rich)
+        eliminate_common_subexpressions(optimised)
+        r1, c1 = baseline_value(plain, {"a": a, "b": b})
+        r2, c2 = baseline_value(optimised, {"a": a, "b": b})
+        assert r1 == r2
+        assert c2 < c1  # fewer executed nodes -> fewer baseline cycles
+
+    def test_memory_ops_never_merged(self):
+        def k(n: int, data: IntArray) -> int:
+            a = data[0]
+            b = data[0]  # reads may merge
+            data[1] = a + b
+            c = data[0]  # but not across the store
+            return c
+
+        kernel = compile_kernel(k)
+        eliminate_common_subexpressions(kernel)
+        loads = [n for n in kernel.nodes() if n.opcode == "DMA_LOAD"]
+        assert len(loads) == 3  # DMA ops are never CSE'd
+
+    def test_compares_never_merged(self):
+        def k(a: int) -> int:
+            r = 0
+            if a > 0:
+                r += 1
+            if a > 0:
+                r += 2
+            return r
+
+        kernel = compile_kernel(k)
+        eliminate_common_subexpressions(kernel)
+        kernel.validate()
+        compares = [n for n in kernel.nodes() if n.is_compare]
+        assert len(compares) == 2
+
+    def test_adpcm_equivalence_after_all_transforms(self):
+        from repro.kernels.adpcm import (
+            INDEX_TABLE,
+            STEP_TABLE,
+            build_decoder_kernel,
+            encoded_reference,
+        )
+
+        n = 48
+        packed, expect = encoded_reference(n)
+        kernel = build_decoder_kernel()
+        eliminate_common_subexpressions(kernel)
+        unroll_inner_loops(kernel, 2)
+        res = run_baseline(
+            kernel,
+            {"n": n, "gain": 4096},
+            {
+                "inp": packed,
+                "outp": [0] * n,
+                "steptab": list(STEP_TABLE),
+                "indextab": list(INDEX_TABLE),
+            },
+        )
+        assert res.heap.array(kernel.arrays[1].handle) == expect

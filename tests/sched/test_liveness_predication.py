@@ -1,0 +1,129 @@
+"""Tests for lifetime extension rules and the condition planner."""
+
+import pytest
+
+from repro.arch.cbox import CBoxFunc
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import Node
+from repro.ir.regions import CondBin, CondLeaf, UnsupportedConditionError
+from repro.sched.liveness import extend_interval
+from repro.sched.predication import PredPlanner
+from repro.sched.schedule import LoopSpan, PredRef
+
+
+class TestExtendInterval:
+    def test_no_loops_no_change(self):
+        assert extend_interval((3, 9), []) == (3, 9)
+
+    def test_defined_before_used_inside(self):
+        """Last use inside a loop -> live until the loop's end."""
+        spans = [LoopSpan(5, 20)]
+        assert extend_interval((2, 10), spans) == (2, 20)
+
+    def test_defined_and_used_inside_unchanged(self):
+        spans = [LoopSpan(5, 20)]
+        assert extend_interval((7, 12), spans) == (7, 12)
+
+    def test_defined_inside_used_after_unchanged(self):
+        spans = [LoopSpan(5, 20)]
+        assert extend_interval((7, 30), spans) == (7, 30)
+
+    def test_nested_loops_fixpoint(self):
+        spans = [LoopSpan(10, 40), LoopSpan(15, 25)]
+        # def before both, last use in the inner loop: extends to the
+        # inner end, which lies in the outer loop -> extends to 40
+        assert extend_interval((2, 18), spans) == (2, 40)
+
+    def test_cover_touched_loops(self):
+        spans = [LoopSpan(10, 30)]
+        # loop-carried home value: events only within the loop still
+        # cover the whole span
+        assert extend_interval((15, 20), spans, cover_touched_loops=True) == (
+            10,
+            30,
+        )
+
+    def test_cover_touched_extends_across_start(self):
+        spans = [LoopSpan(10, 30)]
+        assert extend_interval((5, 12), spans, cover_touched_loops=True) == (
+            5,
+            30,
+        )
+
+
+def _cmp():
+    a = Node("CONST", value=0)
+    b = Node("CONST", value=1)
+    return Node("IFLT", operands=[a, b])
+
+
+class TestPredPlanner:
+    def test_single_leaf_store(self):
+        planner = PredPlanner()
+        leaf = CondLeaf(_cmp())
+        pair = planner.plan_condition(leaf, None)
+        step = planner.step_for(leaf.node)
+        assert step is not None and step.is_final
+        assert step.func is CBoxFunc.STORE
+        assert step.write_pair == pair
+
+    def test_negated_leaf_store_not(self):
+        planner = PredPlanner()
+        leaf = CondLeaf(_cmp(), negate=True)
+        planner.plan_condition(leaf, None)
+        assert planner.step_for(leaf.node).func is CBoxFunc.STORE_NOT
+
+    def test_and_or_chain(self):
+        planner = PredPlanner()
+        a, b, c = CondLeaf(_cmp()), CondLeaf(_cmp()), CondLeaf(_cmp(), True)
+        expr = CondBin("or", CondBin("and", a, b), c)
+        final = planner.plan_condition(expr, None)
+        sa, sb, sc = (planner.step_for(l.node) for l in (a, b, c))
+        assert sa.func is CBoxFunc.STORE and not sa.is_final
+        assert sb.func is CBoxFunc.AND and sb.read.pair == sa.write_pair
+        assert sc.func is CBoxFunc.OR_NOT and sc.read.pair == sb.write_pair
+        assert sc.is_final and sc.write_pair == final
+
+    def test_nested_fork(self):
+        planner = PredPlanner()
+        outer = PredRef(planner.new_pair(), True)
+        leaf = CondLeaf(_cmp())
+        pair = planner.plan_condition(leaf, outer)
+        step = planner.step_for(leaf.node)
+        assert step.func is CBoxFunc.FORK_AND
+        assert step.read == outer
+        assert not step.swap_writes
+        assert pair != outer.pair
+
+    def test_nested_fork_negated_swaps(self):
+        planner = PredPlanner()
+        outer = PredRef(planner.new_pair(), False)
+        leaf = CondLeaf(_cmp(), negate=True)
+        planner.plan_condition(leaf, outer)
+        assert planner.step_for(leaf.node).swap_writes
+
+    def test_compound_under_predicate_rejected(self):
+        planner = PredPlanner()
+        outer = PredRef(planner.new_pair(), True)
+        expr = CondBin("and", CondLeaf(_cmp()), CondLeaf(_cmp()))
+        with pytest.raises(UnsupportedConditionError):
+            planner.plan_condition(expr, outer)
+
+    def test_compare_cannot_feed_two_conditions(self):
+        planner = PredPlanner()
+        leaf = CondLeaf(_cmp())
+        planner.plan_condition(leaf, None)
+        from repro.sched.schedule import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            planner.plan_condition(CondLeaf(leaf.node), None)
+
+    def test_ready_tracking(self):
+        planner = PredPlanner()
+        pair = planner.new_pair()
+        assert planner.ready_cycle(pair) is None
+        assert not planner.read_allowed(PredRef(pair, True), 100)
+        planner.note_combined(pair, 10)
+        assert planner.ready_cycle(pair) == 11
+        assert planner.read_allowed(PredRef(pair, True), 11)
+        assert not planner.read_allowed(PredRef(pair, True), 10)

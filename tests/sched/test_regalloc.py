@@ -1,0 +1,85 @@
+"""Left-edge allocator tests (unit + hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.regalloc import AllocationError, left_edge
+
+
+class TestLeftEdgeBasics:
+    def test_disjoint_share_one_track(self):
+        intervals = {"a": (0, 3), "b": (4, 7), "c": (8, 9)}
+        assignment, used = left_edge(intervals, capacity=8)
+        assert used == 1
+        assert len(set(assignment.values())) == 1
+
+    def test_overlapping_need_separate_tracks(self):
+        intervals = {"a": (0, 5), "b": (2, 7), "c": (4, 9)}
+        assignment, used = left_edge(intervals, capacity=8)
+        assert used == 3
+
+    def test_capacity_overflow(self):
+        intervals = {i: (0, 10) for i in range(5)}
+        with pytest.raises(AllocationError, match="overflow"):
+            left_edge(intervals, capacity=4)
+
+    def test_adjacent_intervals_conflict(self):
+        # inclusive intervals: [0,3] and [3,5] overlap at 3
+        assignment, used = left_edge({"a": (0, 3), "b": (3, 5)}, capacity=4)
+        assert used == 2
+
+    def test_empty(self):
+        assignment, used = left_edge({}, capacity=4)
+        assert assignment == {} and used == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            left_edge({"a": (5, 2)}, capacity=4)
+
+
+intervals_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=200),
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=60),
+    ).map(lambda t: (min(t), max(t))),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestLeftEdgeProperties:
+    @given(intervals_strategy)
+    @settings(max_examples=120)
+    def test_no_overlap_within_track(self, intervals):
+        assignment, used = left_edge(intervals, capacity=100)
+        by_track = {}
+        for key, track in assignment.items():
+            by_track.setdefault(track, []).append(intervals[key])
+        for spans in by_track.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 < s2, "intervals on one track overlap"
+
+    @given(intervals_strategy)
+    @settings(max_examples=120)
+    def test_every_interval_assigned(self, intervals):
+        assignment, used = left_edge(intervals, capacity=100)
+        assert set(assignment) == set(intervals)
+        assert used <= len(intervals)
+
+    @given(intervals_strategy)
+    @settings(max_examples=120)
+    def test_track_count_matches_max_density(self, intervals):
+        """Left edge is optimal for interval graphs: tracks == max overlap."""
+        assignment, used = left_edge(intervals, capacity=100)
+        events = []
+        for s, e in intervals.values():
+            events.append((s, 1))
+            events.append((e + 1, -1))
+        density = best = 0
+        for _, delta in sorted(events):
+            density += delta
+            best = max(best, density)
+        assert used == best

@@ -1,0 +1,74 @@
+"""Schedule.validate catches corrupted schedules (defence in depth)."""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.kernels import gcd
+from repro.sched.schedule import OperandSource, SchedulingError
+from repro.sched.scheduler import schedule_kernel
+
+
+@pytest.fixture()
+def valid():
+    comp = mesh_composition(4)
+    kernel = gcd.build_kernel()
+    return schedule_kernel(kernel, comp), comp
+
+
+class TestValidate:
+    def test_clean_schedule_passes(self, valid):
+        schedule, comp = valid
+        schedule.validate(comp)
+
+    def test_double_booked_pe_detected(self, valid):
+        schedule, comp = valid
+        op = next(o for o in schedule.ops if o.opcode != "NOP")
+        clone = type(op)(
+            cycle=op.cycle,
+            pe=op.pe,
+            opcode="NOP",
+            duration=1,
+        )
+        schedule.ops.append(clone)
+        with pytest.raises(SchedulingError, match="double-booked"):
+            schedule.validate(comp)
+
+    def test_unsupported_opcode_detected(self, valid):
+        schedule, comp = valid
+        op = schedule.ops[0]
+        object.__setattr__(op, "opcode", "DMA_LOAD")  # PE without DMA?
+        # pick a non-DMA PE explicitly
+        non_dma = next(
+            pe for pe in range(comp.n_pes) if not comp.pes[pe].has_dma
+        )
+        op.pe = non_dma
+        with pytest.raises(SchedulingError):
+            schedule.validate(comp)
+
+    def test_port_read_without_booking_detected(self, valid):
+        schedule, comp = valid
+        victim = next(o for o in schedule.ops if o.srcs)
+        # rewrite one operand to claim it comes from a neighbour whose
+        # port is not booked
+        other_pe = comp.interconnect.sources_of(victim.pe)[0]
+        fake_vid = 999999
+        victim.srcs = (OperandSource(other_pe, fake_vid),) + victim.srcs[1:]
+        with pytest.raises(SchedulingError, match="out-port"):
+            schedule.validate(comp)
+
+    def test_outport_wrong_holder_detected(self, valid):
+        schedule, comp = valid
+        vid, info = next(iter(schedule.values.items()))
+        wrong_pe = (info.pe + 1) % comp.n_pes
+        schedule.outport_bookings[(wrong_pe, 0)] = vid
+        with pytest.raises(SchedulingError, match="held on"):
+            schedule.validate(comp)
+
+    def test_branch_target_range_checked(self, valid):
+        schedule, comp = valid
+        cycle, branch = next(
+            (c, b) for c, b in schedule.branches.items() if b.target is not None
+        )
+        branch.target = 10_000
+        with pytest.raises(SchedulingError, match="target"):
+            schedule.validate(comp)

@@ -1,0 +1,233 @@
+"""Scheduler tests: structural invariants, resource constraints, errors.
+
+``Schedule.validate`` already checks PE double-booking, out-port
+consistency and interconnect legality; these tests add scheduler-level
+behaviours (homes, fusing, branches, C-Box constraints, failures).
+"""
+
+import pytest
+
+from repro.arch.ccu import BranchKind
+from repro.arch.composition import Composition
+from repro.arch.interconnect import Interconnect
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.arch.pe import PEDescription
+from repro.ir.builder import KernelBuilder
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.kernels import dotp, gcd, sort
+from repro.sched.schedule import SchedulingError
+from repro.sched.scheduler import schedule_kernel
+
+ALL_COMPS = [mesh_composition(4), mesh_composition(9), irregular_composition("B")]
+
+
+def k_branchy(a: int, b: int) -> int:
+    r = 0
+    while a > 0:
+        if a > b:
+            r += a
+        else:
+            r += b
+        a -= 1
+    return r
+
+
+class TestScheduleStructure:
+    @pytest.mark.parametrize("comp", ALL_COMPS, ids=lambda c: c.name)
+    def test_validates_on_every_composition(self, comp):
+        kernel = compile_kernel(k_branchy)
+        schedule = schedule_kernel(kernel, comp)
+        schedule.validate(comp)  # raises on any violation
+        assert schedule.n_cycles <= comp.context_size
+
+    def test_every_loop_has_back_branch(self):
+        kernel = gcd.build_kernel()
+        schedule = schedule_kernel(kernel, mesh_composition(4))
+        spans = schedule.loop_spans
+        assert len(spans) == 1
+        back = schedule.branches[spans[0].end]
+        assert back.kind is BranchKind.UNCONDITIONAL
+        assert back.target == spans[0].start
+
+    def test_ends_with_halt(self):
+        kernel = gcd.build_kernel()
+        schedule = schedule_kernel(kernel, mesh_composition(4))
+        halt = schedule.branches[schedule.n_cycles - 1]
+        assert halt.kind is BranchKind.HALT
+
+    def test_conditional_exit_branch_inside_span(self):
+        kernel = gcd.build_kernel()
+        schedule = schedule_kernel(kernel, mesh_composition(4))
+        span = schedule.loop_spans[0]
+        cond_branches = [
+            c
+            for c, b in schedule.branches.items()
+            if b.kind is BranchKind.CONDITIONAL and span.contains(c)
+        ]
+        assert cond_branches, "loop must have a conditional exit"
+        for c in cond_branches:
+            assert schedule.branches[c].target is not None
+
+    def test_var_homes_assigned_for_interface(self):
+        kernel = compile_kernel(k_branchy)
+        schedule = schedule_kernel(kernel, mesh_composition(4))
+        for var in kernel.params + kernel.results:
+            pe, vid = schedule.home_of(var)
+            assert 0 <= pe < 4
+
+    def test_cbox_single_combine_per_cycle(self):
+        kernel = compile_kernel(k_branchy)
+        schedule = schedule_kernel(kernel, mesh_composition(9))
+        for cycle, plan in schedule.cbox.items():
+            assert plan.cycle == cycle
+        # compare finishing cycles align with their combine entries
+        combines = {
+            c for c, p in schedule.cbox.items() if p.status_pe is not None
+        }
+        compare_finals = {
+            op.final_cycle for op in schedule.ops if op.is_compare
+        }
+        assert combines == compare_finals
+
+    def test_predicated_ops_share_outpe_cycle_predicate(self):
+        kernel = compile_kernel(k_branchy)
+        schedule = schedule_kernel(kernel, mesh_composition(9))
+        by_cycle = {}
+        for op in schedule.ops:
+            if op.predicate is not None:
+                by_cycle.setdefault(op.final_cycle, set()).add(op.predicate)
+        for cycle, preds in by_cycle.items():
+            assert len(preds) == 1, "one outPE broadcast per cycle"
+            plan = schedule.cbox[cycle]
+            assert plan.out_pe == next(iter(preds))
+
+    def test_multicycle_ops_do_not_cross_branches(self):
+        def k(n: int, xs: IntArray) -> int:
+            acc = 0
+            for i in range(n):
+                acc += xs[i] * xs[i]
+            return acc
+
+        kernel = compile_kernel(k)
+        comp = mesh_composition(4)  # two-cycle multiplier
+        schedule = schedule_kernel(kernel, comp)
+        for op in schedule.ops:
+            for c in range(op.cycle, op.final_cycle):
+                assert c not in schedule.branches, (
+                    "operation spans a control-flow boundary"
+                )
+
+
+class TestResourceConstraints:
+    def test_dma_only_on_dma_pes(self):
+        kernel = dotp.build_kernel()
+        comp = mesh_composition(9)
+        schedule = schedule_kernel(kernel, comp)
+        dma_pes = set(comp.dma_pes())
+        for op in schedule.ops:
+            if op.opcode.startswith("DMA"):
+                assert op.pe in dma_pes
+
+    def test_inhomogeneous_mul_placement(self):
+        def k(a: int, b: int) -> int:
+            c = a * b + a * a + b * b
+            return c
+
+        kernel = compile_kernel(k)
+        comp = irregular_composition("F")  # only PEs 1 and 6 multiply
+        schedule = schedule_kernel(kernel, comp)
+        for op in schedule.ops:
+            if op.opcode == "IMUL":
+                assert op.pe in comp.multiplier_pes()
+
+    def test_mul_duration_respected(self):
+        def k(a: int, b: int) -> int:
+            c = a * b
+            return c
+
+        kernel = compile_kernel(k)
+        for dur in (1, 2):
+            comp = mesh_composition(4, mul_duration=dur)
+            schedule = schedule_kernel(kernel, comp)
+            muls = [op for op in schedule.ops if op.opcode == "IMUL"]
+            assert muls and all(op.duration == dur for op in muls)
+
+    def test_remote_operands_use_links(self):
+        kernel = sort.build_kernel()
+        comp = irregular_composition("B")  # sparse chain
+        schedule = schedule_kernel(kernel, comp)
+        icn = comp.interconnect
+        for op in schedule.ops:
+            for src in op.srcs:
+                if src.pe != op.pe:
+                    assert icn.has_link(src.pe, op.pe)
+
+
+class TestFailures:
+    def test_missing_operation_support(self):
+        def k(a: int, b: int) -> int:
+            c = a * b
+            return c
+
+        kernel = compile_kernel(k)
+        pes = tuple(
+            PEDescription.homogeneous(f"p{i}", exclude_ops=("IMUL",))
+            for i in range(4)
+        )
+        comp = Composition("nomul", pes, Interconnect.mesh(2, 2))
+        with pytest.raises(SchedulingError, match="IMUL"):
+            schedule_kernel(kernel, comp)
+
+    def test_memory_kernel_needs_dma(self):
+        kernel = dotp.build_kernel()
+        pes = tuple(PEDescription.homogeneous(f"p{i}") for i in range(4))
+        comp = Composition("nodma", pes, Interconnect.mesh(2, 2))
+        with pytest.raises(SchedulingError, match="DMA"):
+            schedule_kernel(kernel, comp)
+
+    def test_context_size_enforced(self):
+        kernel = sort.build_kernel()
+        comp = mesh_composition(4, context_size=8)
+        with pytest.raises(SchedulingError, match="contexts"):
+            schedule_kernel(kernel, comp)
+
+    def test_context_size_override(self):
+        kernel = sort.build_kernel()
+        comp = mesh_composition(4, context_size=8)
+        schedule = schedule_kernel(kernel, comp, enforce_context_size=False)
+        assert schedule.n_cycles > 8
+
+    def test_header_side_effects_rejected(self):
+        kb = KernelBuilder("k")
+        x = kb.param("x")
+
+        def cond():
+            kb.write(x, kb.binop("ISUB", kb.read(x), kb.const(1)))
+            return kb.cmp("IFGT", kb.read(x), kb.const(0))
+
+        kb.while_(cond, lambda: None)
+        kernel = kb.finish(results=[x])
+        with pytest.raises(SchedulingError, match="side-effect"):
+            schedule_kernel(kernel, mesh_composition(4))
+
+    def test_disconnected_interconnect_stalls_cleanly(self):
+        # two isolated PE pairs: values cannot route between them; with
+        # DMA only on one island, kernels touching both must fail
+        pes = tuple(
+            PEDescription.homogeneous(f"p{i}", has_dma=(i == 0))
+            for i in range(4)
+        )
+        icn = Interconnect.from_sources({0: [1], 1: [0], 2: [3], 3: [2]})
+        comp = Composition("split", pes, icn)
+
+        def k(a: int, b: int) -> int:
+            c = a * b + (a ^ b) + (a | b) + (a & b) + (a - b)
+            d = c * c + a * a + b * b
+            return d
+
+        kernel = compile_kernel(k)
+        # may schedule fine on one island; just assert it terminates
+        schedule = schedule_kernel(kernel, comp)
+        used_pes = {op.pe for op in schedule.ops}
+        island_a, island_b = {0, 1}, {2, 3}
+        assert used_pes <= island_a or used_pes <= island_b

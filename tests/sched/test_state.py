@@ -1,0 +1,163 @@
+"""Tests for scheduler state: value table, trackers, transactions."""
+
+import pytest
+
+from repro.ir.nodes import Var
+from repro.sched.schedule import PlacedOp, SchedulingError, ValueKind
+from repro.sched.state import (
+    ConstTracker,
+    ResourceState,
+    Txn,
+    ValueTable,
+    VarTracker,
+)
+
+
+class TestValueTable:
+    def test_ids_unique_and_events_recorded(self):
+        vt = ValueTable()
+        a = vt.new(ValueKind.NODE, pe=0)
+        b = vt.new(ValueKind.HOME, pe=1)
+        assert a != b
+        vt.note_def(a, 3)
+        vt.note_use(a, 7)
+        assert vt.info(a).interval() == (3, 7)
+        assert vt.info(b).interval() is None
+
+
+class TestVarTracker:
+    def setup_method(self):
+        self.values = ValueTable()
+        self.tracker = VarTracker(self.values)
+        self.x = Var("x")
+
+    def test_home_assignment_once(self):
+        vid = self.tracker.assign_home(self.x, 2)
+        assert self.values.info(vid).pe == 2
+        with pytest.raises(SchedulingError):
+            self.tracker.assign_home(self.x, 3)
+
+    def test_write_invalidates_copies(self):
+        self.tracker.assign_home(self.x, 0)
+        self.tracker.add_copy(self.x, 1, vid=10, ready=5)
+        assert self.tracker.valid_copies(self.x) == [(1, 10, 5)]
+        self.tracker.note_write(self.x, cycle_ready=8)
+        assert self.tracker.valid_copies(self.x) == []
+
+    def test_copy_versioning(self):
+        self.tracker.assign_home(self.x, 0)
+        self.tracker.note_write(self.x, 1)
+        self.tracker.add_copy(self.x, 1, vid=11, ready=2)
+        self.tracker.note_write(self.x, 5)  # bump
+        self.tracker.add_copy(self.x, 2, vid=12, ready=6)
+        assert self.tracker.valid_copies(self.x) == [(2, 12, 6)]
+
+    def test_restore_keeps_homes(self):
+        """Homes are global (Section V-D): branch rollback keeps them."""
+        snap = self.tracker.snapshot()
+        self.tracker.assign_home(self.x, 3)
+        displaced = self.tracker.restore(snap)
+        st = self.tracker.state(self.x)
+        assert st.home_pe == 3  # grafted through the restore
+        assert displaced[self.x].home_pe == 3
+
+    def test_restore_rolls_back_copies(self):
+        self.tracker.assign_home(self.x, 0)
+        snap = self.tracker.snapshot()
+        self.tracker.add_copy(self.x, 1, vid=10, ready=2)
+        self.tracker.restore(snap)
+        assert self.tracker.valid_copies(self.x) == []
+
+    def test_merge_divergent_versions_clear_copies(self):
+        self.tracker.assign_home(self.x, 0)
+        snap = self.tracker.snapshot()
+        # then-path: a write
+        self.tracker.note_write(self.x, 4)
+        then_state = self.tracker.restore(snap)
+        # else-path: no write, but a copy
+        self.tracker.add_copy(self.x, 1, vid=10, ready=2)
+        self.tracker.merge(then_state)
+        st = self.tracker.state(self.x)
+        assert st.copies == {}  # divergence forces home reads
+        assert st.version > 0
+
+    def test_merge_keeps_common_copies(self):
+        self.tracker.assign_home(self.x, 0)
+        self.tracker.add_copy(self.x, 1, vid=10, ready=2)
+        snap = self.tracker.snapshot()
+        then_state = self.tracker.restore(snap)
+        self.tracker.merge(then_state)
+        assert self.tracker.valid_copies(self.x) == [(1, 10, 2)]
+
+    def test_invalidate_copies(self):
+        self.tracker.assign_home(self.x, 0)
+        self.tracker.add_copy(self.x, 1, vid=10, ready=2)
+        self.tracker.invalidate_copies([self.x])
+        assert self.tracker.valid_copies(self.x) == []
+
+
+class TestConstTracker:
+    def test_register_and_holders(self):
+        ct = ConstTracker(ValueTable())
+        ct.register(0, 42, vid=1, ready=3)
+        ct.register(2, 42, vid=2, ready=5)
+        ct.register(0, 7, vid=3, ready=1)
+        assert ct.lookup(0, 42) == (1, 3)
+        assert sorted(ct.holders(42)) == [(0, 1, 3), (2, 2, 5)]
+
+    def test_merge_keeps_intersection(self):
+        ct = ConstTracker(ValueTable())
+        ct.register(0, 42, vid=1, ready=3)
+        snap = ct.snapshot()
+        ct.register(1, 9, vid=2, ready=4)  # then-path only
+        other = ct.restore(snap)
+        ct.merge(other)
+        assert ct.lookup(0, 42) == (1, 3)
+        assert ct.lookup(1, 9) is None
+
+
+class TestTxn:
+    def test_rollback_leaves_no_residue(self):
+        res = ResourceState(n_pes=2)
+        txn = Txn(res)
+        op = PlacedOp(cycle=0, pe=0, opcode="NOP", duration=1)
+        txn.add_op(op)
+        txn.book_outport(1, 0, vid=5)
+        # drop without commit
+        assert res.pe_ops == {} and res.outports == {}
+
+    def test_commit_applies(self):
+        res = ResourceState(n_pes=2)
+        txn = Txn(res)
+        op = PlacedOp(cycle=0, pe=0, opcode="NOP", duration=1)
+        txn.add_op(op)
+        txn.book_outport(1, 0, vid=5)
+        hook_ran = []
+        txn.on_commit.append(lambda: hook_ran.append(True))
+        txn.commit()
+        assert res.pe_ops[(0, 0)] is op
+        assert res.outports[(1, 0)] == 5
+        assert hook_ran == [True]
+
+    def test_overlay_visibility(self):
+        res = ResourceState(n_pes=2)
+        txn = Txn(res)
+        txn.add_op(PlacedOp(cycle=3, pe=0, opcode="IADD", duration=2,
+                            srcs=(), dest_vid=None))
+        assert not txn.pe_free(0, 4)
+        assert res.pe_free(0, 4)  # base unaffected until commit
+
+    def test_double_booking_inside_txn_rejected(self):
+        res = ResourceState(n_pes=2)
+        txn = Txn(res)
+        txn.add_op(PlacedOp(cycle=0, pe=0, opcode="NOP", duration=1))
+        with pytest.raises(SchedulingError):
+            txn.add_op(PlacedOp(cycle=0, pe=0, opcode="NOP", duration=1))
+
+    def test_outport_conflict_rejected(self):
+        res = ResourceState(n_pes=2)
+        txn = Txn(res)
+        txn.book_outport(0, 0, vid=1)
+        txn.book_outport(0, 0, vid=1)  # same value: fine
+        with pytest.raises(SchedulingError):
+            txn.book_outport(0, 0, vid=2)

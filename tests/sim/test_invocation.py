@@ -1,0 +1,72 @@
+"""Invocation protocol tests (Fig. 6)."""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.ir.frontend import IntArray, compile_kernel
+from repro.kernels import gcd
+from repro.sim.invocation import (
+    TRANSFER_CYCLES_PER_VAR,
+    invoke_kernel,
+    run_invocation,
+)
+
+
+class TestInvocation:
+    def test_missing_livein(self):
+        kernel = gcd.build_kernel()
+        with pytest.raises(KeyError, match="missing"):
+            invoke_kernel(kernel, mesh_composition(4), {"a": 1})
+
+    def test_unknown_livein(self):
+        kernel = gcd.build_kernel()
+        with pytest.raises(KeyError, match="no live-in"):
+            invoke_kernel(
+                kernel, mesh_composition(4), {"a": 1, "b": 2, "zz": 3}
+            )
+
+    def test_missing_array(self):
+        def k(n: int, xs: IntArray) -> int:
+            v = xs[0]
+            return v
+
+        kernel = compile_kernel(k)
+        with pytest.raises(KeyError, match="xs"):
+            invoke_kernel(kernel, mesh_composition(4), {"n": 1})
+
+    def test_unknown_array(self):
+        kernel = gcd.build_kernel()
+        with pytest.raises(KeyError, match="unknown arrays"):
+            invoke_kernel(
+                kernel, mesh_composition(4), {"a": 1, "b": 2}, {"zz": [1]}
+            )
+
+    def test_transfer_overhead_accounting(self):
+        kernel = gcd.build_kernel()  # 2 live-in, 1 live-out
+        res = invoke_kernel(kernel, mesh_composition(4), {"a": 6, "b": 4})
+        assert res.total_cycles - res.run_cycles == 3 * TRANSFER_CYCLES_PER_VAR
+
+    def test_program_reuse_across_invocations(self):
+        """Contexts are generated once; many runs reuse them (the point
+        of a reconfigurable accelerator)."""
+        from repro.context.generator import generate_contexts
+        from repro.sched.scheduler import schedule_kernel
+
+        kernel = gcd.build_kernel()
+        comp = mesh_composition(4)
+        schedule = schedule_kernel(kernel, comp)
+        program = generate_contexts(schedule, comp, kernel)
+        for a, b, expect in [(6, 4, 2), (35, 14, 7), (9, 9, 9)]:
+            res = run_invocation(program, comp, {"a": a, "b": b})
+            assert res.results["a"] == expect
+
+    def test_heap_exposed(self):
+        def k(n: int, xs: IntArray) -> int:
+            xs[0] = 42
+            return n
+
+        kernel = compile_kernel(k)
+        res = invoke_kernel(
+            kernel, mesh_composition(4), {"n": 0}, {"xs": [0, 1]}
+        )
+        assert res.heap.array(kernel.arrays[0].handle) == [42, 1]

@@ -1,0 +1,235 @@
+"""Simulator tests: hand-built context programs + error paths.
+
+These tests construct tiny context programs directly (no scheduler), so
+they pin down the machine semantics independently of the toolchain.
+"""
+
+import pytest
+
+from repro.arch.cbox import FRESH, FRESH_NEG, CBoxFunc, CBoxOp
+from repro.arch.ccu import BranchKind, CCUEntry
+from repro.arch.library import mesh_composition
+from repro.context.words import ContextProgram, PEContext, SrcSel
+from repro.sim.machine import CGRASimulator, SimulationError
+from repro.sim.memory import Heap
+
+
+def empty_program(comp, n_cycles):
+    return ContextProgram(
+        kernel_name="hand",
+        composition_name=comp.name,
+        n_cycles=n_cycles,
+        pe_contexts=[[None] * n_cycles for _ in range(comp.n_pes)],
+        cbox_contexts=[None] * n_cycles,
+        ccu_contexts=[CCUEntry() for _ in range(n_cycles)],
+        livein_map={},
+        liveout_map={},
+        rf_used=[0] * comp.n_pes,
+        cbox_slots_used=0,
+    )
+
+
+def run(comp, prog, heap=None):
+    sim = CGRASimulator(comp, prog, heap)
+    return sim, sim.run()
+
+
+class TestBasicExecution:
+    def test_const_add_halt(self):
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 3)
+        prog.pe_contexts[0][0] = PEContext("CONST", immediate=20, dest_slot=0)
+        prog.pe_contexts[0][1] = PEContext(
+            "IADD", srcs=(SrcSel.rf(0), SrcSel.rf(0)), dest_slot=1
+        )
+        prog.ccu_contexts[2] = CCUEntry(BranchKind.HALT)
+        sim, res = run(comp, prog)
+        assert sim.rf[0][1] == 40
+        assert res.cycles == 3
+
+    def test_neighbour_port_read(self):
+        comp = mesh_composition(4)  # PE1 reads PE0
+        prog = empty_program(comp, 3)
+        prog.pe_contexts[0][0] = PEContext("CONST", immediate=7, dest_slot=2)
+        # PE0 exposes slot 2; PE1 consumes it through the port
+        prog.pe_contexts[0][1] = PEContext("NOP", out_addr=2)
+        prog.pe_contexts[1][1] = PEContext(
+            "MOVE", srcs=(SrcSel.port(0),), dest_slot=0
+        )
+        prog.ccu_contexts[2] = CCUEntry(BranchKind.HALT)
+        sim, _ = run(comp, prog)
+        assert sim.rf[1][0] == 7
+
+    def test_port_read_without_exposure_fails(self):
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 2)
+        prog.pe_contexts[1][0] = PEContext(
+            "MOVE", srcs=(SrcSel.port(0),), dest_slot=0
+        )
+        prog.ccu_contexts[1] = CCUEntry(BranchKind.HALT)
+        with pytest.raises(SimulationError, match="out-port"):
+            run(comp, prog)
+
+    def test_port_read_without_link_fails(self):
+        comp = mesh_composition(4)  # PE3 cannot read PE0 in a 2x2 mesh
+        prog = empty_program(comp, 2)
+        prog.pe_contexts[0][0] = PEContext("NOP", out_addr=0)
+        prog.pe_contexts[3][0] = PEContext(
+            "MOVE", srcs=(SrcSel.port(0),), dest_slot=0
+        )
+        prog.ccu_contexts[1] = CCUEntry(BranchKind.HALT)
+        with pytest.raises(SimulationError, match="no input"):
+            run(comp, prog)
+
+    def test_multicycle_multiplier(self):
+        comp = mesh_composition(4, mul_duration=2)
+        prog = empty_program(comp, 4)
+        prog.pe_contexts[0][0] = PEContext("CONST", immediate=6, dest_slot=0)
+        prog.pe_contexts[0][1] = PEContext(
+            "IMUL", srcs=(SrcSel.rf(0), SrcSel.rf(0)), dest_slot=1, duration=2
+        )
+        prog.ccu_contexts[3] = CCUEntry(BranchKind.HALT)
+        sim, res = run(comp, prog)
+        assert sim.rf[0][1] == 36
+        assert res.cycles == 4
+
+    def test_issue_while_busy_fails(self):
+        comp = mesh_composition(4, mul_duration=2)
+        prog = empty_program(comp, 3)
+        prog.pe_contexts[0][0] = PEContext(
+            "IMUL", srcs=(SrcSel.rf(0), SrcSel.rf(0)), dest_slot=1, duration=2
+        )
+        prog.pe_contexts[0][1] = PEContext("CONST", immediate=1, dest_slot=0)
+        prog.ccu_contexts[2] = CCUEntry(BranchKind.HALT)
+        with pytest.raises(SimulationError, match="busy"):
+            run(comp, prog)
+
+    def test_halt_with_inflight_fails(self):
+        comp = mesh_composition(4, mul_duration=2)
+        prog = empty_program(comp, 1)
+        prog.pe_contexts[0][0] = PEContext(
+            "IMUL", srcs=(SrcSel.rf(0), SrcSel.rf(0)), dest_slot=1, duration=2
+        )
+        prog.ccu_contexts[0] = CCUEntry(BranchKind.HALT)
+        with pytest.raises(SimulationError, match="in flight"):
+            run(comp, prog)
+
+
+class TestPredicationAndBranches:
+    def _pred_program(self, comp, status_value):
+        """PE0 computes a compare; PE1's write is predicated on it."""
+        prog = empty_program(comp, 4)
+        prog.pe_contexts[0][0] = PEContext(
+            "CONST", immediate=status_value, dest_slot=0
+        )
+        prog.pe_contexts[1][0] = PEContext("CONST", immediate=55, dest_slot=3)
+        # cycle 1: compare status -> C-Box STORE into pair (0,1)
+        prog.pe_contexts[0][1] = PEContext(
+            "IFGT", srcs=(SrcSel.rf(0), SrcSel.rf(1)), dest_slot=None
+        )
+        prog.cbox_contexts[1] = CBoxOp(
+            status_pe=0, func=CBoxFunc.STORE, write_pos=0, write_neg=1
+        )
+        # cycle 2: predicated MOVE on PE1, outPE selects slot 0
+        prog.pe_contexts[1][2] = PEContext(
+            "MOVE", srcs=(SrcSel.rf(3),), dest_slot=4, predicated=True
+        )
+        prog.cbox_contexts[2] = CBoxOp(out_pe_slot=0)
+        prog.ccu_contexts[3] = CCUEntry(BranchKind.HALT)
+        return prog
+
+    def test_predicated_write_applied(self):
+        comp = mesh_composition(4)
+        sim, _ = run(comp, self._pred_program(comp, 1))
+        assert sim.rf[1][4] == 55
+
+    def test_predicated_write_squashed(self):
+        comp = mesh_composition(4)
+        sim, _ = run(comp, self._pred_program(comp, 0))
+        assert sim.rf[1][4] == 0
+
+    def test_predicated_without_signal_fails(self):
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 2)
+        prog.pe_contexts[0][0] = PEContext(
+            "CONST", immediate=1, dest_slot=0, predicated=True
+        )
+        prog.ccu_contexts[1] = CCUEntry(BranchKind.HALT)
+        with pytest.raises(SimulationError, match="predication"):
+            run(comp, prog)
+
+    def test_conditional_loop(self):
+        """Count down from 3 with a fresh-neg exit branch."""
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 5)
+        # slot0 = 3; slot1 = 1 (decrement); loop: compare > 0, sub
+        prog.pe_contexts[0][0] = PEContext("CONST", immediate=3, dest_slot=0)
+        prog.pe_contexts[0][1] = PEContext("CONST", immediate=1, dest_slot=1)
+        # cycle 2 (loop head): compare slot0 > 0, exit if false
+        prog.pe_contexts[0][2] = PEContext(
+            "IFGT", srcs=(SrcSel.rf(0), SrcSel.rf(2))
+        )
+        prog.cbox_contexts[2] = CBoxOp(
+            status_pe=0,
+            func=CBoxFunc.STORE,
+            write_pos=0,
+            write_neg=1,
+            out_ctrl_slot=FRESH_NEG,
+        )
+        prog.ccu_contexts[2] = CCUEntry(BranchKind.CONDITIONAL, 4)
+        # cycle 3: decrement, jump back
+        prog.pe_contexts[0][3] = PEContext(
+            "ISUB", srcs=(SrcSel.rf(0), SrcSel.rf(1)), dest_slot=0
+        )
+        prog.ccu_contexts[3] = CCUEntry(BranchKind.UNCONDITIONAL, 2)
+        prog.ccu_contexts[4] = CCUEntry(BranchKind.HALT)
+        sim, res = run(comp, prog)
+        assert sim.rf[0][0] == 0
+        # 2 setup + 4 loop-head visits + 3 decrements + 1 halt
+        assert res.cycles == 2 + 4 + 3 + 1
+        assert res.branches_taken == 3 + 1  # three back edges + exit
+
+    def test_runaway_guard(self):
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 1)
+        prog.ccu_contexts[0] = CCUEntry(BranchKind.UNCONDITIONAL, 0)
+        sim = CGRASimulator(comp, prog, max_cycles=100)
+        with pytest.raises(SimulationError, match="100"):
+            sim.run()
+
+    def test_program_too_large_for_context_memory(self):
+        comp = mesh_composition(4, context_size=4)
+        prog = empty_program(comp, 10)
+        with pytest.raises(SimulationError, match="contexts"):
+            CGRASimulator(comp, prog)
+
+
+class TestDMA:
+    def test_load_and_store(self):
+        comp = mesh_composition(4)
+        heap = Heap()
+        heap.allocate(7, [10, 20, 30])
+        prog = empty_program(comp, 5)
+        dma_pe = comp.dma_pes()[0]
+        prog.pe_contexts[dma_pe][0] = PEContext("CONST", immediate=1, dest_slot=0)
+        prog.pe_contexts[dma_pe][1] = PEContext(
+            "DMA_LOAD", srcs=(SrcSel.rf(0),), dest_slot=1, immediate=7,
+            duration=2,
+        )
+        prog.pe_contexts[dma_pe][3] = PEContext(
+            "DMA_STORE", srcs=(SrcSel.rf(0), SrcSel.rf(1)), immediate=7,
+            duration=2,
+        )
+        prog.ccu_contexts[4] = CCUEntry(BranchKind.HALT)
+        sim, _ = run(comp, prog, heap)
+        assert sim.rf[dma_pe][1] == 20
+        assert heap.array(7) == [10, 20, 30]
+
+    def test_energy_accounting(self):
+        comp = mesh_composition(4)
+        prog = empty_program(comp, 2)
+        prog.pe_contexts[0][0] = PEContext("CONST", immediate=1, dest_slot=0)
+        prog.ccu_contexts[1] = CCUEntry(BranchKind.HALT)
+        _, res = run(comp, prog)
+        assert res.energy == pytest.approx(comp.pes[0].energy("CONST"))
+        assert res.ops_executed[0] == 1

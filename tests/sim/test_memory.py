@@ -1,0 +1,42 @@
+"""Heap memory model tests."""
+
+import pytest
+
+from repro.sim.memory import Heap, HeapError
+
+
+class TestHeap:
+    def test_allocate_and_access(self):
+        heap = Heap()
+        heap.allocate(3, [1, 2, 3])
+        assert heap.load(3, 1) == 2
+        heap.store(3, 0, 99)
+        assert heap.array(3) == [99, 2, 3]
+        assert 3 in heap and 4 not in heap
+
+    def test_values_wrapped(self):
+        heap = Heap()
+        heap.allocate(0, [2**31])  # wraps to INT_MIN
+        assert heap.load(0, 0) == -(2**31)
+        heap.store(0, 0, 2**32 + 5)
+        assert heap.load(0, 0) == 5
+
+    def test_double_allocate(self):
+        heap = Heap()
+        heap.allocate(0, [])
+        with pytest.raises(HeapError):
+            heap.allocate(0, [1])
+
+    def test_unknown_handle(self):
+        heap = Heap()
+        with pytest.raises(HeapError):
+            heap.load(9, 0)
+
+    @pytest.mark.parametrize("index", [-1, 3])
+    def test_bounds_checked(self, index):
+        heap = Heap()
+        heap.allocate(0, [1, 2, 3])
+        with pytest.raises(HeapError):
+            heap.load(0, index)
+        with pytest.raises(HeapError):
+            heap.store(0, index, 1)

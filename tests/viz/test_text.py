@@ -1,0 +1,69 @@
+"""Tests for the text visualisations."""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.kernels import gcd
+from repro.sched.scheduler import schedule_kernel
+from repro.viz import program_listing, schedule_gantt
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    comp = mesh_composition(4)
+    kernel = gcd.build_kernel()
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    return comp, kernel, schedule, program
+
+
+class TestGantt:
+    def test_rows_for_every_pe_and_units(self, mapped):
+        comp, _, schedule, _ = mapped
+        text = schedule_gantt(schedule, comp)
+        for pe in range(comp.n_pes):
+            assert f"PE{pe}" in text
+        assert "CBOX" in text and "CCU" in text
+        assert "loops:" in text
+
+    def test_every_op_appears(self, mapped):
+        comp, _, schedule, _ = mapped
+        text = schedule_gantt(schedule, comp)
+        assert "sub" in text  # the gcd subtractions
+        assert "halt" in text
+
+    def test_predicated_ops_marked(self, mapped):
+        comp, _, schedule, _ = mapped
+        text = schedule_gantt(schedule, comp)
+        assert "!" in text  # gcd's if/else writes are predicated
+
+    def test_column_count_matches_cycles(self, mapped):
+        comp, _, schedule, _ = mapped
+        header = schedule_gantt(schedule, comp).splitlines()[0]
+        assert header.split()[-1] == str(schedule.n_cycles - 1)
+
+
+class TestListing:
+    def test_interface_comments(self, mapped):
+        _, _, _, program = mapped
+        text = program_listing(program)
+        assert "live-in  a" in text
+        assert "live-out a" in text
+
+    def test_every_cycle_listed(self, mapped):
+        _, _, _, program = mapped
+        lines = program_listing(program).splitlines()
+        numbered = [l for l in lines if l.strip() and l.lstrip()[0].isdigit()]
+        assert len(numbered) == program.n_cycles
+
+    def test_branch_and_cbox_rendered(self, mapped):
+        _, _, _, program = mapped
+        text = program_listing(program)
+        assert "CCU: halt" in text
+        assert "jump" in text
+        assert "CBOX:" in text and "STORE" in text
+
+    def test_predicated_dest_marked(self, mapped):
+        _, _, _, program = mapped
+        assert "?" in program_listing(program)
