@@ -2,13 +2,17 @@
 
 Prints Tables I-IV, the figure statistics and the Section VI-A headline
 speedup.  Pass ``--quick`` to decode 64 instead of 416 samples.
+``--trace FILE`` writes a Chrome-trace JSON (open in chrome://tracing
+or https://ui.perfetto.dev) and ``--metrics FILE`` a metrics-snapshot
+JSON of the run's scheduler/simulator internals; see
+docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 from repro.eval.figures import fig11_stats, fig12_stats, fig13_meshes, fig14_irregular
 from repro.eval.report import (
@@ -26,6 +30,65 @@ from repro.eval.tables import (
     table4,
 )
 from repro.kernels.adpcm import N_SAMPLES
+from repro.obs import observe, timed
+
+
+def _run_eval(n: int) -> int:
+    with timed("eval.total") as total:
+        print(f"=== ADPCM decode, {n} samples, unroll factor 2 ===\n")
+
+        runs2 = table2(n_samples=n)
+        mesh_runs = {k: v for k, v in runs2.items() if "PEs" == k.split()[-1]}
+
+        print("Table I — memory utilisation of the ADPCM decoder schedules")
+        print(render_table1(mesh_runs))
+        print()
+
+        print("Table II — execution times / synthesis estimates")
+        print(render_table2(runs2))
+        print()
+
+        runs3 = table3(n_samples=n)
+        print("Table III — single-cycle multipliers")
+        print(render_table3(runs3))
+        print()
+
+        times = table4(n_samples=n, dual=mesh_runs, single=runs3)
+        print("Table IV — ADPCM decode execution times in milliseconds")
+        print(render_table4(times))
+        print()
+
+        sp = speedup_headline(n_samples=n, runs=mesh_runs)
+        print(
+            f"Headline: AMIDAR baseline {sp.baseline_cycles} cycles, best CGRA "
+            f"({sp.best_label}) {sp.best_cycles} cycles -> speedup "
+            f"{sp.speedup:.1f}x (correct={sp.correct})"
+        )
+        print()
+
+        f11 = fig11_stats()
+        print(
+            f"Fig. 11 example CDFG: {f11.nodes} nodes, {f11.data_edges} data "
+            f"edges, {f11.control_edges} control edges, "
+            f"{f11.loop_carried_edges} loop-carried, depth {f11.max_loop_depth}"
+        )
+        f12 = fig12_stats()
+        print(
+            f"Fig. 12 ADPCM control flow: {f12.loops} loops (max depth "
+            f"{f12.max_loop_depth}), {f12.branch_points} branch points, "
+            f"{f12.conditional_loops} conditional loops"
+        )
+        print(
+            f"Fig. 13 meshes: {sorted(fig13_meshes())} | Fig. 14 irregular: "
+            f"{sorted(fig14_irregular())}"
+        )
+        sched_times = [r.schedule_seconds for r in runs2.values()]
+        print(
+            f"Scheduling + context generation: max "
+            f"{max(sched_times):.2f} s per composition (paper: <= 3.1 s)"
+        )
+    print(f"\nTotal evaluation time: {total.seconds:.1f} s")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -33,64 +96,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="decode 64 samples instead of 416"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace JSON of the evaluation run",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics-snapshot JSON of the evaluation run",
+    )
     args = parser.parse_args(argv)
     n = 64 if args.quick else N_SAMPLES
 
-    t0 = time.perf_counter()
-    print(f"=== ADPCM decode, {n} samples, unroll factor 2 ===\n")
+    if not (args.trace or args.metrics):
+        return _run_eval(n)
 
-    runs2 = table2(n_samples=n)
-    mesh_runs = {k: v for k, v in runs2.items() if "PEs" == k.split()[-1]}
-
-    print("Table I — memory utilisation of the ADPCM decoder schedules")
-    print(render_table1(mesh_runs))
-    print()
-
-    print("Table II — execution times / synthesis estimates")
-    print(render_table2(runs2))
-    print()
-
-    runs3 = table3(n_samples=n)
-    print("Table III — single-cycle multipliers")
-    print(render_table3(runs3))
-    print()
-
-    times = table4(n_samples=n, dual=mesh_runs, single=runs3)
-    print("Table IV — ADPCM decode execution times in milliseconds")
-    print(render_table4(times))
-    print()
-
-    sp = speedup_headline(n_samples=n, runs=mesh_runs)
-    print(
-        f"Headline: AMIDAR baseline {sp.baseline_cycles} cycles, best CGRA "
-        f"({sp.best_label}) {sp.best_cycles} cycles -> speedup "
-        f"{sp.speedup:.1f}x (correct={sp.correct})"
-    )
-    print()
-
-    f11 = fig11_stats()
-    print(
-        f"Fig. 11 example CDFG: {f11.nodes} nodes, {f11.data_edges} data "
-        f"edges, {f11.control_edges} control edges, "
-        f"{f11.loop_carried_edges} loop-carried, depth {f11.max_loop_depth}"
-    )
-    f12 = fig12_stats()
-    print(
-        f"Fig. 12 ADPCM control flow: {f12.loops} loops (max depth "
-        f"{f12.max_loop_depth}), {f12.branch_points} branch points, "
-        f"{f12.conditional_loops} conditional loops"
-    )
-    print(
-        f"Fig. 13 meshes: {sorted(fig13_meshes())} | Fig. 14 irregular: "
-        f"{sorted(fig14_irregular())}"
-    )
-    sched_times = [r.schedule_seconds for r in runs2.values()]
-    print(
-        f"Scheduling + context generation: max "
-        f"{max(sched_times):.2f} s per composition (paper: <= 3.1 s)"
-    )
-    print(f"\nTotal evaluation time: {time.perf_counter() - t0:.1f} s")
-    return 0
+    with observe() as session:
+        rc = _run_eval(n)
+    if args.trace:
+        session.tracer.to_chrome(args.trace)
+        print(f"trace written to {args.trace} ({len(session.tracer.records)} records)")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(session.metrics.snapshot(), fh, indent=2)
+        print(f"metrics written to {args.metrics}")
+    return rc
 
 
 if __name__ == "__main__":

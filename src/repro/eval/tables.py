@@ -12,7 +12,6 @@ bytecode; ours from a leaner IR — see EXPERIMENTS.md), but each table's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +35,7 @@ from repro.kernels.adpcm import (
     build_decoder_kernel,
     encoded_reference,
 )
+from repro.obs.timing import timed
 from repro.sched.scheduler import schedule_kernel
 from repro.sim.invocation import invoke_kernel
 
@@ -105,10 +105,9 @@ def run_adpcm_on(
     unroll: int = UNROLL_FACTOR,
 ) -> CompositionRun:
     kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
-    t0 = time.perf_counter()
-    schedule = schedule_kernel(kernel, comp)
-    program = generate_contexts(schedule, comp, kernel)
-    elapsed = time.perf_counter() - t0
+    with timed("sched.walltime", label=label) as timer:
+        schedule = schedule_kernel(kernel, comp)
+        program = generate_contexts(schedule, comp, kernel)
     result = invoke_kernel(
         kernel, comp, {"n": n_samples, "gain": 4096}, arrays, program=program
     )
@@ -121,7 +120,7 @@ def run_adpcm_on(
         max_rf_entries=program.max_rf_entries,
         cycles=result.run_cycles,
         correct=decoded == expect,
-        schedule_seconds=elapsed,
+        schedule_seconds=timer.seconds,
         frequency_mhz=fpga.frequency_mhz,
         lut_logic_pct=fpga.lut_logic_pct,
         lut_mem_pct=fpga.lut_mem_pct,

@@ -1,0 +1,95 @@
+"""Observability: structured tracing, metrics and profiling.
+
+Zero-dependency layer threaded through the scheduler, router, register
+allocator, simulator and eval driver.  Three pieces:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` recording nested spans and
+  instant events, exported as JSONL or Chrome trace-event JSON
+  (loadable in ``chrome://tracing`` / Perfetto),
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and histograms (``sched.placement.rejected{reason=...}``,
+  ``route.copies.inserted``, ``sim.cycles``, ``rf.pressure.max``),
+* :mod:`repro.obs.timing` — :class:`timed`, the one wall-clock path.
+
+By default both the tracer and the registry are inert no-ops, so the
+instrumentation in the hot paths costs ~nothing.  Turn everything on
+for a block with::
+
+    from repro import obs
+
+    with obs.observe() as session:
+        schedule = schedule_kernel(kernel, comp)
+    session.tracer.to_chrome("out.trace.json")
+    print(session.metrics.render_report())
+
+or run ``python -m repro.obs`` for the command-line harness.  See
+docs/observability.md for the event taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    render_key,
+    set_metrics,
+)
+from repro.obs.timing import timed
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "ObsSession",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "observe",
+    "render_key",
+    "set_metrics",
+    "set_tracer",
+    "timed",
+]
+
+
+@dataclass
+class ObsSession:
+    """Handle yielded by :func:`observe`."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
+@contextmanager
+def observe(
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[ObsSession]:
+    """Install an enabled tracer + metrics registry for the block.
+
+    Previously installed globals are restored on exit, so sessions
+    nest and never leak into unrelated code.
+    """
+    active_tracer = tracer if tracer is not None else Tracer()
+    active_metrics = metrics if metrics is not None else MetricsRegistry()
+    prev_tracer = set_tracer(active_tracer)
+    prev_metrics = set_metrics(active_metrics)
+    try:
+        yield ObsSession(tracer=active_tracer, metrics=active_metrics)
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)

@@ -1,0 +1,234 @@
+"""Observability harness: ``python -m repro.obs [kernel] [options]``.
+
+Runs one kernel/composition pair through the full pipeline (schedule ->
+contexts -> simulate) with tracing and metrics enabled, prints a
+human-readable report of the scheduler/simulator internals, and
+optionally writes the trace (Chrome trace-event JSON and/or JSONL) and
+the metrics snapshot to files::
+
+    python -m repro.obs gcd --composition compositions/mesh4.json \\
+        --trace out.trace.json --metrics out.metrics.json
+
+Open the trace file in ``chrome://tracing`` or https://ui.perfetto.dev.
+See docs/observability.md for the event taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from repro.arch.composition import Composition
+from repro.arch.description import load_composition
+from repro.arch.library import (
+    IRREGULAR_NAMES,
+    MESH_SIZES,
+    irregular_composition,
+    mesh_composition,
+)
+from repro.obs import observe, timed
+from repro.sim.invocation import invoke_kernel
+
+#: kernel name -> () -> (kernel, livein scalars, array contents)
+_KernelSpec = Callable[[], Tuple[object, Dict[str, int], Dict[str, List[int]]]]
+
+
+def _spec_gcd():
+    from repro.kernels import gcd
+
+    return gcd.build_kernel(), {"a": 1071, "b": 462}, {}
+
+
+def _spec_dotp():
+    from repro.kernels import dotp
+
+    xs, ys = dotp.sample_inputs(8)
+    return dotp.build_kernel(), {"n": 8}, {"xs": xs, "ys": ys}
+
+
+def _spec_sort():
+    from repro.kernels import sort
+
+    return sort.build_kernel(), {"n": 8}, {"data": [5, 3, 8, 1, 9, 2, 7, 4]}
+
+
+def _spec_crc32():
+    from repro.kernels import crc32
+
+    return crc32.build_kernel(), {"n": 4}, {"data": [0x12, 0x34, 0x56, 0x78]}
+
+
+def _spec_histogram():
+    from repro.kernels import histogram
+
+    return (
+        histogram.build_kernel(),
+        {"n": 8, "nbins": 4},
+        {"data": [0, 1, 2, 3, 3, 2, 1, 0], "bins": [0, 0, 0, 0]},
+    )
+
+
+def _spec_matmul():
+    from repro.kernels import matmul
+
+    return (
+        matmul.build_kernel(),
+        {"n": 3},
+        {"a": list(range(1, 10)), "b": list(range(9, 0, -1)), "c": [0] * 9},
+    )
+
+
+def _spec_fir():
+    from repro.kernels import fir
+
+    return (
+        fir.build_kernel(),
+        {"n": 8, "taps": 3},
+        {
+            "xs": [3, 1, 4, 1, 5, 9, 2, 6],
+            "coeffs": [1, 2, 1],
+            "ys": [0] * 8,
+        },
+    )
+
+
+def _spec_adpcm():
+    from repro.eval.tables import adpcm_workload
+
+    kernel, arrays, _expect = adpcm_workload(16)
+    return kernel, {"n": 16, "gain": 4096}, arrays
+
+
+KERNELS: Dict[str, _KernelSpec] = {
+    "gcd": _spec_gcd,
+    "dotp": _spec_dotp,
+    "sort": _spec_sort,
+    "crc32": _spec_crc32,
+    "histogram": _spec_histogram,
+    "matmul": _spec_matmul,
+    "fir": _spec_fir,
+    "adpcm": _spec_adpcm,
+}
+
+
+def resolve_composition(spec: str) -> Composition:
+    """A composition from a JSON file path or a library name.
+
+    Accepts a path to a ``compositions/*.json`` file, ``mesh<N>`` for
+    the Fig. 13 meshes, or ``irregular<X>`` / ``<X>`` for the Fig. 14
+    irregular compositions A-F.
+    """
+    if os.path.isfile(spec):
+        return load_composition(spec)
+    m = re.fullmatch(r"mesh(\d+)", spec)
+    if m and int(m.group(1)) in MESH_SIZES:
+        return mesh_composition(int(m.group(1)))
+    m = re.fullmatch(r"(?:irregular)?([A-Fa-f])", spec)
+    if m and m.group(1).upper() in IRREGULAR_NAMES:
+        return irregular_composition(m.group(1).upper())
+    raise SystemExit(
+        f"unknown composition {spec!r}: expected a JSON file path, "
+        f"mesh{{{','.join(str(n) for n in MESH_SIZES)}}}, or "
+        f"irregular{{A..F}}"
+    )
+
+
+def _top_counters(snapshot: Dict, prefix: str, limit: int = 5) -> List[str]:
+    rows = sorted(
+        (
+            (v, k)
+            for k, v in snapshot["counters"].items()
+            if k.startswith(prefix)
+        ),
+        reverse=True,
+    )
+    return [f"{k} = {v:g}" for v, k in rows[:limit]]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "kernel",
+        nargs="?",
+        default="gcd",
+        choices=sorted(KERNELS),
+        help="workload kernel (default: gcd)",
+    )
+    parser.add_argument(
+        "-c",
+        "--composition",
+        default="mesh4",
+        help="composition: JSON file path, meshN, or irregularA..F "
+        "(default: mesh4)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="write Chrome trace-event JSON"
+    )
+    parser.add_argument(
+        "--jsonl", metavar="FILE", help="write the raw trace records as JSONL"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="write the metrics snapshot as JSON"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the report"
+    )
+    args = parser.parse_args(argv)
+
+    comp = resolve_composition(args.composition)
+    kernel, livein, arrays = KERNELS[args.kernel]()
+
+    with observe() as session:
+        with timed("obs.pipeline", kernel=args.kernel):
+            result = invoke_kernel(kernel, comp, livein, arrays)
+
+    snapshot = session.metrics.snapshot()
+    if not args.quiet:
+        print(f"=== {args.kernel} on {comp.name} ===")
+        print(f"results: {result.results}")
+        print(
+            f"run: {result.run_cycles} cycles "
+            f"({result.total_cycles} with transfers), "
+            f"{sum(result.run.ops_executed)} dynamic ops, "
+            f"{result.run.branches_taken} taken branches"
+        )
+        placed = snapshot["counters"].get("sched.ops.placed", 0)
+        attempts = snapshot["counters"].get("sched.placement.attempts", 0)
+        copies = snapshot["counters"].get("route.copies.inserted", 0)
+        print(
+            f"scheduler: {placed:g} ops placed in {attempts:g} placement "
+            f"attempts, {copies:g} routing copies inserted"
+        )
+        rejects = _top_counters(snapshot, "sched.placement.rejected")
+        if rejects:
+            print("top rejection reasons:")
+            for row in rejects:
+                print(f"  {row}")
+        print()
+        print(session.metrics.render_report())
+
+    if args.trace:
+        session.tracer.to_chrome(args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(session.tracer.records)} records)"
+        )
+    if args.jsonl:
+        session.tracer.to_jsonl(args.jsonl)
+        print(f"JSONL trace written to {args.jsonl}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+        print(f"metrics written to {args.metrics}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

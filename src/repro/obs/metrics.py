@@ -1,0 +1,211 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` collects named, optionally-labelled series
+(``sched.placement.rejected{reason=pe_busy}``) and renders them to a
+plain dict (JSON-ready snapshot) or a human-readable report.
+
+The process-wide default registry is *disabled*: every ``inc`` /
+``observe`` / ``set_gauge`` returns immediately after one boolean
+check, so the instrumented scheduler and simulator pay near-zero cost
+until a caller installs an enabled registry via :func:`set_metrics`
+or :func:`repro.obs.observe`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "render_key",
+]
+
+#: (metric name, sorted (label, value) pairs)
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def render_key(name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> str:
+    """``name{k=v,...}`` in deterministic label order."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max + a bounded
+    sample reservoir (first ``cap`` observations) for percentiles."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "_sample", "_cap")
+
+    def __init__(self, cap: int = 4096) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        self._sample: List[float] = []
+        self._cap = cap
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        if len(self._sample) < self._cap:
+            self._sample.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample (0..100)."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.vmin is not None else 0.0,
+            "max": self.vmax if self.vmax is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with optional labels."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._hists: Dict[_Key, Histogram] = {}
+
+    # -- writers (no-ops when disabled) ---------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to the counter ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name{labels}`` to ``value``."""
+        if not self.enabled:
+            return
+        self._gauges[_key(name, labels)] = value
+
+    def set_max(self, name: str, value: float, **labels: Any) -> None:
+        """Raise the gauge ``name{labels}`` to ``value`` if larger."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        if key not in self._gauges or value > self._gauges[key]:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the histogram ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram()
+        hist.observe(value)
+
+    # -- readers --------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._counters.get(_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        return self._hists.get(_key(name, labels))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready dict of everything recorded so far."""
+        return {
+            "counters": {
+                render_key(n, lb): v
+                for (n, lb), v in sorted(self._counters.items())
+            },
+            "gauges": {
+                render_key(n, lb): v
+                for (n, lb), v in sorted(self._gauges.items())
+            },
+            "histograms": {
+                render_key(n, lb): h.summary()
+                for (n, lb), h in sorted(self._hists.items())
+            },
+        }
+
+    def render_report(self) -> str:
+        """Aligned, human-readable dump of the snapshot."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(k) for k in snap["counters"])
+            for key, value in snap["counters"].items():
+                lines.append(f"  {key:<{width}}  {value:g}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(k) for k in snap["gauges"])
+            for key, value in snap["gauges"].items():
+                lines.append(f"  {key:<{width}}  {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for key, s in snap["histograms"].items():
+                lines.append(
+                    f"  {key}  count={s['count']:g} sum={s['sum']:.6g} "
+                    f"mean={s['mean']:.6g} min={s['min']:.6g} "
+                    f"p50={s['p50']:.6g} p90={s['p90']:.6g} max={s['max']:.6g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+
+
+#: default registry: disabled so the instrumented hot paths cost ~nothing
+_metrics = MetricsRegistry(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (disabled unless one was installed)."""
+    return _metrics
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` = disabled); returns the previous."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else MetricsRegistry(enabled=False)
+    return previous

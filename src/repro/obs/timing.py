@@ -1,0 +1,64 @@
+"""Wall-clock timing through one code path.
+
+:class:`timed` replaces the ad-hoc ``time.perf_counter()`` pairs that
+used to live in ``repro.eval``: it measures a block (context manager)
+or a function (decorator), exposes the elapsed ``seconds``, opens a
+tracer span of the same name, and — when metrics are enabled — records
+the duration into the ``<name>.seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+__all__ = ["timed"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class timed:
+    """Measure wall time; usable as context manager or decorator.
+
+    >>> with timed("sched.walltime", label="9 PEs") as t:
+    ...     do_work()
+    >>> t.seconds
+    0.123...
+
+    >>> @timed("eval.table2")
+    ... def table2(): ...
+    """
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.seconds: Optional[float] = None
+        self._span = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "timed":
+        self._span = get_tracer().span(self.name, **self.attrs)
+        self._span.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        assert self._span is not None
+        self._span.__exit__(*exc)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.observe(f"{self.name}.seconds", self.seconds, **self.attrs)
+        return False
+
+    def __call__(self, fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with timed(self.name, **self.attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]

@@ -1,0 +1,215 @@
+"""Structured tracing: nested spans and instant events.
+
+A :class:`Tracer` collects records in memory while the pipeline runs and
+writes them out afterwards, either as JSONL (one record per line, easy
+to grep/load) or in the Chrome trace-event format that
+``chrome://tracing`` and https://ui.perfetto.dev consume directly.
+
+The default tracer is :data:`NULL_TRACER`, a shared no-op object whose
+``span``/``event`` calls cost one attribute lookup and one call — the
+instrumented hot paths (scheduler placement loop, simulator cycle loop)
+additionally guard on ``tracer.enabled`` before building attribute
+dicts, so tracing costs ~nothing unless switched on via
+:func:`set_tracer` or :func:`repro.obs.observe`.
+
+Everything is process-local and single-threaded, matching the rest of
+the pipeline; spans therefore nest as a simple stack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Union
+
+__all__ = [
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing; the process-wide default."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager filling in the duration of one span record."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        tracer = self._tracer
+        self._record["dur"] = tracer._now_us() - self._record["ts"]
+        tracer._depth -= 1
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach further attributes while the span is open."""
+        self._record["args"].update(attrs)
+
+
+class Tracer:
+    """Recording tracer: spans (with durations) and instant events.
+
+    ``max_records`` bounds memory on long runs; once full, further
+    records are dropped and counted in :attr:`dropped` (spans keep
+    functioning — only their record is not retained).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        max_records: int = 1_000_000,
+        clock: Callable[[], int] = time.perf_counter_ns,
+    ) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self.max_records = max_records
+        self._clock = clock
+        self._t0 = clock()
+        self._depth = 0
+
+    # -- recording ------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) / 1000.0
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """Open a nested span; use as ``with tracer.span("sched.kernel"):``."""
+        record = {
+            "type": "span",
+            "name": name,
+            "ts": self._now_us(),
+            "dur": None,
+            "depth": self._depth,
+            "args": attrs,
+        }
+        self._depth += 1
+        self._append(record)
+        return _Span(self, record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event at the current time."""
+        self._append(
+            {
+                "type": "event",
+                "name": name,
+                "ts": self._now_us(),
+                "depth": self._depth,
+                "args": attrs,
+            }
+        )
+
+    # -- export ---------------------------------------------------------
+
+    def to_jsonl(self, dest: Union[str, IO[str]]) -> None:
+        """Write one JSON record per line."""
+        self._write(dest, self._render_jsonl)
+
+    def _render_jsonl(self, fh: IO[str]) -> None:
+        for record in self.records:
+            fh.write(json.dumps(record, default=str))
+            fh.write("\n")
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """Records in Chrome trace-event form (``ph: X`` / ``ph: i``)."""
+        events: List[Dict[str, Any]] = []
+        for record in self.records:
+            common = {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ts": record["ts"],
+                "pid": 0,
+                "tid": 0,
+                "args": record["args"],
+            }
+            if record["type"] == "span":
+                dur = record["dur"]
+                events.append(
+                    {**common, "ph": "X", "dur": 0.0 if dur is None else dur}
+                )
+            else:
+                events.append({**common, "ph": "i", "s": "t"})
+        return events
+
+    def to_chrome(self, dest: Union[str, IO[str]]) -> None:
+        """Write a ``chrome://tracing`` / Perfetto-loadable JSON file."""
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_records": self.dropped},
+        }
+        self._write(
+            dest, lambda fh: json.dump(payload, fh, default=str)
+        )
+
+    @staticmethod
+    def _write(dest: Union[str, IO[str]], render: Callable[[IO[str]], None]) -> None:
+        if isinstance(dest, str):
+            with open(dest, "w") as fh:
+                render(fh)
+        else:
+            render(dest)
+
+
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-wide tracer (default: :data:`NULL_TRACER`)."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NullTracer]]):
+    """Install ``tracer`` (``None`` = disable); returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous

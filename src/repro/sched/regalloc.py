@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Sequence, Tuple
 
+from repro.obs import get_metrics
+
 __all__ = ["left_edge", "AllocationError"]
 
 
@@ -51,4 +53,9 @@ def left_edge(
                 )
             track_end.append(end)
             assignment[key] = track
+    metrics = get_metrics()
+    if metrics.enabled:
+        kind = "cbox" if "C-Box" in what else "rf"
+        metrics.observe(f"regalloc.{kind}.tracks_used", len(track_end))
+        metrics.set_max(f"{kind}.pressure.max", len(track_end))
     return assignment, len(track_end)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.arch.composition import Composition
+from repro.obs import get_metrics
 from repro.sched.schedule import OperandSource, PlacedOp, ValueKind
 from repro.sched.state import Txn, ValueTable
 
@@ -47,6 +48,10 @@ class Router:
         self.comp = comp
         self.icn = comp.interconnect
         self.values = values
+        #: plan-level metrics (attempt counts include plans later
+        #: discarded by a failed placement; committed-copy counts live
+        #: in the scheduler's commit path)
+        self.obs_metrics = get_metrics()
         #: earliest cycle retroactive copies may be placed at (the
         #: current superblock's start — earlier regions are sealed)
         self._region_start = region_start_fn
@@ -69,11 +74,16 @@ class Router:
         mint if a copy chain is needed.  Returns ``None`` if impossible
         at this cycle.
         """
+        metrics = self.obs_metrics
+        if metrics.enabled:
+            metrics.inc("route.plan.requests")
         ready_holders = [h for h in holders if h[2] <= cycle]
 
         # 1. local RF
         for hpe, vid, _ready in ready_holders:
             if hpe == pe:
+                if metrics.enabled:
+                    metrics.inc("route.plan.resolved", kind="local")
                 return AccessPlan(OperandSource(pe, vid), [], [], [])
 
         # 2. direct neighbour through its out-port
@@ -81,6 +91,8 @@ class Router:
             ready_holders, key=lambda h: self.icn.degree(h[0])
         ):
             if self.icn.has_link(hpe, pe) and txn.outport_compatible(hpe, cycle, vid):
+                if metrics.enabled:
+                    metrics.inc("route.plan.resolved", kind="port")
                 return AccessPlan(
                     OperandSource(hpe, vid), [(hpe, cycle, vid)], [], []
                 )
@@ -98,7 +110,12 @@ class Router:
                     into_dst=into_dst,
                 )
                 if plan is not None:
+                    if metrics.enabled:
+                        metrics.inc("route.plan.resolved", kind="chain")
+                        metrics.observe("route.chain.hops", len(plan.moves))
                     return plan
+        if metrics.enabled:
+            metrics.inc("route.plan.unroutable")
         return None
 
     # -- copy chains -------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.ir.regions import (
     Region,
     SeqRegion,
 )
+from repro.obs import get_metrics, get_tracer
 from repro.sched.predication import PredPlanner
 from repro.sched.routing import AccessPlan, Router
 from repro.sched.schedule import (
@@ -111,6 +112,11 @@ class RegionScheduler:
         self.use_attraction = use_attraction
         self.speculate = speculate
 
+        #: observability hooks captured at construction; both default to
+        #: inert no-ops (see repro.obs), so the hot path pays ~nothing
+        self.obs_tracer = get_tracer()
+        self.obs_metrics = get_metrics()
+
         self.values = ValueTable()
         self.res = ResourceState(comp.n_pes)
         self.vars = VarTracker(self.values)
@@ -135,6 +141,22 @@ class RegionScheduler:
     # ------------------------------------------------------------------
 
     def run(self) -> Schedule:
+        with self.obs_tracer.span(
+            "sched.kernel",
+            kernel=self.kernel.name,
+            composition=self.comp.name,
+        ):
+            schedule = self._run()
+        metrics = self.obs_metrics
+        if metrics.enabled:
+            metrics.inc("sched.kernels")
+            metrics.inc("sched.ops.placed", len(schedule.ops))
+            metrics.inc("sched.loop.spans", len(schedule.loop_spans))
+            metrics.inc("sched.pred.pairs", schedule.n_pred_pairs)
+            metrics.observe("sched.schedule.cycles", schedule.n_cycles)
+        return schedule
+
+    def _run(self) -> Schedule:
         self._sched_seq(self.kernel.body, None)
         # ensure every interface variable is homed (unused params/results)
         rr = 0
@@ -386,6 +408,15 @@ class RegionScheduler:
         sb = build_superblock(regions, pred, self.planner)
         if not sb.items:
             return
+        with self.obs_tracer.span(
+            "sched.superblock", start=self.frontier, items=len(sb.items)
+        ) as sb_span:
+            self._sched_superblock_items(sb, sb_span)
+
+    def _sched_superblock_items(self, sb: Superblock, sb_span) -> None:
+        if self.obs_metrics.enabled:
+            self.obs_metrics.inc("sched.superblocks")
+            self.obs_metrics.inc("sched.superblock.items", len(sb.items))
         self._region_start = start = self.frontier
         self.node_locs = {}
         self._pending_unfused: List[Tuple[int, SBItem]] = []
@@ -422,9 +453,15 @@ class RegionScheduler:
             for key, unfused in self._pending_unfused:
                 remaining[key] = unfused
             self._pending_unfused.clear()
+            if not placed_any and self.obs_metrics.enabled:
+                self.obs_metrics.inc("sched.stall.steps")
             stall = 0 if placed_any else stall + 1
             if stall > self.max_stall:
                 blocked = sorted(remaining)
+                if self.obs_tracer.enabled:
+                    self.obs_tracer.event(
+                        "sched.stall.abort", cycle=t, blocked=blocked
+                    )
                 raise SchedulingError(
                     f"scheduler stalled at cycle {t} with items {blocked} "
                     f"unplaceable on {self.comp.name} (unreachable values "
@@ -433,6 +470,7 @@ class RegionScheduler:
             t += 1
 
         self.frontier = max(max_cycle + 1, start)
+        sb_span.set(end=self.frontier)
 
     def _preds(self, item: SBItem, sb: Superblock) -> Set[int]:
         preds = set(item.deps)
@@ -495,10 +533,39 @@ class RegionScheduler:
     def _try_place(
         self, item: SBItem, t: int, sb: Superblock
     ) -> Optional[PlacedOp]:
+        metrics = self.obs_metrics
         for pe in self._pe_order(item):
+            if metrics.enabled:
+                metrics.inc("sched.placement.attempts")
             op = self._try_place_on(item, pe, t, sb)
             if op is not None:
+                if metrics.enabled:
+                    metrics.inc("sched.placement.accepted")
+                if self.obs_tracer.enabled:
+                    self.obs_tracer.event(
+                        "sched.place.accept",
+                        node=item.key,
+                        opcode=item.opcode,
+                        pe=pe,
+                        cycle=t,
+                        final=op.final_cycle,
+                    )
                 return op
+        return None
+
+    def _reject(self, reason: str, item: SBItem, pe: int, t: int) -> None:
+        """Record one per-PE placement rejection; always returns None."""
+        if self.obs_metrics.enabled:
+            self.obs_metrics.inc("sched.placement.rejected", reason=reason)
+        if self.obs_tracer.enabled:
+            self.obs_tracer.event(
+                "sched.place.reject",
+                node=item.key,
+                opcode=item.opcode,
+                pe=pe,
+                cycle=t,
+                reason=reason,
+            )
         return None
 
     def _try_place_on(
@@ -514,19 +581,19 @@ class RegionScheduler:
             # pipelined PE: only the issue slot and the finish slot
             # (single write port) are exclusive
             if not txn.pe_free(pe, t, 1) or not txn.finish_free(pe, final):
-                return None
+                return self._reject("pe_busy", item, pe, t)
         elif not txn.pe_free(pe, t, duration):
-            return None
+            return self._reject("pe_busy", item, pe, t)
 
         # --- condition combine feasibility
         step = item.cond_step
         if step is not None:
             if final in self.res.cbox_combine:
-                return None
+                return self._reject("cbox_combine_busy", item, pe, t)
             if step.read is not None and not self.planner.read_allowed(
                 step.read, final
             ):
-                return None
+                return self._reject("cond_read_order", item, pe, t)
 
         # --- home bookkeeping for the written variable
         pending_home: Optional[Tuple[Var, int]] = None
@@ -542,7 +609,7 @@ class RegionScheduler:
                 # and let a separate pWRITE follow (dynamic unfuse)
                 dest_var = None
             elif item.opcode == "VARWRITE" and st.home_pe != pe:
-                return None
+                return self._reject("home_mismatch", item, pe, t)
             if dest_var is not None and st.home_vid is not None:
                 home_vid = st.home_vid
 
@@ -552,10 +619,10 @@ class RegionScheduler:
         )
         if write_predicated:
             if not self.planner.read_allowed(item.pred, final):  # type: ignore[arg-type]
-                return None
+                return self._reject("pred_not_readable", item, pe, t)
             booked = self.res.cbox_outpe.get(final)
             if booked is not None and booked != item.pred:
-                return None
+                return self._reject("pred_broadcast_conflict", item, pe, t)
 
         # --- operands
         srcs: List[OperandSource] = []
@@ -564,7 +631,7 @@ class RegionScheduler:
         for spec in item.operands:
             plan = self._plan_operand(txn, spec, pe, t, pending_home_reads)
             if plan is None:
-                return None
+                return self._reject("operand_unroutable", item, pe, t)
             access, copy_regs = plan
             srcs.append(access.source)
             for booking in access.port_bookings:
@@ -617,6 +684,8 @@ class RegionScheduler:
 
         # ---- commit ------------------------------------------------------
         txn.commit()
+        if self.obs_metrics.enabled or self.obs_tracer.enabled:
+            self._note_committed(op, txn)
         for vid, cycle in txn.value_defs:
             self.values.note_def(vid, cycle)
         for vid, cycle in txn.value_uses:
@@ -669,8 +738,12 @@ class RegionScheduler:
         if item.fused_write is not None:
             write_node = item.fused_write
             if dest_var is not None:
+                if self.obs_metrics.enabled:
+                    self.obs_metrics.inc("sched.pwrite.fused")
                 self._fused_done.append(write_node.id)
             else:
+                if self.obs_metrics.enabled:
+                    self.obs_metrics.inc("sched.pwrite.unfused")
                 unfused = SBItem(
                     node=write_node,
                     pred=item.pred,
@@ -687,6 +760,34 @@ class RegionScheduler:
     def _readd_unfused(self, key: int, item: SBItem) -> None:
         """Hook point used by _sched_superblock's remaining map."""
         self._pending_unfused.append((key, item))
+
+    def _note_committed(self, op: PlacedOp, txn: Txn) -> None:
+        """Account the auxiliary operations committed alongside ``op``:
+        copy-chain MOVEs (Floyd-path routing) and retroactive CONST
+        materialisations.  Counted here — not at plan time — so the
+        numbers reflect only placements that actually succeeded."""
+        metrics, tracer = self.obs_metrics, self.obs_tracer
+        for aux in txn.ops:
+            if aux is op:
+                continue
+            if aux.opcode == "MOVE":
+                if metrics.enabled:
+                    metrics.inc("route.copies.inserted")
+                if tracer.enabled:
+                    src = aux.srcs[0].pe if aux.srcs else None
+                    tracer.event(
+                        "route.copy", from_pe=src, to_pe=aux.pe, cycle=aux.cycle
+                    )
+            elif aux.opcode == "CONST":
+                if metrics.enabled:
+                    metrics.inc("sched.const.materialised")
+                if tracer.enabled:
+                    tracer.event(
+                        "sched.const",
+                        pe=aux.pe,
+                        cycle=aux.cycle,
+                        value=aux.immediate,
+                    )
 
     # -- operand planning -----------------------------------------------------
 

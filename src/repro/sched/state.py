@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.ir.nodes import Node, Var
+from repro.obs import get_metrics
 from repro.sched.schedule import (
     OperandSource,
     PlacedOp,
@@ -50,6 +51,11 @@ class ValueTable:
         vid = self._next
         self._next += 1
         self._values[vid] = ValueInfo(vid=vid, kind=kind, pe=pe, origin=origin)
+        metrics = get_metrics()
+        if metrics.enabled:
+            # includes vids minted during placements later aborted — the
+            # gap to committed defs measures speculative planning waste
+            metrics.inc("sched.values.minted", kind=kind.name.lower())
         return vid
 
     def info(self, vid: int) -> ValueInfo:
@@ -174,6 +180,10 @@ class Txn:
         self.base.ops.extend(self.ops)
         for hook in self.on_commit:
             hook()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("sched.txn.commits")
+            metrics.inc("sched.txn.ops_committed", len(self.ops))
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +236,11 @@ class VarTracker:
         """A write to the home entry: bump version, drop all copies."""
         st = self.state(var)
         st.version += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("sched.vars.writes")
+            if st.copies:
+                metrics.inc("sched.vars.copies_invalidated", len(st.copies))
         st.copies.clear()
         st.home_ready = max(st.home_ready, cycle_ready)
 

@@ -27,6 +27,7 @@ from repro.arch.cbox import CBoxState
 from repro.arch.composition import Composition
 from repro.arch.operations import OPS, wrap32
 from repro.context.words import ContextProgram, PEContext
+from repro.obs import get_metrics, get_tracer
 from repro.sim.memory import Heap
 
 __all__ = ["CGRASimulator", "RunResult", "SimulationError"]
@@ -90,8 +91,31 @@ class CGRASimulator:
     # -- execution ------------------------------------------------------------
 
     def run(self, start_ccnt: int = 0) -> RunResult:
+        tracer = get_tracer()
+        with tracer.span(
+            "sim.run",
+            kernel=self.program.kernel_name,
+            composition=self.program.composition_name,
+        ):
+            result = self._run(start_ccnt, tracer)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("sim.cycles", result.cycles)
+            metrics.inc("sim.branches.taken", result.branches_taken)
+            metrics.inc("sim.ops.executed", sum(result.ops_executed))
+            metrics.inc("sim.energy", result.energy)
+            metrics.inc("sim.runs")
+        return result
+
+    def _run(self, start_ccnt: int, tracer) -> RunResult:
         comp, program = self.comp, self.program
         n_pes = comp.n_pes
+        # context-residency profile: visits per CCNT value — where the
+        # dynamic cycles go, at context granularity (None when inert)
+        observing = tracer.enabled or get_metrics().enabled
+        visits: Optional[List[int]] = (
+            [0] * program.n_cycles if observing else None
+        )
         # non-pipelined PEs hold at most one in-flight operation;
         # pipelined PEs may hold several (Section VII pipeline stages)
         in_flight: List[List[_InFlight]] = [[] for _ in range(n_pes)]
@@ -109,6 +133,8 @@ class CGRASimulator:
             if not 0 <= ccnt < program.n_cycles:
                 raise SimulationError(f"CCNT {ccnt} out of program range")
             cycles += 1
+            if visits is not None:
+                visits[ccnt] += 1
 
             # ---- phase 1: operand reads + issue -------------------------
             out_values: Dict[int, int] = {}
@@ -198,6 +224,8 @@ class CGRASimulator:
             if nxt is None:
                 if any(in_flight[pe] for pe in range(n_pes)):
                     raise SimulationError("halt with operations in flight")
+                if visits is not None:
+                    self._emit_profile(tracer, visits, cycles)
                 return RunResult(
                     cycles=cycles,
                     ops_executed=ops_executed,
@@ -207,6 +235,44 @@ class CGRASimulator:
             if nxt != ccnt + 1:
                 branches_taken += 1
             ccnt = nxt
+
+    def _emit_profile(
+        self, tracer, visits: List[int], cycles: int
+    ) -> None:
+        """Report where the dynamic cycles went, per context region.
+
+        Contiguous runs of visited contexts with identical visit counts
+        form one region (a straight-line stretch executed N times —
+        loop bodies stand out as high-N regions); the per-region cycle
+        totals go to the tracer and the hottest contexts to metrics.
+        """
+        regions: List[Tuple[int, int, int]] = []  # (first, last, visits)
+        for ccnt, n in enumerate(visits):
+            if n == 0:
+                continue
+            if regions and regions[-1][1] == ccnt - 1 and regions[-1][2] == n:
+                regions[-1] = (regions[-1][0], ccnt, n)
+            else:
+                regions.append((ccnt, ccnt, n))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.observe("sim.run.cycles", cycles)
+            for first, last, n in regions:
+                metrics.observe("sim.region.cycles", (last - first + 1) * n)
+        if tracer.enabled:
+            tracer.event(
+                "sim.profile",
+                kernel=self.program.kernel_name,
+                cycles=cycles,
+                regions=[
+                    {
+                        "contexts": [first, last],
+                        "visits": n,
+                        "cycles": (last - first + 1) * n,
+                    }
+                    for first, last, n in regions
+                ],
+            )
 
     def _commit(self, pe: int, entry: PEContext, operands: Tuple[int, ...]) -> None:
         opcode = entry.opcode

@@ -1,0 +1,158 @@
+"""Counter, gauge and histogram semantics of the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    render_key,
+    set_metrics,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 2)
+        assert m.counter_value("a") == 3
+
+    def test_labels_are_separate_series(self):
+        m = MetricsRegistry()
+        m.inc("sched.placement.rejected", reason="pe_busy")
+        m.inc("sched.placement.rejected", reason="pe_busy")
+        m.inc("sched.placement.rejected", reason="home_mismatch")
+        assert m.counter_value("sched.placement.rejected", reason="pe_busy") == 2
+        assert m.counter_value("sched.placement.rejected", reason="home_mismatch") == 1
+        assert m.counter_total("sched.placement.rejected") == 3
+
+    def test_label_order_is_irrelevant(self):
+        m = MetricsRegistry()
+        m.inc("x", a=1, b=2)
+        m.inc("x", b=2, a=1)
+        assert m.counter_value("x", a=1, b=2) == 2
+
+    def test_render_key(self):
+        assert render_key("sim.cycles") == "sim.cycles"
+        assert (
+            render_key("r", (("kind", "chain"), ("pe", "3")))
+            == "r{kind=chain,pe=3}"
+        )
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        m = MetricsRegistry()
+        m.set_gauge("g", 5)
+        m.set_gauge("g", 3)
+        assert m.gauge_value("g") == 3
+
+    def test_set_max_keeps_peak(self):
+        m = MetricsRegistry()
+        m.set_max("rf.pressure.max", 4)
+        m.set_max("rf.pressure.max", 9)
+        m.set_max("rf.pressure.max", 2)
+        assert m.gauge_value("rf.pressure.max") == 9
+
+
+class TestHistograms:
+    def test_basic_moments(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10
+        assert h.vmin == 1 and h.vmax == 4
+        assert h.mean == pytest.approx(2.5)
+
+    def test_percentiles_monotone_and_bounded(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert 45 <= p50 <= 55
+        assert p50 <= p90 <= p99 <= 100
+
+    def test_reservoir_cap_keeps_exact_moments(self):
+        h = Histogram(cap=8)
+        for v in range(100):
+            h.observe(v)
+        assert h.count == 100
+        assert h.vmax == 99
+        assert len(h._sample) == 8
+
+    def test_empty_summary(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["mean"] == 0.0
+
+    def test_registry_observe(self):
+        m = MetricsRegistry()
+        m.observe("route.chain.hops", 1)
+        m.observe("route.chain.hops", 3)
+        hist = m.histogram("route.chain.hops")
+        assert hist.count == 2 and hist.total == 4
+
+
+class TestSnapshotAndReport:
+    def test_snapshot_is_json_ready(self):
+        m = MetricsRegistry()
+        m.inc("c", reason="x")
+        m.set_gauge("g", 1.5)
+        m.observe("h", 2)
+        snap = json.loads(json.dumps(m.snapshot()))
+        assert snap["counters"] == {"c{reason=x}": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_report_mentions_all_names(self):
+        m = MetricsRegistry()
+        m.inc("sim.cycles", 42)
+        m.set_max("rf.pressure.max", 7)
+        m.observe("sched.walltime.seconds", 0.5)
+        report = m.render_report()
+        for name in ("sim.cycles", "rf.pressure.max", "sched.walltime.seconds"):
+            assert name in report
+
+    def test_empty_report(self):
+        assert "no metrics" in MetricsRegistry().render_report()
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.set_gauge("b", 1)
+        m.observe("c", 1)
+        m.reset()
+        snap = m.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDisabledAndGlobals:
+    def test_disabled_registry_records_nothing(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("a")
+        m.set_gauge("b", 1)
+        m.set_max("b2", 1)
+        m.observe("c", 1)
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_process_default_is_disabled(self):
+        assert get_metrics().enabled is False
+
+    def test_set_metrics_roundtrip(self):
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous
+
+    def test_set_metrics_none_disables(self):
+        previous = set_metrics(None)
+        try:
+            assert get_metrics().enabled is False
+        finally:
+            set_metrics(previous)

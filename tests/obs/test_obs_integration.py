@@ -1,0 +1,166 @@
+"""Observability threaded through the real pipeline.
+
+Two properties matter: an observed run *sees* the scheduler's internal
+decisions (placement attempts, copies, cycles), and observation never
+*changes* them (the default no-op tracer leaves schedules byte-identical).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.arch.description import load_composition
+from repro.context.generator import generate_contexts
+from repro.kernels import gcd
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+from repro.viz.text import program_listing
+
+COMP_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "compositions")
+
+
+@pytest.fixture(scope="module")
+def mesh4():
+    return load_composition(os.path.join(COMP_DIR, "mesh4.json"))
+
+
+class TestObservedPipeline:
+    def test_gcd_emits_placement_events_and_metrics(self, mesh4):
+        with obs.observe() as session:
+            result = invoke_kernel(
+                gcd.build_kernel(), mesh4, {"a": 1071, "b": 462}
+            )
+        assert result.results["a"] == gcd.golden(1071, 462)
+
+        names = [r["name"] for r in session.tracer.records]
+        assert "sched.kernel" in names
+        assert "sim.run" in names
+        assert "sched.place.accept" in names, "no placement-attempt events"
+        accept = next(
+            r for r in session.tracer.records if r["name"] == "sched.place.accept"
+        )
+        assert {"node", "opcode", "pe", "cycle"} <= set(accept["args"])
+
+        metrics = session.metrics
+        assert metrics.counter_value("sched.placement.attempts") > 0
+        assert metrics.counter_value("sched.placement.accepted") > 0
+        assert metrics.counter_value("sim.cycles") > 0
+        assert metrics.gauge_value("rf.pressure.max") > 0
+
+    def test_copy_insertion_is_counted(self, mesh4):
+        """The ADPCM-style bigger kernels route through copies; dotp on
+        the small mesh is enough to exercise remote operand planning."""
+        from repro.kernels import dotp
+
+        xs, ys = dotp.sample_inputs(8)
+        with obs.observe() as session:
+            invoke_kernel(
+                dotp.build_kernel(), mesh4, {"n": 8}, {"xs": xs, "ys": ys}
+            )
+        snap = session.metrics.snapshot()
+        # plan-level routing always runs; committed copies may be zero
+        # on tiny meshes, but the request counter must move
+        assert snap["counters"]["route.plan.requests"] > 0
+
+    def test_sim_profile_event_present(self, mesh4):
+        with obs.observe() as session:
+            invoke_kernel(gcd.build_kernel(), mesh4, {"a": 12, "b": 18})
+        profile = next(
+            r for r in session.tracer.records if r["name"] == "sim.profile"
+        )
+        regions = profile["args"]["regions"]
+        assert regions, "context-residency profile is empty"
+        total = sum(r["cycles"] for r in regions)
+        assert total == session.metrics.counter_value("sim.cycles")
+
+
+class TestNoopDefaultDeterminism:
+    """Satellite: observability must not perturb scheduling decisions."""
+
+    @staticmethod
+    def _fingerprint(comp):
+        kernel = gcd.build_kernel()
+        schedule = schedule_kernel(kernel, comp)
+        program = generate_contexts(schedule, comp, kernel)
+        ops = [
+            (o.cycle, o.pe, o.opcode, o.duration, o.srcs, o.dest_vid,
+             o.immediate, repr(o.predicate), o.issue_only)
+            for o in schedule.ops
+        ]
+        return repr((schedule.n_cycles, ops)) + "\n" + program_listing(program)
+
+    def test_schedule_byte_identical_under_observation(self, mesh4):
+        plain = self._fingerprint(mesh4)
+        with obs.observe():
+            observed = self._fingerprint(mesh4)
+        plain_again = self._fingerprint(mesh4)
+        assert observed == plain
+        assert plain_again == plain
+
+    def test_observed_run_results_match(self, mesh4):
+        bare = invoke_kernel(gcd.build_kernel(), mesh4, {"a": 252, "b": 105})
+        with obs.observe():
+            seen = invoke_kernel(
+                gcd.build_kernel(), mesh4, {"a": 252, "b": 105}
+            )
+        assert bare.results == seen.results
+        assert bare.run_cycles == seen.run_cycles
+
+
+class TestCli:
+    def test_cli_writes_trace_and_metrics(self, tmp_path):
+        from repro.obs.__main__ import main
+
+        trace = str(tmp_path / "out.trace.json")
+        jsonl = str(tmp_path / "out.jsonl")
+        metrics = str(tmp_path / "out.metrics.json")
+        rc = main(
+            [
+                "gcd",
+                "--composition",
+                os.path.join(COMP_DIR, "mesh4.json"),
+                "--trace",
+                trace,
+                "--jsonl",
+                jsonl,
+                "--metrics",
+                metrics,
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+
+        with open(trace) as fh:
+            payload = json.load(fh)
+        assert payload["traceEvents"], "empty Chrome trace"
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+        with open(jsonl) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert any(r["name"] == "sched.kernel" for r in lines)
+
+        with open(metrics) as fh:
+            snap = json.load(fh)
+        assert snap["counters"]["sim.cycles"] > 0
+        assert snap["counters"]["sched.placement.attempts"] > 0
+
+    def test_cli_mesh_shorthand(self, tmp_path):
+        from repro.obs.__main__ import main
+
+        rc = main(["gcd", "-c", "mesh4", "--quiet"])
+        assert rc == 0
+
+    def test_cli_rejects_unknown_composition(self):
+        from repro.obs.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["gcd", "-c", "nonsense"])
+
+    def test_cli_leaves_globals_restored(self):
+        from repro.obs.__main__ import main
+
+        main(["gcd", "-c", "mesh4", "--quiet"])
+        assert obs.get_metrics().enabled is False
+        assert obs.get_tracer().enabled is False

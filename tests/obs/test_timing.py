@@ -1,0 +1,88 @@
+"""The timed context manager / decorator."""
+
+from repro import obs
+from repro.obs.timing import timed
+
+
+class TestTimed:
+    def test_context_manager_measures(self):
+        with timed("unit.block") as t:
+            sum(range(1000))
+        assert t.seconds is not None and t.seconds >= 0
+
+    def test_records_metric_when_enabled(self):
+        with obs.observe() as session:
+            with timed("unit.work", label="x"):
+                pass
+        hist = session.metrics.histogram("unit.work.seconds", label="x")
+        assert hist is not None and hist.count == 1
+
+    def test_silent_when_disabled(self):
+        registry = obs.get_metrics()
+        assert registry.enabled is False
+        with timed("unit.silent") as t:
+            pass
+        assert t.seconds is not None
+        assert registry.snapshot()["histograms"] == {}
+
+    def test_opens_tracer_span(self):
+        with obs.observe() as session:
+            with timed("unit.span"):
+                pass
+        names = [r["name"] for r in session.tracer.records]
+        assert "unit.span" in names
+        record = session.tracer.records[names.index("unit.span")]
+        assert record["type"] == "span" and record["dur"] is not None
+
+    def test_decorator(self):
+        calls = []
+
+        @timed("unit.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        with obs.observe() as session:
+            assert fn(3) == 6
+            assert fn(4) == 8
+        hist = session.metrics.histogram("unit.fn.seconds")
+        assert hist.count == 2
+        assert calls == [3, 4]
+
+    def test_exception_still_records(self):
+        with obs.observe() as session:
+            try:
+                with timed("unit.fail") as t:
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert t.seconds is not None
+        assert session.metrics.histogram("unit.fail.seconds").count == 1
+
+
+class TestObserve:
+    def test_installs_and_restores(self):
+        before_tracer = obs.get_tracer()
+        before_metrics = obs.get_metrics()
+        with obs.observe() as session:
+            assert obs.get_tracer() is session.tracer
+            assert obs.get_metrics() is session.metrics
+            assert session.metrics.enabled
+        assert obs.get_tracer() is before_tracer
+        assert obs.get_metrics() is before_metrics
+
+    def test_accepts_custom_objects(self):
+        tracer = obs.Tracer(max_records=10)
+        metrics = obs.MetricsRegistry()
+        with obs.observe(tracer=tracer, metrics=metrics) as session:
+            assert session.tracer is tracer
+            assert session.metrics is metrics
+
+    def test_restores_on_exception(self):
+        before = obs.get_tracer()
+        try:
+            with obs.observe():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert obs.get_tracer() is before

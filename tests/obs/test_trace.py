@@ -1,0 +1,160 @@
+"""Tracer span nesting, event recording and export formats."""
+
+import io
+import json
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("leaf")
+        outer, inner, leaf = tracer.records
+        assert outer["name"] == "outer" and outer["depth"] == 0
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert leaf["name"] == "leaf" and leaf["depth"] == 2
+        # depth unwinds completely
+        with tracer.span("after") as span:
+            span.set(extra=1)
+        assert tracer.records[-1]["depth"] == 0
+        assert tracer.records[-1]["args"] == {"extra": 1}
+
+    def test_durations_filled_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        record = tracer.records[0]
+        assert record["dur"] is not None and record["dur"] >= 0
+        # children close before parents but parent spans cover them
+        with tracer.span("p"):
+            with tracer.span("c"):
+                pass
+        parent, child = tracer.records[1], tracer.records[2]
+        assert parent["dur"] >= child["dur"]
+
+    def test_records_keep_document_order(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r["name"] for r in tracer.records] == ["first", "second"]
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.records[0]["dur"] is not None
+        assert tracer._depth == 0
+
+
+class TestEvents:
+    def test_event_args(self):
+        tracer = Tracer()
+        tracer.event("sched.place.accept", pe=3, cycle=7, reason=None)
+        record = tracer.records[0]
+        assert record["type"] == "event"
+        assert record["args"] == {"pe": 3, "cycle": 7, "reason": None}
+
+    def test_max_records_drops_and_counts(self):
+        tracer = Tracer(max_records=2)
+        tracer.event("a")
+        tracer.event("b")
+        tracer.event("c")
+        with tracer.span("d"):
+            pass  # span record also dropped, but the span still works
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 2
+
+
+class TestChromeExport:
+    def test_chrome_json_is_valid_and_typed(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("sched.kernel", kernel="gcd"):
+            tracer.event("sched.place.accept", pe=0)
+        path = str(tmp_path / "out.trace.json")
+        tracer.to_chrome(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        span = next(e for e in events if e["ph"] == "X")
+        inst = next(e for e in events if e["ph"] == "i")
+        for event in events:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], (int, float))
+            assert "pid" in event and "tid" in event
+        assert isinstance(span["dur"], (int, float))
+        assert span["args"] == {"kernel": "gcd"}
+        assert inst["s"] == "t"
+
+    def test_chrome_category_is_name_prefix(self):
+        tracer = Tracer()
+        tracer.event("route.copy", from_pe=0, to_pe=1)
+        assert tracer.chrome_events()[0]["cat"] == "route"
+
+    def test_unclosed_span_gets_zero_duration(self):
+        tracer = Tracer()
+        tracer.span("never-exited")
+        assert tracer.chrome_events()[0]["dur"] == 0.0
+
+
+class TestJsonlExport:
+    def test_every_line_parses(self):
+        tracer = Tracer()
+        with tracer.span("a", answer=42):
+            tracer.event("b")
+        buf = io.StringIO()
+        tracer.to_jsonl(buf)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "span"
+        assert parsed[1]["type"] == "event"
+
+    def test_non_json_attrs_are_stringified(self):
+        tracer = Tracer()
+        tracer.event("odd", obj=object())
+        buf = io.StringIO()
+        tracer.to_jsonl(buf)
+        assert json.loads(buf.getvalue())["args"]["obj"].startswith("<object")
+
+
+class TestGlobals:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), (Tracer, NullTracer))
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("x", a=1) as span:
+            span.set(b=2)
+        assert tracer.event("y") is None
+
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_set_tracer_none_installs_null(self):
+        previous = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
