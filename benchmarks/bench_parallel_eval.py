@@ -1,0 +1,120 @@
+"""Perf subsystem — parallel grid evaluation and schedule-cache reuse.
+
+Measures the two headline wins of ``repro.perf`` on the paper's
+evaluation workload (the twelve Table II compositions):
+
+* serial vs parallel wall-clock of the ADPCM composition grid
+  (``--jobs 4``; asserted >= 1.5x only on machines with >= 4 cores —
+  on smaller boxes the numbers are still recorded in ``extra_info``);
+* cold vs warm schedule-cache wall-clock of the scheduling + context
+  generation stage (asserted >= 5x everywhere: a warm hit replaces
+  scheduling with a fingerprint lookup).
+
+The recorded numbers land in the ``--benchmark-json`` output twice:
+as ``extra_info`` on each benchmark here, and in the session-wide
+``obs`` metrics snapshot (``perf.cache.*`` / ``perf.pool.*``) that
+``conftest.pytest_benchmark_update_json`` attaches.
+"""
+
+import os
+import time
+
+from repro.arch.library import all_paper_compositions
+from repro.context.generator import generate_contexts
+from repro.eval.tables import adpcm_workload, run_grid
+from repro.perf.cache import ScheduleCache
+from repro.sched.scheduler import schedule_kernel
+
+#: quick-mode sample count: enough simulation to make the grid cells
+#: real work, small enough to keep the bench under a minute
+_N_SAMPLES = 64
+
+_PARALLEL_JOBS = 4
+
+
+def test_parallel_grid_vs_serial(benchmark):
+    items = list(all_paper_compositions().items())
+
+    t0 = time.perf_counter()
+    serial_runs = run_grid(items, n_samples=_N_SAMPLES, jobs=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_runs = benchmark.pedantic(
+        run_grid,
+        args=(items,),
+        kwargs={"n_samples": _N_SAMPLES, "jobs": _PARALLEL_JOBS},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - t0
+
+    # identical results, identical order — parallelism must be invisible
+    assert list(parallel_runs) == list(serial_runs)
+    assert all(
+        parallel_runs[label].cycles == serial_runs[label].cycles
+        and parallel_runs[label].correct
+        for label in serial_runs
+    )
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 4)
+    benchmark.extra_info["parallel_jobs"] = _PARALLEL_JOBS
+    benchmark.extra_info["parallel_speedup"] = round(speedup, 3)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    print(
+        f"\ngrid of {len(items)} compositions: serial {serial_seconds:.2f} s, "
+        f"--jobs {_PARALLEL_JOBS} {parallel_seconds:.2f} s "
+        f"({speedup:.2f}x, {os.cpu_count()} cores)"
+    )
+    if (os.cpu_count() or 1) >= _PARALLEL_JOBS:
+        assert speedup >= 1.5, (
+            f"parallel grid only {speedup:.2f}x faster on "
+            f"{os.cpu_count()} cores"
+        )
+
+
+def test_schedule_cache_warm_vs_cold(benchmark, tmp_path):
+    kernel, _, _ = adpcm_workload(_N_SAMPLES)
+    comps = all_paper_compositions()
+    cache = ScheduleCache(str(tmp_path))
+
+    def compile_all():
+        programs = {}
+        for label, comp in comps.items():
+            def _compute(comp=comp):
+                schedule = schedule_kernel(kernel, comp)
+                return generate_contexts(schedule, comp, kernel)
+
+            programs[label], _ = cache.get_or_compute(
+                kernel, comp, _compute, fmt=1
+            )
+        return programs
+
+    t0 = time.perf_counter()
+    cold = compile_all()
+    cold_seconds = time.perf_counter() - t0
+    assert cache.stats()["misses"] == len(comps)
+
+    t0 = time.perf_counter()
+    warm = benchmark(compile_all)
+    warm_seconds = time.perf_counter() - t0
+    warm_rounds = cache.stats()["hits"] // len(comps)
+    warm_seconds /= max(1, warm_rounds)
+
+    assert list(warm) == list(cold)
+    assert cache.stats()["misses"] == len(comps)  # warm rounds: hits only
+    hit_rate = cache.hits / (cache.hits + cache.misses)
+
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["cache_speedup"] = round(speedup, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(hit_rate, 4)
+    print(
+        f"\nschedule+contextgen for {len(comps)} compositions: cold "
+        f"{cold_seconds:.3f} s, warm {warm_seconds:.4f} s ({speedup:.1f}x, "
+        f"hit rate {hit_rate:.0%})"
+    )
+    assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster"

@@ -182,14 +182,58 @@ class Interconnect:
         object.__setattr__(self, "_floyd_cache", cached)
         return cached
 
+    @property
+    def _dist_rows(self) -> Tuple[Tuple[float, ...], ...]:
+        """Floyd distances as immutable tuples, ``[p][q]`` = hops p->q.
+
+        Tuple rows index faster than the nested float lists the solver
+        produces, and being hashable/immutable they are safe to hand out
+        (the scheduler's routing hot path reads them per candidate)."""
+        cached = self.__dict__.get("_dist_rows_cache")
+        if cached is None:
+            cached = tuple(tuple(row) for row in self._floyd()[0])
+            object.__setattr__(self, "_dist_rows_cache", cached)
+        return cached
+
     def distance(self, p: int, q: int) -> float:
         """Hop count of the shortest directed path ``p -> q`` (inf if none)."""
-        return self._floyd()[0][p][q]
+        return self._dist_rows[p][q]
+
+    def distance_row(self, p: int) -> Tuple[float, ...]:
+        """Distances *from* PE ``p``: ``distance_row(p)[q] == distance(p, q)``."""
+        return self._dist_rows[p]
+
+    def distances_to(self, q: int) -> Tuple[float, ...]:
+        """Distances *to* PE ``q``: ``distances_to(q)[p] == distance(p, q)``.
+
+        Column slices are precomputed per destination so the router can
+        rank candidate holders with one flat tuple lookup each."""
+        cached = self.__dict__.get("_dist_cols_cache")
+        if cached is None:
+            rows = self._dist_rows
+            cached = tuple(
+                tuple(rows[p][c] for p in range(self.n)) for c in range(self.n)
+            )
+            object.__setattr__(self, "_dist_cols_cache", cached)
+        return cached[q]
 
     def path(self, p: int, q: int) -> Optional[List[int]]:
-        """Shortest directed path ``[p, ..., q]``, or ``None`` if unreachable."""
+        """Shortest directed path ``[p, ..., q]``, or ``None`` if unreachable.
+
+        Paths are static per interconnect and requested repeatedly by
+        the router's copy-chain planner, so they are memoised; callers
+        receive a fresh list each time (the cache stores tuples).
+        """
+        cache = self.__dict__.get("_path_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_path_cache", cache)
+        hit = cache.get((p, q))
+        if hit is not None:
+            return list(hit) if hit else None
         dist, nxt = self._floyd()
         if dist[p][q] == _INF:
+            cache[(p, q)] = ()
             return None
         node: Optional[int] = p
         out = [p]
@@ -197,6 +241,7 @@ class Interconnect:
             node = nxt[node][q]  # type: ignore[index]
             assert node is not None
             out.append(node)
+        cache[(p, q)] = tuple(out)
         return out
 
     def is_strongly_connected(self) -> bool:

@@ -6,6 +6,11 @@ speedup.  Pass ``--quick`` to decode 64 instead of 416 samples.
 or https://ui.perfetto.dev) and ``--metrics FILE`` a metrics-snapshot
 JSON of the run's scheduler/simulator internals; see
 docs/observability.md.
+
+``--jobs N`` schedules the kernel×composition grids on N worker
+processes and ``--cache-dir DIR`` reuses schedules across runs through
+the content-addressed schedule cache — both produce byte-identical
+results to the serial uncached path; see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -33,11 +38,12 @@ from repro.kernels.adpcm import N_SAMPLES
 from repro.obs import observe, timed
 
 
-def _run_eval(n: int) -> int:
+def _run_eval(n: int, *, jobs: int = 1, cache_dir=None) -> int:
+    grid = {"jobs": jobs, "cache_dir": cache_dir}
     with timed("eval.total") as total:
         print(f"=== ADPCM decode, {n} samples, unroll factor 2 ===\n")
 
-        runs2 = table2(n_samples=n)
+        runs2 = table2(n_samples=n, **grid)
         mesh_runs = {k: v for k, v in runs2.items() if "PEs" == k.split()[-1]}
 
         print("Table I — memory utilisation of the ADPCM decoder schedules")
@@ -48,7 +54,7 @@ def _run_eval(n: int) -> int:
         print(render_table2(runs2))
         print()
 
-        runs3 = table3(n_samples=n)
+        runs3 = table3(n_samples=n, **grid)
         print("Table III — single-cycle multipliers")
         print(render_table3(runs3))
         print()
@@ -87,6 +93,14 @@ def _run_eval(n: int) -> int:
             f"Scheduling + context generation: max "
             f"{max(sched_times):.2f} s per composition (paper: <= 3.1 s)"
         )
+        if cache_dir is not None:
+            from repro.perf.cache import shared_cache
+
+            stats = shared_cache(cache_dir).stats()
+            print(
+                f"schedule cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses ({cache_dir})"
+            )
     print(f"\nTotal evaluation time: {total.seconds:.1f} s")
     return 0
 
@@ -106,14 +120,28 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="write a metrics-snapshot JSON of the evaluation run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="schedule the composition grids on N worker processes "
+        "(0 = all cores, 1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed schedule cache directory; reruns reuse "
+        "cached schedules (see docs/performance.md)",
+    )
     args = parser.parse_args(argv)
     n = 64 if args.quick else N_SAMPLES
 
     if not (args.trace or args.metrics):
-        return _run_eval(n)
+        return _run_eval(n, jobs=args.jobs, cache_dir=args.cache_dir)
 
     with observe() as session:
-        rc = _run_eval(n)
+        rc = _run_eval(n, jobs=args.jobs, cache_dir=args.cache_dir)
     if args.trace:
         session.tracer.to_chrome(args.trace)
         print(f"trace written to {args.trace} ({len(session.tracer.records)} records)")

@@ -13,7 +13,7 @@ bytecode; ours from a leaner IR — see EXPERIMENTS.md), but each table's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.arch.composition import Composition
 from repro.arch.library import (
@@ -35,7 +35,10 @@ from repro.kernels.adpcm import (
     build_decoder_kernel,
     encoded_reference,
 )
+from repro.obs import get_metrics
 from repro.obs.timing import timed
+from repro.perf.cache import ScheduleCache, shared_cache
+from repro.perf.parallel import ParallelEvaluator
 from repro.sched.scheduler import schedule_kernel
 from repro.sim.invocation import invoke_kernel
 
@@ -43,6 +46,7 @@ __all__ = [
     "adpcm_workload",
     "CompositionRun",
     "run_adpcm_on",
+    "run_grid",
     "table1",
     "table2",
     "table3",
@@ -52,6 +56,9 @@ __all__ = [
 
 #: paper evaluation settings (Section VI-B)
 UNROLL_FACTOR = 2
+
+#: bump to invalidate cached programs when their format changes
+CACHE_FORMAT = 1
 
 
 def adpcm_workload(
@@ -103,11 +110,24 @@ def run_adpcm_on(
     *,
     n_samples: int = N_SAMPLES,
     unroll: int = UNROLL_FACTOR,
+    cache: Optional[ScheduleCache] = None,
 ) -> CompositionRun:
     kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
     with timed("sched.walltime", label=label) as timer:
-        schedule = schedule_kernel(kernel, comp)
-        program = generate_contexts(schedule, comp, kernel)
+        if cache is None:
+            schedule = schedule_kernel(kernel, comp)
+            program = generate_contexts(schedule, comp, kernel)
+        else:
+            # content-addressed: a hit skips scheduling + context
+            # generation entirely (byte-identical program, see
+            # tests/perf/test_determinism.py)
+            def _compute():
+                schedule = schedule_kernel(kernel, comp)
+                return generate_contexts(schedule, comp, kernel)
+
+            program, _hit = cache.get_or_compute(
+                kernel, comp, _compute, fmt=CACHE_FORMAT
+            )
     result = invoke_kernel(
         kernel, comp, {"n": n_samples, "gain": 4096}, arrays, program=program
     )
@@ -130,29 +150,81 @@ def run_adpcm_on(
     )
 
 
-def table1(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+def _grid_task(task) -> Tuple[CompositionRun, int, int]:
+    """One kernel×composition cell; module-level so pools can pickle it.
+
+    Returns ``(run, cache_hits_delta, cache_misses_delta)`` — the
+    deltas let the parent aggregate cache statistics from pool workers,
+    whose own metrics registries die with the worker process.
+    """
+    label, comp, n_samples, unroll, cache_dir, cached = task
+    cache = shared_cache(cache_dir) if cached else None
+    before = (cache.hits, cache.misses) if cache else (0, 0)
+    run = run_adpcm_on(
+        label, comp, n_samples=n_samples, unroll=unroll, cache=cache
+    )
+    after = (cache.hits, cache.misses) if cache else (0, 0)
+    return run, after[0] - before[0], after[1] - before[1]
+
+
+def run_grid(
+    items: Iterable[Tuple[str, Composition]],
+    *,
+    n_samples: int = N_SAMPLES,
+    unroll: int = UNROLL_FACTOR,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    cached: bool = False,
+) -> Dict[str, CompositionRun]:
+    """Run the ADPCM workload over a labelled composition grid.
+
+    ``jobs > 1`` fans the cells out over a process pool (deterministic
+    ordering, serial fallback); ``cache_dir``/``cached`` route
+    scheduling through the content-addressed schedule cache.  Results
+    are identical to the serial uncached loop in all configurations.
+    """
+    cached = cached or cache_dir is not None
+    tasks = [
+        (label, comp, n_samples, unroll, cache_dir, cached)
+        for label, comp in items
+    ]
+    evaluator = ParallelEvaluator(jobs)
+    results = evaluator.map(_grid_task, tasks)
+    if evaluator.last_used_pool and cached:
+        # worker-side cache counters died with the workers: fold the
+        # reported deltas into this process's cache + metrics
+        hits = sum(r[1] for r in results)
+        misses = sum(r[2] for r in results)
+        cache = shared_cache(cache_dir)
+        cache.hits += hits
+        cache.misses += misses
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("perf.cache.hits", hits)
+            metrics.inc("perf.cache.misses", misses)
+    return {run.label: run for run, _h, _m in results}
+
+
+def table1(*, n_samples: int = N_SAMPLES, **grid) -> Dict[str, CompositionRun]:
     """Table I: memory utilisation of the ADPCM schedules (meshes)."""
-    out: Dict[str, CompositionRun] = {}
-    for n, comp in paper_mesh_compositions().items():
-        out[f"{n} PEs"] = run_adpcm_on(f"{n} PEs", comp, n_samples=n_samples)
-    return out
+    items = [
+        (f"{n} PEs", comp) for n, comp in paper_mesh_compositions().items()
+    ]
+    return run_grid(items, n_samples=n_samples, **grid)
 
 
-def table2(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+def table2(*, n_samples: int = N_SAMPLES, **grid) -> Dict[str, CompositionRun]:
     """Table II: cycles + synthesis estimates, meshes and irregular A-F."""
-    out: Dict[str, CompositionRun] = {}
-    for label, comp in all_paper_compositions(mul_duration=2).items():
-        out[label] = run_adpcm_on(label, comp, n_samples=n_samples)
-    return out
+    items = list(all_paper_compositions(mul_duration=2).items())
+    return run_grid(items, n_samples=n_samples, **grid)
 
 
-def table3(*, n_samples: int = N_SAMPLES) -> Dict[str, CompositionRun]:
+def table3(*, n_samples: int = N_SAMPLES, **grid) -> Dict[str, CompositionRun]:
     """Table III: single-cycle multipliers (meshes only, as the paper)."""
-    out: Dict[str, CompositionRun] = {}
-    for n in MESH_SIZES:
-        comp = mesh_composition(n, mul_duration=1)
-        out[f"{n} PEs"] = run_adpcm_on(f"{n} PEs", comp, n_samples=n_samples)
-    return out
+    items = [
+        (f"{n} PEs", mesh_composition(n, mul_duration=1)) for n in MESH_SIZES
+    ]
+    return run_grid(items, n_samples=n_samples, **grid)
 
 
 def table4(

@@ -28,11 +28,53 @@ from repro.arch.pe import PEDescription
 from repro.context.generator import generate_contexts
 from repro.fpga import estimate
 from repro.ir.cdfg import Kernel
+from repro.obs import get_metrics
+from repro.perf.cache import shared_cache
+from repro.perf.parallel import ParallelEvaluator
 from repro.sched.schedule import SchedulingError
 from repro.sched.scheduler import schedule_kernel
 from repro.sim.invocation import invoke_kernel
 
 __all__ = ["Workload", "Evaluation", "ExplorationResult", "CompositionExplorer"]
+
+#: cache-format tag for explorer-cached programs (see repro.eval.tables)
+_CACHE_FORMAT = 1
+
+
+def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
+    """Schedule+simulate one workload on one candidate composition.
+
+    Module-level so :class:`~repro.perf.parallel.ParallelEvaluator` can
+    ship it to pool workers.  Returns ``(workload name, cycles or None,
+    cache hit delta, cache miss delta)``.
+    """
+    name, kernel, comp, livein, arrays, cached, cache_dir = task
+    cache = shared_cache(cache_dir) if cached else None
+    before = (cache.hits, cache.misses) if cache else (0, 0)
+    try:
+        if cache is None:
+            program = None
+        else:
+
+            def _compute():
+                schedule = schedule_kernel(kernel, comp)
+                return generate_contexts(schedule, comp, kernel)
+
+            program, _hit = cache.get_or_compute(
+                kernel, comp, _compute, fmt=_CACHE_FORMAT
+            )
+        res = invoke_kernel(
+            kernel,
+            comp,
+            dict(livein),
+            {k: list(v) for k, v in arrays.items()},
+            program=program,
+        )
+        cycles: Optional[int] = res.run_cycles
+    except SchedulingError:
+        cycles = None
+    after = (cache.hits, cache.misses) if cache else (0, 0)
+    return name, cycles, after[0] - before[0], after[1] - before[1]
 
 _RF_CHOICES = (32, 64, 128)
 
@@ -111,7 +153,15 @@ class CompositionExplorer:
         seed: int = 0,
         area_weight: float = 0.05,
         context_size: int = 256,
+        jobs: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> None:
+        """``jobs > 1`` schedules a candidate's workloads on a process
+        pool; ``cache=True`` (or a ``cache_dir``) memoises schedules by
+        content address, so hill-climbing restarts that revisit a genome
+        skip scheduling entirely.  Both knobs leave every evaluation
+        result identical to the serial uncached path."""
         if not workloads:
             raise ValueError("need at least one workload")
         self.workloads = list(workloads)
@@ -124,31 +174,49 @@ class CompositionExplorer:
         )
         self._needs_dma = any(w.kernel.arrays for w in workloads)
         self._eval_count = 0
+        self._evaluator = ParallelEvaluator(jobs)
+        self._cached = cache or cache_dir is not None
+        self._cache_dir = cache_dir
+        self._cache = shared_cache(cache_dir) if self._cached else None
 
     # -- evaluation -------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counts of the schedule cache (zeros if off)."""
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "entries": 0}
+        return self._cache.stats()
 
     def evaluate(self, comp: Composition) -> Evaluation:
         self._eval_count += 1
         fpga = estimate(comp)
+        tasks = [
+            (w.name, w.kernel, comp, w.livein, w.arrays, self._cached,
+             self._cache_dir)
+            for w in self.workloads
+        ]
+        results = self._evaluator.map(_workload_task, tasks)
+        if self._evaluator.last_used_pool and self._cache is not None:
+            # pool workers keep their own counters; fold the deltas back
+            hits = sum(r[2] for r in results)
+            misses = sum(r[3] for r in results)
+            self._cache.hits += hits
+            self._cache.misses += misses
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("perf.cache.hits", hits)
+                metrics.inc("perf.cache.misses", misses)
         cycles: Dict[str, Optional[int]] = {}
         feasible = True
         total_ms = 0.0
-        for w in self.workloads:
-            try:
-                schedule = schedule_kernel(w.kernel, comp)
-                program = generate_contexts(schedule, comp, w.kernel)
-                res = invoke_kernel(
-                    w.kernel,
-                    comp,
-                    dict(w.livein),
-                    {k: list(v) for k, v in w.arrays.items()},
-                    program=program,
-                )
-                cycles[w.name] = res.run_cycles
-                total_ms += w.weight * res.run_cycles / (fpga.frequency_mhz * 1e3)
-            except SchedulingError:
-                cycles[w.name] = None
+        for w, (name, run_cycles, _h, _m) in zip(self.workloads, results):
+            cycles[name] = run_cycles
+            if run_cycles is None:
                 feasible = False
+            else:
+                total_ms += (
+                    w.weight * run_cycles / (fpga.frequency_mhz * 1e3)
+                )
         if feasible:
             score = total_ms * (1.0 + self.area_weight * fpga.lut_logic_pct)
             score *= 1.0 + self.area_weight * 4 * fpga.dsp_pct

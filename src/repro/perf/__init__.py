@@ -1,0 +1,43 @@
+"""Performance subsystem: parallel fan-out + content-addressed caching.
+
+Three layers (see docs/performance.md):
+
+* :class:`~repro.perf.parallel.ParallelEvaluator` — ordered map over a
+  process pool with serial fallback, used by ``python -m repro.eval``
+  and :class:`~repro.explore.search.CompositionExplorer`;
+* :class:`~repro.perf.cache.ScheduleCache` — content-addressed memo of
+  schedule/context-generation results (in-process dict + optional
+  on-disk directory);
+* :mod:`repro.perf.fingerprint` — canonical encodings and SHA-256
+  content addresses of kernels, compositions and scheduler flags, plus
+  the byte-level context-program serialisation used as the determinism
+  oracle.
+
+All counters surface through the ``repro.obs`` metrics registry:
+``perf.cache.hits`` / ``perf.cache.misses`` / ``perf.pool.tasks`` /
+``perf.pool.workers``.
+"""
+
+from repro.perf.cache import ScheduleCache, shared_cache
+from repro.perf.fingerprint import (
+    composition_fingerprint,
+    flags_fingerprint,
+    kernel_fingerprint,
+    program_bytes,
+    program_digest,
+    schedule_cache_key,
+)
+from repro.perf.parallel import ParallelEvaluator, resolve_jobs
+
+__all__ = [
+    "ParallelEvaluator",
+    "ScheduleCache",
+    "shared_cache",
+    "resolve_jobs",
+    "kernel_fingerprint",
+    "composition_fingerprint",
+    "flags_fingerprint",
+    "schedule_cache_key",
+    "program_bytes",
+    "program_digest",
+]

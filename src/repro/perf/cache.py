@@ -1,0 +1,152 @@
+"""Content-addressed schedule cache (in-process memo + optional disk).
+
+Scheduling and context generation are pure functions of (kernel CDFG,
+composition, scheduler flags) — see :mod:`repro.perf.fingerprint` for
+the content address.  The cache memoises their result (the generated
+:class:`~repro.context.words.ContextProgram`) so repeated evaluations,
+ablation benchmarks and hill-climbing restarts that revisit a genome
+skip scheduling entirely.
+
+Two layers:
+
+* an in-process dict (always on) — hits are reference-shared, so the
+  stored program must be treated as immutable (every consumer in this
+  codebase only reads it);
+* an optional on-disk directory (``cache_dir``) of pickled programs,
+  one ``<sha256>.pkl`` file per key, written atomically (tmp + rename)
+  so concurrent pool workers never observe torn files.  Disk entries
+  survive across processes and are how ``--jobs N`` workers share warm
+  state.
+
+Hit/miss counters are kept per instance *and* mirrored into the
+``repro.obs`` metrics registry (``perf.cache.hits`` /
+``perf.cache.misses``) whenever an enabled registry is installed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.arch.composition import Composition
+from repro.ir.cdfg import Kernel
+from repro.obs import get_metrics
+from repro.perf.fingerprint import schedule_cache_key
+
+__all__ = ["ScheduleCache", "shared_cache"]
+
+
+class ScheduleCache:
+    """Memoises schedule/context-generation results by content address."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(
+        self, kernel: Kernel, comp: Composition, **flags: Any
+    ) -> str:
+        return schedule_cache_key(kernel, comp, **flags)
+
+    # -- raw get/put ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached payload for ``key``, or ``None``.  Counts hit/miss."""
+        payload = self._memory.get(key)
+        if payload is None:
+            path = self._disk_path(key)
+            if path is not None and os.path.exists(path):
+                try:
+                    with open(path, "rb") as fh:
+                        payload = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    payload = None  # torn/corrupt entry: treat as miss
+                else:
+                    self._memory[key] = payload
+        metrics = get_metrics()
+        if payload is None:
+            self.misses += 1
+            if metrics.enabled:
+                metrics.inc("perf.cache.misses")
+            return None
+        self.hits += 1
+        if metrics.enabled:
+            metrics.inc("perf.cache.hits")
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        self._memory[key] = payload
+        path = self._disk_path(key)
+        if path is None:
+            return
+        # atomic publish: a concurrent reader sees the old state or the
+        # complete new file, never a partial write
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- the memoised pipeline stage -------------------------------------
+
+    def get_or_compute(
+        self,
+        kernel: Kernel,
+        comp: Composition,
+        compute: Callable[[], Any],
+        **flags: Any,
+    ) -> Tuple[Any, bool]:
+        """``(payload, was_hit)`` — computes and stores on miss."""
+        key = self.key_for(kernel, comp, **flags)
+        payload = self.get(key)
+        if payload is not None:
+            return payload, True
+        payload = compute()
+        self.put(key, payload)
+        return payload, False
+
+    # -- stats ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+        }
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+
+#: process-global instances, one per cache directory (None = memory-only);
+#: pool workers forked from a warm parent inherit the memory layer
+_SHARED: Dict[Optional[str], ScheduleCache] = {}
+
+
+def shared_cache(cache_dir: Optional[str] = None) -> ScheduleCache:
+    """The process-wide cache for ``cache_dir`` (created on first use)."""
+    key = os.path.abspath(cache_dir) if cache_dir is not None else None
+    cache = _SHARED.get(key)
+    if cache is None:
+        cache = _SHARED[key] = ScheduleCache(cache_dir)
+    return cache

@@ -1,0 +1,125 @@
+"""Process-pool fan-out with deterministic result ordering.
+
+:class:`ParallelEvaluator` maps a picklable task function over a list
+of items using ``concurrent.futures.ProcessPoolExecutor``.  Results are
+returned **in item order regardless of completion order**, so a
+parallel run is a drop-in replacement for the serial loop — same
+results, same order, different wall-clock.
+
+Fallbacks keep the evaluator safe everywhere:
+
+* ``jobs=1`` (the default) runs the plain serial loop in-process — no
+  pool, no pickling, bit-for-bit the historical code path;
+* if the pool cannot be created or a task cannot be pickled (sandboxed
+  environments, exotic payloads), the evaluator falls back to the
+  serial loop and remembers the failure for the rest of its lifetime.
+
+On POSIX the pool uses the ``fork`` start method when available: workers
+inherit the parent's hash seed (identical set/dict iteration order ⇒
+identical schedules) and its warm in-memory caches.
+
+Pool statistics are mirrored into the ``repro.obs`` metrics registry:
+``perf.pool.tasks`` (counter), ``perf.pool.workers`` (gauge).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs import get_metrics
+
+__all__ = ["ParallelEvaluator", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` = all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class ParallelEvaluator:
+    """Ordered map over a process pool, with serial fallback."""
+
+    def __init__(self, jobs: Optional[int] = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool_broken = False
+        #: whether the most recent :meth:`map` actually used the pool
+        #: (callers aggregate worker-side counters only in that case —
+        #: serial tasks already updated the in-process registry)
+        self.last_used_pool = False
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _map_serial(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        return [fn(item) for item in items]
+
+    # -- public ----------------------------------------------------------
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """``[fn(item) for item in items]`` — possibly across processes.
+
+        ``fn`` must be a module-level function and every item/result
+        picklable when ``jobs > 1``.  Exceptions raised by ``fn``
+        propagate to the caller in both modes.
+        """
+        items = list(items)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("perf.pool.tasks", len(items))
+        self.last_used_pool = False
+        if self.jobs <= 1 or len(items) <= 1 or self._pool_broken:
+            if metrics.enabled:
+                metrics.set_max("perf.pool.workers", 1)
+            return self._map_serial(fn, items)
+
+        workers = min(self.jobs, len(items))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._mp_context()
+            ) as pool:
+                futures = [pool.submit(fn, item) for item in items]
+                # collect by submission index: deterministic ordering
+                # no matter which worker finishes first
+                results = [f.result() for f in futures]
+        except (
+            OSError,
+            ImportError,
+            PermissionError,
+            pickle.PicklingError,
+            # CPython reports unpicklable payloads as AttributeError
+            # ("Can't pickle local object ...") or TypeError, not only
+            # PicklingError; a task that genuinely raises one of these
+            # re-raises it from the serial fallback below, so catching
+            # them costs at most a redundant serial pass
+            AttributeError,
+            TypeError,
+            BrokenProcessPool,
+        ) as exc:
+            # pool unavailable (sandbox, fd limits): degrade to serial
+            # once and for all
+            self._pool_broken = True
+            if metrics.enabled:
+                metrics.inc("perf.pool.fallbacks", reason=type(exc).__name__)
+                metrics.set_max("perf.pool.workers", 1)
+            return self._map_serial(fn, items)
+        if metrics.enabled:
+            metrics.set_max("perf.pool.workers", workers)
+        self.last_used_pool = True
+        return results

@@ -99,9 +99,10 @@ class Router:
 
         # 3. copy chain along the shortest path (Section V-G: "the value
         #    is copied if the required resources have empty time steps")
+        dist_to_pe = self.icn.distances_to(pe)
         candidates = sorted(
             (h for h in holders),
-            key=lambda h: (self.icn.distance(h[0], pe), h[2]),
+            key=lambda h: (dist_to_pe[h[0]], h[2]),
         )
         for into_dst in (False, True):
             for hpe, vid, ready in candidates:

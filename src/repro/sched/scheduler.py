@@ -135,6 +135,11 @@ class RegionScheduler:
         #: attraction criterion (Section V-G): (item key, pe) -> score
         self.attraction: Dict[Tuple[int, int], int] = {}
         self._pending_unfused: List[Tuple[int, SBItem]] = []
+        #: opcode -> eligible-PE base list (support + DMA filters are
+        #: static per composition; only the attraction re-sort changes
+        #: between placement attempts).  Pre-sorted in connectivity
+        #: order, the attraction-free tie-break.
+        self._pe_base: Dict[str, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # top level
@@ -491,15 +496,30 @@ class RegionScheduler:
 
     # -- PE ordering ------------------------------------------------------
 
+    def _pe_base_list(self, item_opcode: str) -> Tuple[int, ...]:
+        """Eligible PEs for an opcode, in connectivity order (cached).
+
+        The support and DMA filters depend only on the composition, so
+        the base list is computed once per opcode; ``_pe_order`` then
+        only applies the per-item work (home filter, attraction sort).
+        """
+        base = self._pe_base.get(item_opcode)
+        if base is None:
+            exec_opcode = "MOVE" if item_opcode == "VARWRITE" else item_opcode
+            pes = [
+                pe
+                for pe in range(self.comp.n_pes)
+                if self.comp.pes[pe].supports(exec_opcode)
+            ]
+            if item_opcode in ("DMA_LOAD", "DMA_STORE"):
+                pes = [pe for pe in pes if self.comp.pes[pe].has_dma]
+            icn = self.comp.interconnect
+            pes.sort(key=lambda pe: (-icn.degree(pe), pe))
+            base = self._pe_base[item_opcode] = tuple(pes)
+        return base
+
     def _pe_order(self, item: SBItem) -> List[int]:
-        opcode = "MOVE" if item.opcode == "VARWRITE" else item.opcode
-        pes = [
-            pe
-            for pe in range(self.comp.n_pes)
-            if self.comp.pes[pe].supports(opcode)
-        ]
-        if item.opcode in ("DMA_LOAD", "DMA_STORE"):
-            pes = [pe for pe in pes if self.comp.pes[pe].has_dma]
+        pes = list(self._pe_base_list(item.opcode))
         if item.opcode == "VARWRITE":
             # unfused pWRITE "must ultimately be done on its assigned PE"
             home = self.vars.state(item.dest_var).home_pe  # type: ignore[arg-type]
@@ -509,17 +529,14 @@ class RegionScheduler:
             raise SchedulingError(
                 f"no PE of {self.comp.name} can execute {item.opcode}"
             )
-        icn = self.comp.interconnect
         if self.use_attraction:
-            pes.sort(
-                key=lambda pe: (
-                    -self.attraction.get((item.key, pe), 0),
-                    -icn.degree(pe),
-                    pe,
-                )
-            )
-        else:  # ablation: connectivity order only
-            pes.sort(key=lambda pe: (-icn.degree(pe), pe))
+            # the base list is already in connectivity order, the exact
+            # tie-break of the full key, so the stable sort only has to
+            # consult the attraction scores
+            attraction = self.attraction
+            key = item.key
+            pes.sort(key=lambda pe: -attraction.get((key, pe), 0))
+        # else: ablation keeps the connectivity order of the base list
         # fused pWRITE: prefer the variable's home so fusing succeeds
         if item.fused_write is not None and item.dest_var is not None:
             home = self.vars.state(item.dest_var).home_pe

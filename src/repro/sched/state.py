@@ -196,19 +196,45 @@ class VarState:
     home_pe: Optional[int] = None
     home_vid: Optional[int] = None
     version: int = 0
-    #: valid copies: pe -> (vid, version, ready_cycle)
+    #: valid copies: pe -> (vid, version, ready_cycle).  Treated as
+    #: copy-on-write: a snapshot *shares* this dict with its source
+    #: (both flagged ``_copies_shared``), and every mutation path goes
+    #: through :meth:`own_copies` / :meth:`drop_copies`, which unshare
+    #: first.  Nested-region scheduling therefore stops deep-copying
+    #: the copy maps of untouched variables on every snapshot.
     copies: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
     #: cycle from which the home value is readable
     home_ready: int = 0
+    _copies_shared: bool = field(default=False, repr=False, compare=False)
 
     def snapshot(self) -> "VarState":
-        return VarState(
+        """O(1) copy: scalars are duplicated, ``copies`` is shared COW."""
+        self._copies_shared = True
+        clone = VarState(
             home_pe=self.home_pe,
             home_vid=self.home_vid,
             version=self.version,
-            copies=dict(self.copies),
+            copies=self.copies,
             home_ready=self.home_ready,
         )
+        clone._copies_shared = True
+        return clone
+
+    def own_copies(self) -> Dict[int, Tuple[int, int, int]]:
+        """The ``copies`` dict, unshared and safe to mutate in place."""
+        if self._copies_shared:
+            self.copies = dict(self.copies)
+            self._copies_shared = False
+        return self.copies
+
+    def drop_copies(self) -> None:
+        """Replace ``copies`` with a fresh empty dict (cheap unshare)."""
+        self.copies = {}
+        self._copies_shared = False
+
+    def set_copies(self, copies: Dict[int, Tuple[int, int, int]]) -> None:
+        self.copies = copies
+        self._copies_shared = False
 
 
 class VarTracker:
@@ -241,12 +267,13 @@ class VarTracker:
             metrics.inc("sched.vars.writes")
             if st.copies:
                 metrics.inc("sched.vars.copies_invalidated", len(st.copies))
-        st.copies.clear()
+        if st.copies:
+            st.drop_copies()
         st.home_ready = max(st.home_ready, cycle_ready)
 
     def add_copy(self, var: Var, pe: int, vid: int, ready: int) -> None:
         st = self.state(var)
-        st.copies[pe] = (vid, st.version, ready)
+        st.own_copies()[pe] = (vid, st.version, ready)
 
     def valid_copies(self, var: Var) -> List[Tuple[int, int, int]]:
         """(pe, vid, ready) of copies still at the current version."""
@@ -260,7 +287,9 @@ class VarTracker:
     def invalidate_copies(self, variables: Sequence[Var]) -> None:
         """Drop copies of ``variables`` (loop-entry/exit conservatism)."""
         for var in variables:
-            self.state(var).copies.clear()
+            st = self.state(var)
+            if st.copies:
+                st.drop_copies()
 
     # -- if/else divergence ------------------------------------------------
 
@@ -310,7 +339,7 @@ class VarTracker:
                 )
             if theirs.version != mine.version:
                 mine.version = max(mine.version, theirs.version) + 1
-                mine.copies.clear()
+                mine.drop_copies()
                 mine.home_ready = max(mine.home_ready, theirs.home_ready)
                 continue
             mine.home_ready = max(mine.home_ready, theirs.home_ready)
@@ -323,7 +352,7 @@ class VarTracker:
                     and other_entry[1] == version
                 ):
                     merged[pe] = (vid, version, max(ready, other_entry[2]))
-            mine.copies = merged
+            mine.set_copies(merged)
 
     def all_vars(self) -> Iterator[Tuple[Var, VarState]]:
         return iter(self._state.items())

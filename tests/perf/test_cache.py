@@ -1,0 +1,103 @@
+"""ScheduleCache unit behaviour: layers, counters, atomicity, metrics."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.arch.library import mesh_composition
+from repro.kernels import gcd
+from repro.obs import observe
+from repro.perf.cache import ScheduleCache, shared_cache
+
+
+def _kc():
+    return gcd.build_kernel(), mesh_composition(4)
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ScheduleCache()
+        kernel, comp = _kc()
+        calls = []
+        payload, hit = cache.get_or_compute(
+            kernel, comp, lambda: calls.append(1) or "program"
+        )
+        assert (payload, hit) == ("program", False)
+        payload, hit = cache.get_or_compute(
+            kernel, comp, lambda: calls.append(1) or "other"
+        )
+        assert (payload, hit) == ("program", True)
+        assert calls == [1]
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_clear_drops_entries_not_counters(self):
+        cache = ScheduleCache()
+        kernel, comp = _kc()
+        cache.get_or_compute(kernel, comp, lambda: "p")
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+        _, hit = cache.get_or_compute(kernel, comp, lambda: "p")
+        assert not hit
+
+
+class TestDiskLayer:
+    def test_entries_survive_instances(self, tmp_path):
+        kernel, comp = _kc()
+        ScheduleCache(str(tmp_path)).get_or_compute(
+            kernel, comp, lambda: {"big": list(range(10))}
+        )
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".pkl")]
+        fresh = ScheduleCache(str(tmp_path))
+        payload, hit = fresh.get_or_compute(
+            kernel, comp, lambda: (_ for _ in ()).throw(AssertionError)
+        )
+        assert hit and payload == {"big": list(range(10))}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        kernel, comp = _kc()
+        cache = ScheduleCache(str(tmp_path))
+        key = cache.key_for(kernel, comp)
+        cache.put(key, "good")
+        path = os.path.join(str(tmp_path), f"{key}.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x04 torn write")
+        fresh = ScheduleCache(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.stats()["misses"] == 1
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        kernel, comp = _kc()
+        cache = ScheduleCache(str(tmp_path))
+        cache.put(cache.key_for(kernel, comp), "payload")
+        assert not [f for f in os.listdir(tmp_path) if f.startswith(".tmp-")]
+
+    def test_disk_payload_is_plain_pickle(self, tmp_path):
+        kernel, comp = _kc()
+        cache = ScheduleCache(str(tmp_path))
+        key = cache.key_for(kernel, comp)
+        cache.put(key, ["payload"])
+        with open(os.path.join(str(tmp_path), f"{key}.pkl"), "rb") as fh:
+            assert pickle.load(fh) == ["payload"]
+
+
+class TestSharedRegistry:
+    def test_same_dir_same_instance(self, tmp_path):
+        a = shared_cache(str(tmp_path))
+        b = shared_cache(str(tmp_path))
+        assert a is b
+        assert shared_cache(None) is shared_cache(None)
+        assert shared_cache(None) is not a
+
+
+class TestMetricsMirror:
+    def test_hit_miss_counters_reach_obs(self):
+        kernel, comp = _kc()
+        with observe() as session:
+            cache = ScheduleCache()
+            cache.get_or_compute(kernel, comp, lambda: "p")
+            cache.get_or_compute(kernel, comp, lambda: "p")
+        snap = session.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["perf.cache.misses"] == 1
+        assert counters["perf.cache.hits"] == 1

@@ -1,0 +1,139 @@
+"""Determinism of the parallel evaluator and the schedule cache.
+
+The acceptance bar of the perf subsystem: for two kernels x three
+compositions, the parallel evaluator and a cache-hit run must produce
+schedules *byte-identical* (same serialised contexts, via
+``program_bytes``) to the plain serial path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.context.generator import generate_contexts
+from repro.kernels import dotp, gcd
+from repro.perf import (
+    ParallelEvaluator,
+    ScheduleCache,
+    program_bytes,
+    program_digest,
+)
+from repro.sched.scheduler import schedule_kernel
+
+KERNELS = ("gcd", "dotp")
+COMPOSITIONS = ("mesh4", "mesh6", "irregularC")
+
+
+def _build_kernel(name: str):
+    if name == "gcd":
+        return gcd.build_kernel()
+    if name == "dotp":
+        return dotp.build_kernel()
+    raise ValueError(name)
+
+
+def _build_composition(name: str):
+    if name == "mesh4":
+        return mesh_composition(4)
+    if name == "mesh6":
+        return mesh_composition(6)
+    if name == "irregularC":
+        return irregular_composition("C")
+    raise ValueError(name)
+
+
+def _compile(kernel_name: str, comp_name: str):
+    """Schedule + context-generate one (kernel, composition) cell."""
+    kernel = _build_kernel(kernel_name)
+    comp = _build_composition(comp_name)
+    schedule = schedule_kernel(kernel, comp)
+    return generate_contexts(schedule, comp, kernel)
+
+
+def _compile_digest(task):
+    """Module-level pool task: digest of the generated context program."""
+    kernel_name, comp_name = task
+    return program_digest(_compile(kernel_name, comp_name))
+
+
+GRID = [(k, c) for k in KERNELS for c in COMPOSITIONS]
+
+
+@pytest.fixture(scope="module")
+def serial_digests():
+    """Reference digests from the plain serial loop."""
+    return [_compile_digest(task) for task in GRID]
+
+
+class TestParallelMatchesSerial:
+    def test_parallel_evaluator_is_byte_identical(self, serial_digests):
+        evaluator = ParallelEvaluator(jobs=2)
+        parallel = evaluator.map(_compile_digest, GRID)
+        assert parallel == serial_digests
+
+    def test_parallel_results_keep_item_order(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        results = evaluator.map(_compile_digest, GRID)
+        # each digest must belong to its own grid cell, not merely be
+        # present somewhere in the result list
+        for task, digest in zip(GRID, results):
+            assert digest == _compile_digest(task)
+
+
+class TestCacheHitMatchesSerial:
+    def test_cache_hit_is_byte_identical(self, serial_digests, tmp_path):
+        cache = ScheduleCache(cache_dir=str(tmp_path))
+        for round_no in range(2):
+            got = []
+            for kernel_name, comp_name in GRID:
+                kernel = _build_kernel(kernel_name)
+                comp = _build_composition(comp_name)
+                program, was_hit = cache.get_or_compute(
+                    kernel,
+                    comp,
+                    lambda: _compile(kernel_name, comp_name),
+                )
+                assert was_hit == (round_no == 1)
+                got.append(program_digest(program))
+            assert got == serial_digests
+        assert cache.stats() == {
+            "hits": len(GRID),
+            "misses": len(GRID),
+            "entries": len(GRID),
+        }
+
+    def test_disk_roundtrip_is_byte_identical(self, tmp_path):
+        """A cold process reading the disk layer must see the same bytes."""
+        kernel_name, comp_name = GRID[0]
+        warm = ScheduleCache(cache_dir=str(tmp_path))
+        program, _ = warm.get_or_compute(
+            _build_kernel(kernel_name),
+            _build_composition(comp_name),
+            lambda: _compile(kernel_name, comp_name),
+        )
+        # fresh instance: empty memory layer, must load from disk
+        cold = ScheduleCache(cache_dir=str(tmp_path))
+        reloaded, was_hit = cold.get_or_compute(
+            _build_kernel(kernel_name),
+            _build_composition(comp_name),
+            lambda: pytest.fail("disk hit expected, compute() called"),
+        )
+        assert was_hit
+        assert program_bytes(reloaded) == program_bytes(program)
+
+
+class TestRebuildStability:
+    def test_rebuilt_kernels_share_one_cache_entry(self, serial_digests):
+        """Structurally equal kernels built twice hit the same address."""
+        cache = ScheduleCache()
+        for _ in range(2):
+            for (kernel_name, comp_name), want in zip(GRID, serial_digests):
+                program, _ = cache.get_or_compute(
+                    _build_kernel(kernel_name),
+                    _build_composition(comp_name),
+                    lambda: _compile(kernel_name, comp_name),
+                )
+                assert program_digest(program) == want
+        assert cache.stats()["entries"] == len(GRID)
+        assert cache.stats()["hits"] == len(GRID)

@@ -1,0 +1,76 @@
+"""ParallelEvaluator unit behaviour: ordering, fallback, metrics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import observe
+from repro.perf.parallel import ParallelEvaluator, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"task {x} failed")
+
+
+class TestResolveJobs:
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs(None) == cores
+
+
+class TestSerialPath:
+    def test_jobs1_maps_in_order(self):
+        evaluator = ParallelEvaluator(jobs=1)
+        assert evaluator.map(_square, [3, 1, 2]) == [9, 1, 4]
+        assert not evaluator.last_used_pool
+
+    def test_single_item_stays_serial(self):
+        evaluator = ParallelEvaluator(jobs=4)
+        assert evaluator.map(_square, [5]) == [25]
+        assert not evaluator.last_used_pool
+
+    def test_empty(self):
+        assert ParallelEvaluator(jobs=4).map(_square, []) == []
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 1 failed"):
+            ParallelEvaluator(jobs=1).map(_boom, [1, 2])
+
+
+class TestPoolPath:
+    def test_results_in_submission_order(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        items = list(range(20))
+        assert evaluator.map(_square, items) == [x * x for x in items]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        # a lambda cannot be pickled by reference; the evaluator must
+        # degrade to the serial loop instead of raising
+        assert evaluator.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert not evaluator.last_used_pool
+        assert evaluator._pool_broken
+        # and stay serial from then on, even for picklable tasks
+        assert evaluator.map(_square, [2, 3]) == [4, 9]
+        assert not evaluator.last_used_pool
+
+
+class TestPoolMetrics:
+    def test_task_and_worker_metrics(self):
+        with observe() as session:
+            evaluator = ParallelEvaluator(jobs=2)
+            evaluator.map(_square, [1, 2, 3, 4])
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["perf.pool.tasks"] == 4
+        assert snap["gauges"]["perf.pool.workers"] >= 1
