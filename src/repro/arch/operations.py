@@ -31,10 +31,23 @@ __all__ = [
     "evaluate",
     "default_costs",
     "DEFAULT_INT_OPS",
+    "ENERGY_SCALE",
+    "energy_units",
 ]
 
 _MASK32 = 0xFFFFFFFF
 _SIGN32 = 0x80000000
+
+#: Fixed-point scale for energy accounting.  Per-op energies (Fig. 9
+#: floats) are rounded once to integer micro-units; runs accumulate
+#: integers, so the total is independent of summation order and both
+#: simulator backends report bit-equal :attr:`RunResult.energy`.
+ENERGY_SCALE = 1_000_000
+
+
+def energy_units(energy: float) -> int:
+    """``energy`` in integer micro-units (see :data:`ENERGY_SCALE`)."""
+    return round(energy * ENERGY_SCALE)
 
 
 def wrap32(value: int) -> int:

@@ -11,6 +11,12 @@ docs/observability.md.
 processes and ``--cache-dir DIR`` reuses schedules across runs through
 the content-addressed schedule cache — both produce byte-identical
 results to the serial uncached path; see docs/performance.md.
+
+``--sim-backend`` selects the simulator executor: the AOT-``compiled``
+backend (default — context programs are lowered once to pre-bound step
+records and fused traces) or the per-cycle ``interpreter`` reference.
+Results are identical.  ``--max-cycles`` tightens the per-run runaway
+bound below the 50M default.
 """
 
 from __future__ import annotations
@@ -38,8 +44,17 @@ from repro.kernels.adpcm import N_SAMPLES
 from repro.obs import observe, timed
 
 
-def _run_eval(n: int, *, jobs: int = 1, cache_dir=None) -> int:
-    grid = {"jobs": jobs, "cache_dir": cache_dir}
+def _run_eval(
+    n: int,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    sim_backend: str = "compiled",
+    max_cycles=None,
+) -> int:
+    grid = {"jobs": jobs, "cache_dir": cache_dir, "backend": sim_backend}
+    if max_cycles is not None:
+        grid["max_cycles"] = max_cycles
     with timed("eval.total") as total:
         print(f"=== ADPCM decode, {n} samples, unroll factor 2 ===\n")
 
@@ -134,14 +149,34 @@ def main(argv=None) -> int:
         help="content-addressed schedule cache directory; reruns reuse "
         "cached schedules (see docs/performance.md)",
     )
+    parser.add_argument(
+        "--sim-backend",
+        choices=("interpreter", "compiled"),
+        default="compiled",
+        help="simulator executor: AOT-compiled traces (default) or the "
+        "per-cycle reference interpreter; results are identical",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-run runaway-loop bound (default 50M)",
+    )
     args = parser.parse_args(argv)
     n = 64 if args.quick else N_SAMPLES
+    kwargs = {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "sim_backend": args.sim_backend,
+        "max_cycles": args.max_cycles,
+    }
 
     if not (args.trace or args.metrics):
-        return _run_eval(n, jobs=args.jobs, cache_dir=args.cache_dir)
+        return _run_eval(n, **kwargs)
 
     with observe() as session:
-        rc = _run_eval(n, jobs=args.jobs, cache_dir=args.cache_dir)
+        rc = _run_eval(n, **kwargs)
     if args.trace:
         session.tracer.to_chrome(args.trace)
         print(f"trace written to {args.trace} ({len(session.tracer.records)} records)")

@@ -41,6 +41,7 @@ from repro.perf.cache import ScheduleCache, shared_cache
 from repro.perf.parallel import ParallelEvaluator
 from repro.sched.scheduler import schedule_kernel
 from repro.sim.invocation import invoke_kernel
+from repro.sim.machine import DEFAULT_MAX_CYCLES
 
 __all__ = [
     "adpcm_workload",
@@ -59,6 +60,10 @@ UNROLL_FACTOR = 2
 
 #: bump to invalidate cached programs when their format changes
 CACHE_FORMAT = 1
+
+#: grid runs execute on the AOT-compiled simulator backend by default
+#: (identical results to the interpreter; see docs/performance.md)
+DEFAULT_SIM_BACKEND = "compiled"
 
 
 def adpcm_workload(
@@ -111,6 +116,8 @@ def run_adpcm_on(
     n_samples: int = N_SAMPLES,
     unroll: int = UNROLL_FACTOR,
     cache: Optional[ScheduleCache] = None,
+    backend: str = DEFAULT_SIM_BACKEND,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> CompositionRun:
     kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
     with timed("sched.walltime", label=label) as timer:
@@ -129,7 +136,13 @@ def run_adpcm_on(
                 kernel, comp, _compute, fmt=CACHE_FORMAT
             )
     result = invoke_kernel(
-        kernel, comp, {"n": n_samples, "gain": 4096}, arrays, program=program
+        kernel,
+        comp,
+        {"n": n_samples, "gain": 4096},
+        arrays,
+        program=program,
+        backend=backend,
+        max_cycles=max_cycles,
     )
     decoded = result.heap.array(kernel.arrays[1].handle)
     fpga = estimate(comp)
@@ -157,11 +170,19 @@ def _grid_task(task) -> Tuple[CompositionRun, int, int]:
     deltas let the parent aggregate cache statistics from pool workers,
     whose own metrics registries die with the worker process.
     """
-    label, comp, n_samples, unroll, cache_dir, cached = task
+    label, comp, n_samples, unroll, cache_dir, cached, backend, max_cycles = (
+        task
+    )
     cache = shared_cache(cache_dir) if cached else None
     before = (cache.hits, cache.misses) if cache else (0, 0)
     run = run_adpcm_on(
-        label, comp, n_samples=n_samples, unroll=unroll, cache=cache
+        label,
+        comp,
+        n_samples=n_samples,
+        unroll=unroll,
+        cache=cache,
+        backend=backend,
+        max_cycles=max_cycles,
     )
     after = (cache.hits, cache.misses) if cache else (0, 0)
     return run, after[0] - before[0], after[1] - before[1]
@@ -175,17 +196,23 @@ def run_grid(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     cached: bool = False,
+    backend: str = DEFAULT_SIM_BACKEND,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> Dict[str, CompositionRun]:
     """Run the ADPCM workload over a labelled composition grid.
 
     ``jobs > 1`` fans the cells out over a process pool (deterministic
     ordering, serial fallback); ``cache_dir``/``cached`` route
-    scheduling through the content-addressed schedule cache.  Results
-    are identical to the serial uncached loop in all configurations.
+    scheduling through the content-addressed schedule cache;
+    ``backend`` selects the simulator executor (AOT-compiled by
+    default).  Results are identical to the serial uncached
+    interpreter loop in all configurations.  ``max_cycles`` tightens
+    the per-run runaway bound below the 50M default.
     """
     cached = cached or cache_dir is not None
     tasks = [
-        (label, comp, n_samples, unroll, cache_dir, cached)
+        (label, comp, n_samples, unroll, cache_dir, cached, backend,
+         max_cycles)
         for label, comp in items
     ]
     evaluator = ParallelEvaluator(jobs)

@@ -48,7 +48,7 @@ def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
     ship it to pool workers.  Returns ``(workload name, cycles or None,
     cache hit delta, cache miss delta)``.
     """
-    name, kernel, comp, livein, arrays, cached, cache_dir = task
+    name, kernel, comp, livein, arrays, cached, cache_dir, backend = task
     cache = shared_cache(cache_dir) if cached else None
     before = (cache.hits, cache.misses) if cache else (0, 0)
     try:
@@ -69,6 +69,7 @@ def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
             dict(livein),
             {k: list(v) for k, v in arrays.items()},
             program=program,
+            backend=backend,
         )
         cycles: Optional[int] = res.run_cycles
     except SchedulingError:
@@ -156,12 +157,16 @@ class CompositionExplorer:
         jobs: int = 1,
         cache: bool = False,
         cache_dir: Optional[str] = None,
+        sim_backend: str = "compiled",
     ) -> None:
         """``jobs > 1`` schedules a candidate's workloads on a process
         pool; ``cache=True`` (or a ``cache_dir``) memoises schedules by
         content address, so hill-climbing restarts that revisit a genome
-        skip scheduling entirely.  Both knobs leave every evaluation
-        result identical to the serial uncached path."""
+        skip scheduling entirely.  ``sim_backend`` selects the simulator
+        executor (AOT-compiled by default — candidate evaluation is
+        simulation-bound, see docs/performance.md).  All knobs leave
+        every evaluation result identical to the serial uncached
+        interpreter path."""
         if not workloads:
             raise ValueError("need at least one workload")
         self.workloads = list(workloads)
@@ -178,6 +183,7 @@ class CompositionExplorer:
         self._cached = cache or cache_dir is not None
         self._cache_dir = cache_dir
         self._cache = shared_cache(cache_dir) if self._cached else None
+        self.sim_backend = sim_backend
 
     # -- evaluation -------------------------------------------------------
 
@@ -192,7 +198,7 @@ class CompositionExplorer:
         fpga = estimate(comp)
         tasks = [
             (w.name, w.kernel, comp, w.livein, w.arrays, self._cached,
-             self._cache_dir)
+             self._cache_dir, self.sim_backend)
             for w in self.workloads
         ]
         results = self._evaluator.map(_workload_task, tasks)

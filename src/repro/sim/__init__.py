@@ -8,14 +8,25 @@ functional unit, Section IV-B).
 """
 
 from repro.sim.memory import Heap
-from repro.sim.machine import CGRASimulator, RunResult, SimulationError
+from repro.sim.machine import (
+    DEFAULT_MAX_CYCLES,
+    SIM_BACKENDS,
+    CGRASimulator,
+    RunResult,
+    SimulationError,
+)
+from repro.sim.compiled import CompiledProgram, compile_program
 from repro.sim.invocation import invoke_kernel, InvocationResult
 
 __all__ = [
     "Heap",
     "CGRASimulator",
+    "CompiledProgram",
+    "compile_program",
     "RunResult",
     "SimulationError",
+    "SIM_BACKENDS",
+    "DEFAULT_MAX_CYCLES",
     "invoke_kernel",
     "InvocationResult",
 ]

@@ -1,0 +1,652 @@
+"""Ahead-of-time compiled simulator backend.
+
+The context program is entirely static (Section V: fixed per-CCNT
+PE/C-Box/CCU words), so everything the per-cycle interpreter in
+:mod:`repro.sim.machine` re-derives on every dynamic cycle can be
+hoisted to a one-time compile:
+
+* **Issue records** — per CCNT, only the PEs that actually issue an
+  operation, each with its opcode's semantics pre-bound (no ``OPS[...]``
+  dict lookup), its CONST immediate pre-wrapped, and its operand
+  selectors pre-resolved to flat ``(pe, slot)`` register-file reads.  A
+  neighbour out-port read resolves to the *producer's* RF slot (the one
+  its ``out_addr`` exposes that cycle), so the interpreter's per-cycle
+  ``out_values`` map for every PE disappears entirely.
+* **Static checks** — link validity (``interconnect.has_link``),
+  out-port exposure, operand arity, RF/C-Box slot ranges and
+  branch-selection wiring are verified once at compile time instead of
+  per cycle.
+* **Trace fusion** — contiguous CCNT runs between CCU branch/halt
+  points fuse into straight-line *traces* executed as a unit, so
+  dispatch happens once per trace per visit instead of once per cycle.
+  Loop bodies — the high-visit regions the context-residency profile
+  identifies — collapse into tight pre-compiled step sequences.
+
+The compiled backend is an exact drop-in: ``RunResult`` fields
+(including bit-equal ``energy``), live-outs, final heap contents and
+the dynamic error behaviour of well-formed programs match the
+interpreter, which stays as the differential-testing reference oracle
+(see ``tests/sim/test_compiled.py``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cbox import FRESH, FRESH_NEG
+from repro.arch.ccu import BranchKind
+from repro.arch.composition import Composition
+from repro.arch.operations import ENERGY_SCALE, OPS, energy_units, wrap32
+from repro.context.words import ContextProgram
+from repro.obs import get_metrics, get_tracer
+from repro.sim.memory import Heap
+
+__all__ = ["CompiledProgram", "compile_program"]
+
+# commit kinds of an issue record
+_K_VALUE = 0  # func(*operands) -> rf[dest_slot]
+_K_STATUS = 1  # func(*operands) -> C-Box status input
+_K_CONST = 2  # pre-wrapped immediate -> rf[dest_slot]
+_K_LOAD = 3  # heap.load(handle, operands[0]) -> rf[dest_slot]
+_K_STORE = 4  # heap.store(handle, operands[0], operands[1])
+_K_VOID = 5  # no commit
+
+# CCU terminal kinds of a step
+_B_NONE = 0
+_B_UNCOND = 1
+_B_COND = 2
+_B_HALT = 3
+
+# C-Box output selector modes
+_M_OFF = 0
+_M_FRESH = 1
+_M_FRESH_NEG = 2
+_M_SLOT = 3
+
+
+class _Issue:
+    """One PE's pre-compiled context entry (one operation issue)."""
+
+    __slots__ = (
+        "pe",
+        "opcode",
+        "srcs",
+        "duration",
+        "energy",
+        "kind",
+        "func",
+        "dest_slot",
+        "value",
+        "handle",
+        "predicated",
+        "pipelined",
+    )
+
+
+class _CBox:
+    """Pre-validated C-Box context entry."""
+
+    __slots__ = (
+        "status_pe",
+        "func",
+        "needs_read",
+        "read_pos",
+        "read_neg",
+        "write_pos",
+        "write_neg",
+        "pe_mode",
+        "pe_slot",
+        "ctrl_mode",
+        "ctrl_slot",
+    )
+
+
+class _Step:
+    """One CCNT value: issues + C-Box entry + CCU terminal."""
+
+    __slots__ = ("ccnt", "issues", "cbox", "kind", "target", "taken_is_branch")
+
+
+def _fin_key(flight: list) -> Tuple[int, int]:
+    # (pe, issue sequence): the interpreter commits finishing operations
+    # in ascending-PE order, issue order within a PE
+    return (flight[2], flight[1])
+
+
+class CompiledProgram:
+    """A context program lowered to step records and fused traces."""
+
+    def __init__(
+        self,
+        program: ContextProgram,
+        comp: Composition,
+        steps: List[_Step],
+    ) -> None:
+        self.program = program
+        self.comp = comp
+        self.steps = steps
+        #: entry ccnt -> tuple of steps up to the next branch/halt point
+        self._traces: Dict[int, Tuple[_Step, ...]] = {}
+        self._ctx = _err_suffix(program)
+
+    # -- traces ----------------------------------------------------------
+
+    def _build_trace(self, entry: int) -> Tuple[_Step, ...]:
+        if not 0 <= entry < len(self.steps):
+            from repro.sim.machine import SimulationError
+
+            raise SimulationError(
+                f"CCNT {entry} out of program range{self._ctx}"
+            )
+        out = []
+        i = entry
+        last = len(self.steps) - 1
+        while True:
+            step = self.steps[i]
+            out.append(step)
+            if step.kind != _B_NONE or i == last:
+                break
+            i += 1
+        trace = tuple(out)
+        self._traces[entry] = trace
+        return trace
+
+    @property
+    def n_traces(self) -> int:
+        """Traces materialised so far (built lazily per entry point)."""
+        return len(self._traces)
+
+    # -- execution -------------------------------------------------------
+
+    def execute(
+        self,
+        rf: List[List[int]],
+        heap: Heap,
+        cbox_bits: List[int],
+        *,
+        start_ccnt: int = 0,
+        max_cycles: int,
+        tracer=None,
+    ):
+        """Run to halt; returns a :class:`~repro.sim.machine.RunResult`.
+
+        ``rf`` and ``cbox_bits`` are the live simulator state (mutated
+        in place, exactly like the interpreter's phases would).
+        """
+        from repro.sim.machine import (
+            RunResult,
+            SimulationError,
+            emit_context_profile,
+        )
+
+        steps = self.steps
+        ctx = self._ctx
+        traces = self._traces
+        bits = cbox_bits
+        n_pes = self.comp.n_pes
+        observing = (
+            tracer is not None and tracer.enabled
+        ) or get_metrics().enabled
+        visits: Optional[List[int]] = [0] * len(steps) if observing else None
+
+        statuses: List[Optional[int]] = [None] * n_pes
+        pending: List[list] = []  # [remaining, seq, pe, issue, operands]
+        busy = [0] * n_pes  # multi-cycle operations in flight per PE
+        ops_executed = [0] * n_pes
+        energy = 0  # integer micro-units (ENERGY_SCALE)
+        branches_taken = 0
+        cycles = 0
+        seq = 0
+        ccnt = start_ccnt
+        out_ctrl: Optional[int] = None
+
+        while True:
+            trace = traces.get(ccnt)
+            if trace is None:
+                trace = self._build_trace(ccnt)
+            for step in trace:
+                if cycles >= max_cycles:
+                    raise SimulationError(
+                        f"exceeded {max_cycles} cycles (runaway loop?){ctx}"
+                    )
+                cycles += 1
+                if visits is not None:
+                    visits[step.ccnt] += 1
+                out_pe: Optional[int] = None
+                out_ctrl = None
+
+                # ---- finish countdown (interpreter phase 2 timing) ----
+                finishing: Optional[List[list]] = None
+                if pending:
+                    still = []
+                    for flight in pending:
+                        flight[0] -= 1
+                        if flight[0]:
+                            still.append(flight)
+                        else:
+                            if finishing is None:
+                                finishing = [flight]
+                            else:
+                                finishing.append(flight)
+                    if finishing is not None:
+                        pending = still
+
+                # ---- issue (interpreter phase 1: all reads before any
+                # commit of this cycle) ----
+                for rec in step.issues:
+                    pe = rec.pe
+                    if busy[pe] and not rec.pipelined:
+                        raise SimulationError(
+                            f"PE {pe} issued {rec.opcode} at ccnt "
+                            f"{step.ccnt} while busy{ctx}"
+                        )
+                    srcs = rec.srcs
+                    n = len(srcs)
+                    if n == 2:
+                        a = srcs[0]
+                        b = srcs[1]
+                        operands = (rf[a[0]][a[1]], rf[b[0]][b[1]])
+                    elif n == 1:
+                        a = srcs[0]
+                        operands = (rf[a[0]][a[1]],)
+                    else:
+                        operands = tuple(rf[p][s] for p, s in srcs)
+                    ops_executed[pe] += 1
+                    energy += rec.energy
+                    seq += 1
+                    if rec.duration == 1:
+                        if finishing is None:
+                            finishing = [[0, seq, pe, rec, operands]]
+                        else:
+                            finishing.append([0, seq, pe, rec, operands])
+                    else:
+                        busy[pe] += 1
+                        pending.append(
+                            [rec.duration - 1, seq, pe, rec, operands]
+                        )
+
+                # ---- statuses + single-write-port check ----
+                set_statuses: Optional[List[int]] = None
+                if finishing is not None:
+                    if len(finishing) > 1:
+                        finishing.sort(key=_fin_key)
+                        prev = -1
+                        run = 0
+                        for flight in finishing:
+                            if flight[2] == prev:
+                                run += 1
+                            else:
+                                prev = flight[2]
+                                run = 1
+                            if run == 2:
+                                done = sum(
+                                    1 for f in finishing if f[2] == prev
+                                )
+                                raise SimulationError(
+                                    f"PE {prev} finishes {done} operations "
+                                    f"in one cycle (single write port){ctx}"
+                                )
+                    for flight in finishing:
+                        rec = flight[3]
+                        if rec.kind == _K_STATUS:
+                            s_pe = flight[2]
+                            statuses[s_pe] = rec.func(*flight[4])
+                            if set_statuses is None:
+                                set_statuses = [s_pe]
+                            else:
+                                set_statuses.append(s_pe)
+                        if rec.duration != 1:
+                            busy[flight[2]] -= 1
+
+                # ---- C-Box ----
+                cb = step.cbox
+                if cb is not None:
+                    func = cb.func
+                    if func is not None:
+                        s = statuses[cb.status_pe]
+                        if s is None:
+                            raise RuntimeError(
+                                f"C-Box selected status of PE "
+                                f"{cb.status_pe} but that PE produced no "
+                                "status this cycle"
+                            )
+                        if cb.needs_read:
+                            rp = bits[cb.read_pos]
+                            rn = (
+                                bits[cb.read_neg]
+                                if cb.read_neg is not None
+                                else 0
+                            )
+                        else:
+                            rp = rn = 0
+                        pos, neg = func.combine(rp, rn, s)
+                    else:
+                        pos = neg = 0
+                    m = cb.pe_mode
+                    if m:
+                        out_pe = (
+                            pos
+                            if m == _M_FRESH
+                            else neg
+                            if m == _M_FRESH_NEG
+                            else bits[cb.pe_slot]
+                        )
+                    m = cb.ctrl_mode
+                    if m:
+                        out_ctrl = (
+                            pos
+                            if m == _M_FRESH
+                            else neg
+                            if m == _M_FRESH_NEG
+                            else bits[cb.ctrl_slot]
+                        )
+                    if func is not None:
+                        if cb.write_pos is not None:
+                            bits[cb.write_pos] = pos
+                        if cb.write_neg is not None:
+                            bits[cb.write_neg] = neg
+
+                if set_statuses is not None:
+                    for p in set_statuses:
+                        statuses[p] = None
+
+                # ---- commits (interpreter phase 3) ----
+                if finishing is not None:
+                    for flight in finishing:
+                        rec = flight[3]
+                        kind = rec.kind
+                        if kind == _K_STATUS or kind == _K_VOID:
+                            continue
+                        if rec.predicated:
+                            if out_pe is None:
+                                raise SimulationError(
+                                    f"predicated {rec.opcode} on PE "
+                                    f"{flight[2]} committed at ccnt "
+                                    f"{step.ccnt} without a predication "
+                                    f"signal{ctx}"
+                                )
+                            if out_pe == 0:
+                                continue  # squashed
+                        if kind == _K_VALUE:
+                            rf[flight[2]][rec.dest_slot] = rec.func(
+                                *flight[4]
+                            )
+                        elif kind == _K_CONST:
+                            rf[flight[2]][rec.dest_slot] = rec.value
+                        elif kind == _K_LOAD:
+                            rf[flight[2]][rec.dest_slot] = heap.load(
+                                rec.handle, flight[4][0]
+                            )
+                        else:  # _K_STORE
+                            operands = flight[4]
+                            heap.store(rec.handle, operands[0], operands[1])
+
+            # ---- trace terminal: next CCNT (interpreter phase 4) ----
+            last = trace[-1]
+            kind = last.kind
+            if kind == _B_HALT:
+                if pending:
+                    raise SimulationError(
+                        f"halt with operations in flight{ctx}"
+                    )
+                if visits is not None:
+                    emit_context_profile(
+                        tracer, self.program, visits, cycles
+                    )
+                return RunResult(
+                    cycles=cycles,
+                    ops_executed=ops_executed,
+                    energy=energy / ENERGY_SCALE,
+                    branches_taken=branches_taken,
+                )
+            if kind == _B_UNCOND or (kind == _B_COND and out_ctrl):
+                ccnt = last.target
+                if last.taken_is_branch:
+                    branches_taken += 1
+            else:
+                ccnt = last.ccnt + 1
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+#: id(program) -> [(composition, compiled)].  Keyed by identity (the
+#: schedule cache shares programs by reference) and evicted by a
+#: ``weakref.finalize`` when the program dies, so the program object
+#: itself stays pickle-clean and the memo cannot leak; the weakref
+#: callback fires during deallocation, before the id can be reused.
+_COMPILED: Dict[int, list] = {}
+
+
+def _err_suffix(program: ContextProgram) -> str:
+    return (
+        f" [kernel={program.kernel_name!r}, "
+        f"composition={program.composition_name!r}]"
+    )
+
+
+def compile_program(
+    program: ContextProgram, comp: Composition
+) -> CompiledProgram:
+    """Compile (memoised per ``(program, composition)`` identity)."""
+    key = id(program)
+    entries = _COMPILED.get(key)
+    if entries is not None:
+        for cached_comp, compiled in entries:
+            if cached_comp is comp:
+                return compiled
+    tracer = get_tracer()
+    with tracer.span(
+        "sim.compile",
+        kernel=program.kernel_name,
+        composition=program.composition_name,
+    ):
+        compiled = _compile(program, comp)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("sim.compile.count")
+        metrics.inc("sim.compile.steps", len(compiled.steps))
+    if entries is None:
+        _COMPILED[key] = [(comp, compiled)]
+        weakref.finalize(program, _COMPILED.pop, key, None)
+    else:
+        entries.append((comp, compiled))
+    return compiled
+
+
+def _compile(program: ContextProgram, comp: Composition) -> CompiledProgram:
+    from repro.sim.machine import SimulationError
+
+    ctx = _err_suffix(program)
+    n_pes = comp.n_pes
+    icn = comp.interconnect
+    pes = comp.pes
+    steps: List[_Step] = []
+    for ccnt in range(program.n_cycles):
+        issues: List[_Issue] = []
+        for pe in range(n_pes):
+            entry = program.pe_contexts[pe][ccnt]
+            if entry is None or entry.opcode == "NOP":
+                continue
+            opcode = entry.opcode
+            rec = _Issue()
+            rec.pe = pe
+            rec.opcode = opcode
+            rec.duration = entry.duration
+            rec.energy = energy_units(pes[pe].energy(opcode))
+            rec.predicated = entry.predicated
+            rec.pipelined = pes[pe].pipelined
+            rec.dest_slot = entry.dest_slot
+            rec.func = None
+            rec.value = None
+            rec.handle = None
+            srcs = []
+            rf_size = pes[pe].regfile_size
+            for sel in entry.srcs:
+                if sel.is_local:
+                    if not 0 <= sel.slot < rf_size:
+                        raise SimulationError(
+                            f"PE {pe} reads RF slot {sel.slot} at ccnt "
+                            f"{ccnt}, register file has {rf_size} "
+                            f"entries{ctx}"
+                        )
+                    srcs.append((pe, sel.slot))
+                else:
+                    src_pe = sel.pe
+                    producer = (
+                        program.pe_contexts[src_pe][ccnt]
+                        if 0 <= src_pe < n_pes
+                        else None
+                    )
+                    if producer is None or producer.out_addr is None:
+                        raise SimulationError(
+                            f"PE {pe} reads PE {src_pe}'s out-port at "
+                            f"ccnt {ccnt}, but no value is exposed{ctx}"
+                        )
+                    if not icn.has_link(src_pe, pe):
+                        raise SimulationError(
+                            f"PE {pe} has no input from PE {src_pe}{ctx}"
+                        )
+                    srcs.append((src_pe, producer.out_addr))
+            rec.srcs = tuple(srcs)
+            if opcode == "CONST":
+                if entry.immediate is None or entry.dest_slot is None:
+                    raise SimulationError(
+                        f"CONST on PE {pe} at ccnt {ccnt} lacks an "
+                        f"immediate or destination{ctx}"
+                    )
+                rec.kind = _K_CONST
+                rec.value = wrap32(entry.immediate)
+            elif opcode == "DMA_LOAD":
+                if entry.immediate is None or entry.dest_slot is None:
+                    raise SimulationError(
+                        f"DMA_LOAD on PE {pe} at ccnt {ccnt} lacks a "
+                        f"handle or destination{ctx}"
+                    )
+                rec.kind = _K_LOAD
+                rec.handle = entry.immediate
+            elif opcode == "DMA_STORE":
+                if entry.immediate is None:
+                    raise SimulationError(
+                        f"DMA_STORE on PE {pe} at ccnt {ccnt} lacks a "
+                        f"heap handle{ctx}"
+                    )
+                rec.kind = _K_STORE
+                rec.handle = entry.immediate
+            else:
+                spec = OPS[opcode]
+                if len(srcs) != spec.arity:
+                    raise SimulationError(
+                        f"{opcode} on PE {pe} at ccnt {ccnt} has "
+                        f"{len(srcs)} operands, expects {spec.arity}{ctx}"
+                    )
+                rec.func = spec.func
+                if spec.produces_status:
+                    rec.kind = _K_STATUS
+                elif spec.produces_value:
+                    if entry.dest_slot is None:
+                        raise SimulationError(
+                            f"{opcode} on PE {pe} at ccnt {ccnt} has no "
+                            f"destination slot{ctx}"
+                        )
+                    rec.kind = _K_VALUE
+                else:
+                    rec.kind = _K_VOID
+            if rec.dest_slot is not None and not (
+                0 <= rec.dest_slot < rf_size
+            ):
+                raise SimulationError(
+                    f"PE {pe} writes RF slot {rec.dest_slot} at ccnt "
+                    f"{ccnt}, register file has {rf_size} entries{ctx}"
+                )
+            issues.append(rec)
+
+        cbox = _compile_cbox(program, comp, ccnt, ctx)
+
+        ccu = program.ccu_contexts[ccnt]
+        step = _Step()
+        step.ccnt = ccnt
+        step.issues = tuple(issues)
+        step.cbox = cbox
+        step.target = -1
+        step.taken_is_branch = False
+        if ccu.kind is BranchKind.HALT:
+            step.kind = _B_HALT
+        elif ccu.kind is BranchKind.UNCONDITIONAL:
+            step.kind = _B_UNCOND
+            step.target = ccu.target
+            step.taken_is_branch = ccu.target != ccnt + 1
+        elif ccu.kind is BranchKind.CONDITIONAL:
+            if cbox is None or cbox.ctrl_mode == _M_OFF:
+                raise SimulationError(
+                    f"conditional branch at ccnt {ccnt} has no "
+                    f"branch-selection signal from the C-Box{ctx}"
+                )
+            step.kind = _B_COND
+            step.target = ccu.target
+            step.taken_is_branch = ccu.target != ccnt + 1
+        else:
+            step.kind = _B_NONE
+        if step.target >= program.n_cycles or (
+            step.kind in (_B_UNCOND, _B_COND) and step.target < 0
+        ):
+            raise SimulationError(
+                f"branch at ccnt {ccnt} targets CCNT {step.target}, "
+                f"out of program range{ctx}"
+            )
+        steps.append(step)
+    return CompiledProgram(program, comp, steps)
+
+
+def _compile_cbox(
+    program: ContextProgram, comp: Composition, ccnt: int, ctx: str
+) -> Optional[_CBox]:
+    from repro.sim.machine import SimulationError
+
+    entry = program.cbox_contexts[ccnt]
+    if entry is None or entry.is_idle:
+        return None
+    slots = comp.cbox_slots
+
+    def check_slot(slot: Optional[int], role: str) -> None:
+        if slot is not None and not 0 <= slot < slots:
+            raise SimulationError(
+                f"C-Box {role} slot {slot} at ccnt {ccnt} out of range "
+                f"(size {slots}){ctx}"
+            )
+
+    cb = _CBox()
+    cb.func = entry.func
+    cb.status_pe = entry.status_pe
+    if entry.func is not None and not (
+        0 <= entry.status_pe < comp.n_pes
+    ):
+        raise SimulationError(
+            f"C-Box selects status of PE {entry.status_pe} at ccnt "
+            f"{ccnt}, composition has {comp.n_pes} PEs{ctx}"
+        )
+    cb.needs_read = entry.func is not None and entry.func.needs_read
+    check_slot(entry.read_pos, "read")
+    check_slot(entry.read_neg, "read")
+    check_slot(entry.write_pos, "write")
+    check_slot(entry.write_neg, "write")
+    cb.read_pos = entry.read_pos
+    cb.read_neg = entry.read_neg
+    cb.write_pos = entry.write_pos
+    cb.write_neg = entry.write_neg
+
+    def mode_of(sel: Optional[int], role: str) -> Tuple[int, int]:
+        if sel is None:
+            return _M_OFF, 0
+        if sel == FRESH:
+            return _M_FRESH, 0
+        if sel == FRESH_NEG:
+            return _M_FRESH_NEG, 0
+        check_slot(sel, role)
+        return _M_SLOT, sel
+
+    cb.pe_mode, cb.pe_slot = mode_of(entry.out_pe_slot, "outPE")
+    cb.ctrl_mode, cb.ctrl_slot = mode_of(entry.out_ctrl_slot, "outctrl")
+    return cb

@@ -20,7 +20,11 @@ from repro.context.words import ContextProgram
 from repro.ir.cdfg import Kernel
 from repro.ir.nodes import Var
 from repro.sched.schedule import Schedule
-from repro.sim.machine import CGRASimulator, RunResult
+from repro.sim.machine import (
+    DEFAULT_MAX_CYCLES,
+    CGRASimulator,
+    RunResult,
+)
 from repro.sim.memory import Heap
 
 __all__ = ["InvocationResult", "run_invocation", "invoke_kernel"]
@@ -48,10 +52,18 @@ def run_invocation(
     livein: Mapping[str, int],
     heap: Optional[Heap] = None,
     *,
-    max_cycles: int = 50_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    backend: str = "interpreter",
 ) -> InvocationResult:
-    """Execute one invocation of an already-generated context program."""
-    sim = CGRASimulator(comp, program, heap, max_cycles=max_cycles)
+    """Execute one invocation of an already-generated context program.
+
+    ``backend`` selects the per-cycle interpreter (the reference
+    semantics) or the ahead-of-time compiled executor
+    (:mod:`repro.sim.compiled`); results are identical.
+    """
+    sim = CGRASimulator(
+        comp, program, heap, max_cycles=max_cycles, backend=backend
+    )
     by_name = {var.name: (var, loc) for var, loc in program.livein_map.items()}
     for name, value in livein.items():
         if name not in by_name:
@@ -86,7 +98,8 @@ def invoke_kernel(
     *,
     schedule: Optional[Schedule] = None,
     program: Optional[ContextProgram] = None,
-    max_cycles: int = 50_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    backend: str = "interpreter",
 ) -> InvocationResult:
     """Schedule (if needed), generate contexts and run one invocation.
 
@@ -108,4 +121,6 @@ def invoke_kernel(
         heap.allocate(ref.handle, data)
     if arrays:
         raise KeyError(f"unknown arrays supplied: {sorted(arrays)}")
-    return run_invocation(program, comp, livein, heap, max_cycles=max_cycles)
+    return run_invocation(
+        program, comp, livein, heap, max_cycles=max_cycles, backend=backend
+    )

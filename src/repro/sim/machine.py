@@ -16,21 +16,41 @@ Per dynamic cycle (one CCNT value):
 
 Register files start zero-initialised; live-in locals are written by the
 host before cycle 0 (Section IV-A.3).
+
+Two backends share this front door: the per-cycle *interpreter* below
+(the reference semantics) and the ahead-of-time *compiled* backend in
+:mod:`repro.sim.compiled`, selected with ``backend="compiled"``.  Both
+produce identical :class:`RunResult`s, live-outs and heap contents;
+energy is accumulated in integer micro-units
+(:data:`repro.arch.operations.ENERGY_SCALE`) so the totals compare
+bit-equal across backends regardless of summation order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.cbox import CBoxState
 from repro.arch.composition import Composition
-from repro.arch.operations import OPS, wrap32
+from repro.arch.operations import ENERGY_SCALE, OPS, energy_units, wrap32
 from repro.context.words import ContextProgram, PEContext
 from repro.obs import get_metrics, get_tracer
 from repro.sim.memory import Heap
 
-__all__ = ["CGRASimulator", "RunResult", "SimulationError"]
+__all__ = [
+    "CGRASimulator",
+    "RunResult",
+    "SimulationError",
+    "SIM_BACKENDS",
+    "DEFAULT_MAX_CYCLES",
+]
+
+#: runaway-loop bound when the caller does not tighten it
+DEFAULT_MAX_CYCLES = 50_000_000
+
+#: accepted ``backend=`` values
+SIM_BACKENDS = ("interpreter", "compiled")
 
 
 class SimulationError(Exception):
@@ -64,17 +84,25 @@ class CGRASimulator:
         program: ContextProgram,
         heap: Optional[Heap] = None,
         *,
-        max_cycles: int = 50_000_000,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        backend: str = "interpreter",
     ) -> None:
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown simulator backend {backend!r} "
+                f"(expected one of {SIM_BACKENDS})"
+            )
         if program.n_cycles > comp.context_size:
             raise SimulationError(
                 f"program needs {program.n_cycles} contexts, composition "
                 f"provides {comp.context_size}"
+                + _err_suffix(program)
             )
         self.comp = comp
         self.program = program
         self.heap = heap if heap is not None else Heap()
         self.max_cycles = max_cycles
+        self.backend = backend
         self.rf: List[List[int]] = [
             [0] * pe.regfile_size for pe in comp.pes
         ]
@@ -96,16 +124,33 @@ class CGRASimulator:
             "sim.run",
             kernel=self.program.kernel_name,
             composition=self.program.composition_name,
+            backend=self.backend,
         ):
-            result = self._run(start_ccnt, tracer)
+            if self.backend == "compiled":
+                from repro.sim.compiled import compile_program
+
+                compiled = compile_program(self.program, self.comp)
+                result = compiled.execute(
+                    self.rf,
+                    self.heap,
+                    self.cbox.bits,
+                    start_ccnt=start_ccnt,
+                    max_cycles=self.max_cycles,
+                    tracer=tracer,
+                )
+            else:
+                result = self._run(start_ccnt, tracer)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.inc("sim.cycles", result.cycles)
             metrics.inc("sim.branches.taken", result.branches_taken)
             metrics.inc("sim.ops.executed", sum(result.ops_executed))
             metrics.inc("sim.energy", result.energy)
-            metrics.inc("sim.runs")
+            metrics.inc("sim.runs", backend=self.backend)
         return result
+
+    def _err(self, message: str) -> SimulationError:
+        return SimulationError(message + _err_suffix(self.program))
 
     def _run(self, start_ccnt: int, tracer) -> RunResult:
         comp, program = self.comp, self.program
@@ -120,18 +165,18 @@ class CGRASimulator:
         # pipelined PEs may hold several (Section VII pipeline stages)
         in_flight: List[List[_InFlight]] = [[] for _ in range(n_pes)]
         ops_executed = [0] * n_pes
-        energy = 0.0
+        energy = 0  # integer micro-units (ENERGY_SCALE)
         branches_taken = 0
         ccnt = start_ccnt
         cycles = 0
 
         while True:
             if cycles >= self.max_cycles:
-                raise SimulationError(
+                raise self._err(
                     f"exceeded {self.max_cycles} cycles (runaway loop?)"
                 )
             if not 0 <= ccnt < program.n_cycles:
-                raise SimulationError(f"CCNT {ccnt} out of program range")
+                raise self._err(f"CCNT {ccnt} out of program range")
             cycles += 1
             if visits is not None:
                 visits[ccnt] += 1
@@ -148,8 +193,9 @@ class CGRASimulator:
                 if entry is None or entry.opcode == "NOP":
                     continue
                 if in_flight[pe] and not comp.pes[pe].pipelined:
-                    raise SimulationError(
-                        f"PE {pe} issued {entry.opcode} at ccnt {ccnt} while busy"
+                    raise self._err(
+                        f"PE {pe} issued {entry.opcode} at ccnt {ccnt} "
+                        "while busy"
                     )
                 operands = []
                 for sel in entry.srcs:
@@ -157,12 +203,12 @@ class CGRASimulator:
                         operands.append(self.rf[pe][sel.slot])
                     else:
                         if sel.pe not in out_values:
-                            raise SimulationError(
+                            raise self._err(
                                 f"PE {pe} reads PE {sel.pe}'s out-port at "
                                 f"ccnt {ccnt}, but no value is exposed"
                             )
                         if not comp.interconnect.has_link(sel.pe, pe):
-                            raise SimulationError(
+                            raise self._err(
                                 f"PE {pe} has no input from PE {sel.pe}"
                             )
                         operands.append(out_values[sel.pe])
@@ -174,7 +220,7 @@ class CGRASimulator:
                     )
                 )
                 ops_executed[pe] += 1
-                energy += comp.pes[pe].energy(entry.opcode)
+                energy += energy_units(comp.pes[pe].energy(entry.opcode))
 
             # ---- phase 2: statuses of finishing compares + C-Box --------
             statuses: List[Optional[int]] = [None] * n_pes
@@ -193,7 +239,7 @@ class CGRASimulator:
                     else:
                         still.append(flight)
                 if done_here > 1:
-                    raise SimulationError(
+                    raise self._err(
                         f"PE {pe} finishes {done_here} operations in one "
                         "cycle (single write port)"
                     )
@@ -210,7 +256,7 @@ class CGRASimulator:
                 entry = flight.entry
                 if entry.predicated:
                     if out_pe is None:
-                        raise SimulationError(
+                        raise self._err(
                             f"predicated {entry.opcode} on PE {pe} committed "
                             f"at ccnt {ccnt} without a predication signal"
                         )
@@ -223,56 +269,18 @@ class CGRASimulator:
             nxt = ccu.next_ccnt(ccnt, out_ctrl)
             if nxt is None:
                 if any(in_flight[pe] for pe in range(n_pes)):
-                    raise SimulationError("halt with operations in flight")
+                    raise self._err("halt with operations in flight")
                 if visits is not None:
-                    self._emit_profile(tracer, visits, cycles)
+                    emit_context_profile(tracer, program, visits, cycles)
                 return RunResult(
                     cycles=cycles,
                     ops_executed=ops_executed,
-                    energy=energy,
+                    energy=energy / ENERGY_SCALE,
                     branches_taken=branches_taken,
                 )
             if nxt != ccnt + 1:
                 branches_taken += 1
             ccnt = nxt
-
-    def _emit_profile(
-        self, tracer, visits: List[int], cycles: int
-    ) -> None:
-        """Report where the dynamic cycles went, per context region.
-
-        Contiguous runs of visited contexts with identical visit counts
-        form one region (a straight-line stretch executed N times —
-        loop bodies stand out as high-N regions); the per-region cycle
-        totals go to the tracer and the hottest contexts to metrics.
-        """
-        regions: List[Tuple[int, int, int]] = []  # (first, last, visits)
-        for ccnt, n in enumerate(visits):
-            if n == 0:
-                continue
-            if regions and regions[-1][1] == ccnt - 1 and regions[-1][2] == n:
-                regions[-1] = (regions[-1][0], ccnt, n)
-            else:
-                regions.append((ccnt, ccnt, n))
-        metrics = get_metrics()
-        if metrics.enabled:
-            metrics.observe("sim.run.cycles", cycles)
-            for first, last, n in regions:
-                metrics.observe("sim.region.cycles", (last - first + 1) * n)
-        if tracer.enabled:
-            tracer.event(
-                "sim.profile",
-                kernel=self.program.kernel_name,
-                cycles=cycles,
-                regions=[
-                    {
-                        "contexts": [first, last],
-                        "visits": n,
-                        "cycles": (last - first + 1) * n,
-                    }
-                    for first, last, n in regions
-                ],
-            )
 
     def _commit(self, pe: int, entry: PEContext, operands: Tuple[int, ...]) -> None:
         opcode = entry.opcode
@@ -295,3 +303,52 @@ class CGRASimulator:
         if spec.produces_value:
             assert entry.dest_slot is not None, opcode
             self.rf[pe][entry.dest_slot] = spec.apply(*operands)
+
+
+def _err_suffix(program: ContextProgram) -> str:
+    """Context appended to every :class:`SimulationError` — grid runs
+    over many kernels x compositions must say which cell died."""
+    return (
+        f" [kernel={program.kernel_name!r}, "
+        f"composition={program.composition_name!r}]"
+    )
+
+
+def emit_context_profile(
+    tracer, program: ContextProgram, visits: List[int], cycles: int
+) -> None:
+    """Report where the dynamic cycles went, per context region.
+
+    Contiguous runs of visited contexts with identical visit counts
+    form one region (a straight-line stretch executed N times —
+    loop bodies stand out as high-N regions); the per-region cycle
+    totals go to the tracer and the hottest contexts to metrics.
+    Shared by both backends.
+    """
+    regions: List[Tuple[int, int, int]] = []  # (first, last, visits)
+    for ccnt, n in enumerate(visits):
+        if n == 0:
+            continue
+        if regions and regions[-1][1] == ccnt - 1 and regions[-1][2] == n:
+            regions[-1] = (regions[-1][0], ccnt, n)
+        else:
+            regions.append((ccnt, ccnt, n))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.observe("sim.run.cycles", cycles)
+        for first, last, n in regions:
+            metrics.observe("sim.region.cycles", (last - first + 1) * n)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "sim.profile",
+            kernel=program.kernel_name,
+            cycles=cycles,
+            regions=[
+                {
+                    "contexts": [first, last],
+                    "visits": n,
+                    "cycles": (last - first + 1) * n,
+                }
+                for first, last, n in regions
+            ],
+        )
