@@ -1,0 +1,72 @@
+"""Verification overhead — the always-on post-emission checker.
+
+The static verifier runs after every context emission (unless
+disabled), so its cost rides on every scheduler invocation: these
+benches pin it.  ``test_verifier_throughput`` measures re-verifying the
+ADPCM program on every paper composition — the heaviest programs the
+pipeline emits.  ``test_mutation_cell`` measures one full fault-
+injection cell (enumerate + classify gcd on mesh4), the unit of work
+the verify-smoke CI job multiplies.
+"""
+
+from repro.arch.library import all_paper_compositions, mesh_composition
+from repro.context.generator import generate_contexts
+from repro.sched.scheduler import schedule_kernel
+from repro.verify import set_verify_enabled, verify_program
+from repro.verify.mutate import classify_mutants, enumerate_mutants
+from repro.verify.workloads import get_workload
+
+import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _no_double_verify():
+    """Emit the fixture programs without the hook re-running the checker."""
+    previous = set_verify_enabled(False)
+    yield
+    set_verify_enabled(previous)
+
+
+@pytest.fixture(scope="module")
+def adpcm_programs():
+    kernel = get_workload("adpcm").build()
+    out = []
+    for label, comp in all_paper_compositions().items():
+        schedule = schedule_kernel(kernel, comp)
+        out.append((comp, generate_contexts(schedule, comp, kernel)))
+    return out
+
+
+def test_verifier_throughput(benchmark, adpcm_programs):
+    def verify_all():
+        findings = 0
+        for comp, program in adpcm_programs:
+            findings += len(verify_program(program, comp))
+        return findings
+
+    findings = benchmark(verify_all)
+    assert findings == 0
+
+    contexts = sum(p.n_cycles for _, p in adpcm_programs)
+    print(
+        f"\nstatic verification of ADPCM on all {len(adpcm_programs)} "
+        f"compositions: {contexts} contexts per round"
+    )
+
+
+def test_mutation_cell(benchmark):
+    workload = get_workload("gcd")
+    comp = mesh_composition(4)
+    kernel = workload.build()
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+
+    def campaign_cell():
+        mutants = enumerate_mutants(program, comp)
+        return classify_mutants(
+            program, comp, workload.vectors, mutants=mutants
+        )
+
+    results = benchmark(campaign_cell)
+    assert not [r for r in results if r.outcome == "escaped"]
+    print(f"\ngcd on mesh4: {len(results)} mutants per round")

@@ -176,7 +176,7 @@ def generate_contexts(
         if var.is_result:
             liveout[var] = (pe, slot_of[vid])
 
-    return ContextProgram(
+    program = ContextProgram(
         kernel_name=schedule.kernel_name,
         composition_name=schedule.composition_name,
         n_cycles=n,
@@ -189,3 +189,13 @@ def generate_contexts(
         cbox_slots_used=cbox_used,
         arrays=list(kernel.arrays) if kernel is not None else [],
     )
+
+    # Post-emission assertion: every program leaving the generator is
+    # re-checked by the independent verifier (repro.verify), so a
+    # miscompile surfaces here instead of as a wrong simulation result.
+    # Disable via REPRO_VERIFY=0 / set_verify_enabled(False).
+    import repro.verify as _verify
+
+    if _verify.verify_enabled():
+        _verify.assert_verified(program, comp)
+    return program

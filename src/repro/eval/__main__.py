@@ -163,7 +163,17 @@ def main(argv=None) -> int:
         metavar="N",
         help="per-run runaway-loop bound (default 50M)",
     )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the independent post-emission context verifier "
+        "(see docs/testing.md) for maximum scheduling throughput",
+    )
     args = parser.parse_args(argv)
+    if args.no_verify:
+        from repro.verify import set_verify_enabled
+
+        set_verify_enabled(False)
     n = 64 if args.quick else N_SAMPLES
     kwargs = {
         "jobs": args.jobs,

@@ -256,5 +256,7 @@ class Schedule:
                         )
         for cycle, br in self.branches.items():
             if br.kind in (BranchKind.UNCONDITIONAL, BranchKind.CONDITIONAL):
-                if not 0 <= (br.target or 0) <= self.n_cycles:
+                # contexts are 0..n_cycles-1; a branch *to* n_cycles would
+                # fall off the end of context memory
+                if not 0 <= (br.target or 0) < self.n_cycles:
                     raise SchedulingError(f"branch target out of range: {br}")

@@ -107,6 +107,12 @@ class CGRASimulator:
             [0] * pe.regfile_size for pe in comp.pes
         ]
         self.cbox = CBoxState(comp.cbox_slots)
+        #: optional per-cycle probe (interpreter backend only): called as
+        #: ``cycle_hook(ccnt)`` after the commit phase of every cycle,
+        #: with ``self.rf`` / ``self.cbox`` / ``self.heap`` reflecting the
+        #: post-commit state.  Used by the fault-injection harness
+        #: (repro.verify.mutate) for weak-mutation state tracing.
+        self.cycle_hook = None
 
     # -- host interface ----------------------------------------------------
 
@@ -263,6 +269,9 @@ class CGRASimulator:
                     if out_pe == 0:
                         continue  # squashed
                 self._commit(pe, entry, flight.operands)
+
+            if self.cycle_hook is not None:
+                self.cycle_hook(ccnt)
 
             # ---- phase 4: CCU ------------------------------------------------
             ccu = program.ccu_contexts[ccnt]

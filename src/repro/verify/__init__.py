@@ -1,0 +1,64 @@
+"""Independent correctness tooling for emitted context programs.
+
+Two parts (see docs/testing.md):
+
+* :mod:`repro.verify.checker` — a static verifier that re-derives
+  legality of a :class:`~repro.context.words.ContextProgram` from the
+  program and the composition alone (``verify_program`` /
+  ``assert_verified``), sharing no state with the scheduler;
+* :mod:`repro.verify.mutate` — a mutation fault-injection engine that
+  corrupts real programs one field at a time and measures whether the
+  static verifier or the differential simulator oracle notices
+  (``run_mutation_campaign``).
+
+The checker runs automatically after every context emission
+(:func:`repro.context.generator.generate_contexts`) unless disabled:
+set the environment variable ``REPRO_VERIFY=0`` or call
+``set_verify_enabled(False)`` to skip it (e.g. in schedule-throughput
+benchmarks).  ``python -m repro.verify`` is the command-line harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.verify.checker import (
+    Finding,
+    VerificationError,
+    assert_verified,
+    verify_program,
+)
+
+__all__ = [
+    "Finding",
+    "VerificationError",
+    "assert_verified",
+    "verify_program",
+    "verify_enabled",
+    "set_verify_enabled",
+]
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_VERIFY", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+_enabled = _env_default()
+
+
+def verify_enabled() -> bool:
+    """Whether post-emission verification is active in this process."""
+    return _enabled
+
+
+def set_verify_enabled(enabled: bool) -> bool:
+    """Toggle post-emission verification; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous

@@ -1,0 +1,746 @@
+"""Independent static verification of emitted context programs.
+
+The scheduler's own ``Schedule.validate`` checks the *pre-emission*
+schedule; nothing so far checked the :class:`~repro.context.words.ContextProgram`
+the context generator actually emits — the artefact the simulator and
+the Verilog generator consume.  This module re-derives legality from the
+program and the :class:`~repro.arch.composition.Composition` alone,
+sharing no bookkeeping with the scheduler, so a miscompile in the
+emission path cannot hide behind its own producer's data structures.
+
+Checks, per CCNT (context) and PE:
+
+* structural shape (one context lane per PE, equal lane lengths),
+* opcode known and supported by the issuing PE, operand arity, duration
+  matching the PE's cost annotation,
+* RF slot indices (sources, destination, out-port exposure, live-in /
+  live-out homes) within the configured register file *and* within the
+  left-edge-allocated bounds,
+* interconnect links present for every neighbour-port read, and the
+  producer actually exposing a value that cycle,
+* C-Box slot indices within the configured condition memory and the
+  allocated slots, status sources that really produce a status,
+* branch targets inside the program, no fall-through off the end,
+* pWRITE gating: predicated operations commit on a cycle whose C-Box
+  context drives the predication broadcast,
+* def-before-use dataflow over the CCNT control-flow graph: operand
+  selectors (RF slots, out-port exposures, C-Box condition reads) must
+  be written on at least one path from entry before being read.
+
+Violations are structured :class:`Finding` records with CCNT/PE
+coordinates.  ``verify_program`` returns all findings;
+``assert_verified`` raises :class:`VerificationError` on the first
+non-empty result.  See docs/testing.md for the check taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.cbox import FRESH, FRESH_NEG, CBoxOp
+from repro.arch.ccu import BranchKind
+from repro.arch.composition import Composition
+from repro.arch.operations import OPS
+from repro.context.words import ContextProgram, PEContext
+
+__all__ = [
+    "Finding",
+    "VerificationError",
+    "verify_program",
+    "assert_verified",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification violation, anchored to CCNT/PE coordinates."""
+
+    code: str
+    message: str
+    ccnt: Optional[int] = None
+    pe: Optional[int] = None
+
+    def render(self) -> str:
+        where = []
+        if self.ccnt is not None:
+            where.append(f"ccnt {self.ccnt}")
+        if self.pe is not None:
+            where.append(f"PE {self.pe}")
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"{self.code}{loc}: {self.message}"
+
+
+class VerificationError(Exception):
+    """An emitted context program failed independent verification."""
+
+    def __init__(self, message: str, findings: Tuple[Finding, ...] = ()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+def assert_verified(program: ContextProgram, comp: Composition) -> None:
+    """Raise :class:`VerificationError` if ``program`` has any finding."""
+    findings = verify_program(program, comp)
+    if findings:
+        head = "; ".join(f.render() for f in findings[:5])
+        more = f" (+{len(findings) - 5} more)" if len(findings) > 5 else ""
+        raise VerificationError(
+            f"context program {program.kernel_name!r} on "
+            f"{program.composition_name!r} failed verification with "
+            f"{len(findings)} finding(s): {head}{more}",
+            tuple(findings),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Verifier
+# ---------------------------------------------------------------------------
+
+
+class _Checker:
+    def __init__(self, program: ContextProgram, comp: Composition) -> None:
+        self.program = program
+        self.comp = comp
+        self.findings: List[Finding] = []
+        self.n = program.n_cycles
+        # RF cell ids: pe * stride + slot; C-Box slots follow
+        self.stride = max((pe.regfile_size for pe in comp.pes), default=1)
+        self.cbox_base = comp.n_pes * self.stride
+
+    def flag(
+        self,
+        code: str,
+        message: str,
+        *,
+        ccnt: Optional[int] = None,
+        pe: Optional[int] = None,
+    ) -> None:
+        self.findings.append(Finding(code, message, ccnt=ccnt, pe=pe))
+
+    # -- structure ---------------------------------------------------------
+
+    def check_shape(self) -> bool:
+        p, comp = self.program, self.comp
+        ok = True
+        if self.n <= 0:
+            self.flag("shape", "program has no contexts")
+            return False
+        if len(p.pe_contexts) != comp.n_pes:
+            self.flag(
+                "shape",
+                f"program has {len(p.pe_contexts)} PE context lanes, "
+                f"composition has {comp.n_pes} PEs",
+            )
+            ok = False
+        for pe, lane in enumerate(p.pe_contexts):
+            if len(lane) != self.n:
+                self.flag(
+                    "shape",
+                    f"PE context lane has {len(lane)} entries, "
+                    f"program declares {self.n} cycles",
+                    pe=pe,
+                )
+                ok = False
+        if len(p.cbox_contexts) != self.n:
+            self.flag(
+                "shape",
+                f"C-Box lane has {len(p.cbox_contexts)} entries, "
+                f"expected {self.n}",
+            )
+            ok = False
+        if len(p.ccu_contexts) != self.n:
+            self.flag(
+                "shape",
+                f"CCU lane has {len(p.ccu_contexts)} entries, "
+                f"expected {self.n}",
+            )
+            ok = False
+        if self.n > comp.context_size:
+            self.flag(
+                "capacity",
+                f"program needs {self.n} contexts, composition provides "
+                f"{comp.context_size}",
+            )
+        return ok
+
+    # -- CCU / branches ----------------------------------------------------
+
+    def check_ccu(self) -> None:
+        for ccnt, ccu in enumerate(self.program.ccu_contexts):
+            if ccu.kind in (BranchKind.UNCONDITIONAL, BranchKind.CONDITIONAL):
+                target = ccu.target
+                if target is None or not 0 <= target < self.n:
+                    self.flag(
+                        "branch-target",
+                        f"{ccu.kind.value} branch targets CCNT {target}, "
+                        f"program has contexts 0..{self.n - 1}",
+                        ccnt=ccnt,
+                    )
+            if ccu.kind is BranchKind.CONDITIONAL:
+                cbox = self.program.cbox_contexts[ccnt]
+                if cbox is None or cbox.out_ctrl_slot is None:
+                    self.flag(
+                        "branch-no-ctrl",
+                        "conditional branch without a C-Box branch-selection "
+                        "output (outctrl) this cycle",
+                        ccnt=ccnt,
+                    )
+        last = self.program.ccu_contexts[self.n - 1]
+        if last.kind in (BranchKind.NONE, BranchKind.CONDITIONAL):
+            self.flag(
+                "fall-off-end",
+                f"last context has {last.kind.value} CCU entry; execution "
+                "can fall through past the end of the program",
+                ccnt=self.n - 1,
+            )
+
+    # -- per-PE context entries --------------------------------------------
+
+    def check_entries(self) -> None:
+        comp = self.comp
+        for pe in range(min(comp.n_pes, len(self.program.pe_contexts))):
+            desc = comp.pes[pe]
+            lane = self.program.pe_contexts[pe]
+            for ccnt, entry in enumerate(lane):
+                if entry is None:
+                    continue
+                self._check_entry(pe, ccnt, entry, desc)
+        self._check_busy_continuations()
+        self._check_write_ports()
+
+    def _check_entry(self, pe: int, ccnt: int, entry: PEContext, desc) -> None:
+        opcode = entry.opcode
+        rf_size = desc.regfile_size
+        rf_used = self._rf_used(pe)
+        spec = OPS.get(opcode)
+        if spec is None:
+            self.flag(
+                "opcode-unknown", f"unknown opcode {opcode!r}", ccnt=ccnt, pe=pe
+            )
+            return
+        if opcode != "NOP":
+            if not desc.supports(opcode):
+                self.flag(
+                    "opcode-unsupported",
+                    f"PE does not support {opcode}",
+                    ccnt=ccnt,
+                    pe=pe,
+                )
+            elif entry.duration != desc.duration(opcode):
+                self.flag(
+                    "duration-mismatch",
+                    f"{opcode} carries duration {entry.duration}, PE cost "
+                    f"annotation says {desc.duration(opcode)}",
+                    ccnt=ccnt,
+                    pe=pe,
+                )
+            if len(entry.srcs) != spec.arity:
+                self.flag(
+                    "arity",
+                    f"{opcode} has {len(entry.srcs)} operand selectors, "
+                    f"expects {spec.arity}",
+                    ccnt=ccnt,
+                    pe=pe,
+                )
+        # destination
+        needs_dest = opcode in ("CONST", "DMA_LOAD") or (
+            spec.produces_value and opcode != "NOP"
+        )
+        if needs_dest and entry.dest_slot is None:
+            self.flag(
+                "dest-missing",
+                f"{opcode} produces a value but has no destination slot",
+                ccnt=ccnt,
+                pe=pe,
+            )
+        if entry.dest_slot is not None:
+            self._check_rf_slot(pe, ccnt, entry.dest_slot, rf_size, rf_used, "writes")
+        if entry.out_addr is not None:
+            self._check_rf_slot(
+                pe, ccnt, entry.out_addr, rf_size, rf_used, "exposes"
+            )
+        if opcode in ("CONST", "DMA_LOAD", "DMA_STORE") and entry.immediate is None:
+            self.flag(
+                "immediate-missing",
+                f"{opcode} lacks its immediate (constant / heap handle)",
+                ccnt=ccnt,
+                pe=pe,
+            )
+        # operand selectors
+        for i, sel in enumerate(entry.srcs):
+            if sel.is_local:
+                if sel.slot is None:
+                    self.flag(
+                        "src-malformed",
+                        f"operand {i} of {opcode} is a local read without "
+                        "a slot",
+                        ccnt=ccnt,
+                        pe=pe,
+                    )
+                else:
+                    self._check_rf_slot(
+                        pe, ccnt, sel.slot, rf_size, rf_used, f"operand {i} reads"
+                    )
+            else:
+                self._check_port_read(pe, ccnt, sel.pe, i)
+
+    def _rf_used(self, pe: int) -> Optional[int]:
+        used = self.program.rf_used
+        return used[pe] if pe < len(used) else None
+
+    def _check_rf_slot(
+        self,
+        pe: int,
+        ccnt: Optional[int],
+        slot: int,
+        rf_size: int,
+        rf_used: Optional[int],
+        action: str,
+    ) -> None:
+        if not 0 <= slot < rf_size:
+            self.flag(
+                "rf-slot-range",
+                f"{action} RF slot {slot}, register file has {rf_size} "
+                "entries",
+                ccnt=ccnt,
+                pe=pe,
+            )
+        elif rf_used is not None and slot >= rf_used:
+            self.flag(
+                "rf-slot-unallocated",
+                f"{action} RF slot {slot}, left-edge allocation used only "
+                f"{rf_used} slot(s) on this PE",
+                ccnt=ccnt,
+                pe=pe,
+            )
+
+    def _check_port_read(
+        self, pe: int, ccnt: int, src_pe: Optional[int], operand: int
+    ) -> None:
+        comp = self.comp
+        if src_pe is None or not 0 <= src_pe < comp.n_pes or src_pe == pe:
+            self.flag(
+                "port-src-range",
+                f"operand {operand} reads out-port of PE {src_pe}",
+                ccnt=ccnt,
+                pe=pe,
+            )
+            return
+        if not comp.interconnect.has_link(src_pe, pe):
+            self.flag(
+                "link-missing",
+                f"operand {operand} reads PE {src_pe}'s out-port, but the "
+                "interconnect has no such link",
+                ccnt=ccnt,
+                pe=pe,
+            )
+        producer = self.program.pe_contexts[src_pe][ccnt]
+        if producer is None or producer.out_addr is None:
+            self.flag(
+                "port-no-exposure",
+                f"operand {operand} reads PE {src_pe}'s out-port, but that "
+                "PE exposes no value this cycle",
+                ccnt=ccnt,
+                pe=pe,
+            )
+
+    def _check_busy_continuations(self) -> None:
+        """Non-pipelined PEs must stay free while an operation executes.
+
+        Only checked along statically unambiguous fall-through (no CCU
+        branch between issue and the continuation cell): after a branch
+        the dynamic successor differs from the static one.
+        """
+        for pe, lane in enumerate(self.program.pe_contexts):
+            if pe >= self.comp.n_pes or self.comp.pes[pe].pipelined:
+                continue
+            for ccnt, entry in enumerate(lane):
+                if entry is None or entry.duration <= 1:
+                    continue
+                for c in range(ccnt + 1, min(ccnt + entry.duration, self.n)):
+                    if self.program.ccu_contexts[c - 1].kind is not BranchKind.NONE:
+                        break
+                    if lane[c] is not None and lane[c].opcode != "NOP":
+                        self.flag(
+                            "busy-overlap",
+                            f"{lane[c].opcode} issued while the PE is still "
+                            f"executing {entry.opcode} from ccnt {ccnt} "
+                            f"(duration {entry.duration})",
+                            ccnt=c,
+                            pe=pe,
+                        )
+
+    def _check_write_ports(self) -> None:
+        """At most one operation finishes per PE per cycle (single write
+        port), along statically unambiguous fall-through."""
+        finishes: Dict[Tuple[int, int], Tuple[int, str]] = {}
+        for pe, lane in enumerate(self.program.pe_contexts):
+            for ccnt, entry in enumerate(lane):
+                if entry is None or entry.opcode == "NOP":
+                    continue
+                final = ccnt + entry.duration - 1
+                if final >= self.n:
+                    self.flag(
+                        "finish-past-end",
+                        f"{entry.opcode} (duration {entry.duration}) cannot "
+                        "finish inside the program",
+                        ccnt=ccnt,
+                        pe=pe,
+                    )
+                    continue
+                # only meaningful when the issue..finish window is
+                # branch-free (otherwise finish timing is dynamic)
+                if any(
+                    self.program.ccu_contexts[c].kind is not BranchKind.NONE
+                    for c in range(ccnt, final)
+                ):
+                    continue
+                key = (pe, final)
+                if key in finishes:
+                    other_ccnt, other_op = finishes[key]
+                    self.flag(
+                        "write-port-conflict",
+                        f"{entry.opcode} (issued ccnt {ccnt}) and {other_op} "
+                        f"(issued ccnt {other_ccnt}) both finish at ccnt "
+                        f"{final} (single write port)",
+                        ccnt=final,
+                        pe=pe,
+                    )
+                else:
+                    finishes[key] = (ccnt, entry.opcode)
+
+    # -- C-Box -------------------------------------------------------------
+
+    def check_cbox(self) -> None:
+        comp = self.comp
+        slots = comp.cbox_slots
+        allocated = self.program.cbox_slots_used
+        status_ready = self._status_finish_map()
+        for ccnt, op in enumerate(self.program.cbox_contexts):
+            if op is None:
+                continue
+            if op.func is not None:
+                if op.status_pe is None or not 0 <= op.status_pe < comp.n_pes:
+                    self.flag(
+                        "cbox-status-range",
+                        f"C-Box ingests status of PE {op.status_pe}",
+                        ccnt=ccnt,
+                    )
+                elif (op.status_pe, ccnt) not in status_ready:
+                    self.flag(
+                        "cbox-status-missing",
+                        f"C-Box ingests status of PE {op.status_pe}, but no "
+                        "compare finishes on that PE this cycle",
+                        ccnt=ccnt,
+                        pe=op.status_pe,
+                    )
+            for role, slot in (
+                ("read_pos", op.read_pos),
+                ("read_neg", op.read_neg),
+                ("write_pos", op.write_pos),
+                ("write_neg", op.write_neg),
+            ):
+                if slot is not None:
+                    self._check_cbox_slot(ccnt, slot, role, slots, allocated)
+            for role, sel in (
+                ("outPE", op.out_pe_slot),
+                ("outctrl", op.out_ctrl_slot),
+            ):
+                if sel is not None and sel not in (FRESH, FRESH_NEG):
+                    self._check_cbox_slot(ccnt, sel, role, slots, allocated)
+
+    def _check_cbox_slot(
+        self, ccnt: int, slot: int, role: str, slots: int, allocated: int
+    ) -> None:
+        if not 0 <= slot < slots:
+            self.flag(
+                "cbox-slot-range",
+                f"C-Box {role} slot {slot} outside the condition memory "
+                f"(size {slots})",
+                ccnt=ccnt,
+            )
+        elif slot >= allocated:
+            self.flag(
+                "cbox-slot-unallocated",
+                f"C-Box {role} slot {slot}, left-edge allocation used only "
+                f"{allocated} slot(s)",
+                ccnt=ccnt,
+            )
+
+    def _status_finish_map(self) -> Set[Tuple[int, int]]:
+        """(pe, ccnt) pairs where a compare finishes, via fall-through."""
+        ready: Set[Tuple[int, int]] = set()
+        for pe, lane in enumerate(self.program.pe_contexts):
+            for ccnt, entry in enumerate(lane):
+                if entry is None:
+                    continue
+                spec = OPS.get(entry.opcode)
+                if spec is None or not spec.produces_status:
+                    continue
+                final = ccnt + entry.duration - 1
+                if final < self.n and not any(
+                    self.program.ccu_contexts[c].kind is not BranchKind.NONE
+                    for c in range(ccnt, final)
+                ):
+                    ready.add((pe, final))
+        return ready
+
+    # -- pWRITE gating -----------------------------------------------------
+
+    def check_predication(self) -> None:
+        """Predicated commits need the predication broadcast that cycle."""
+        for pe, lane in enumerate(self.program.pe_contexts):
+            for ccnt, entry in enumerate(lane):
+                if entry is None or not entry.predicated:
+                    continue
+                final = ccnt + entry.duration - 1
+                if final >= self.n or any(
+                    self.program.ccu_contexts[c].kind is not BranchKind.NONE
+                    for c in range(ccnt, final)
+                ):
+                    continue  # dynamic commit context; checked at runtime
+                cbox = self.program.cbox_contexts[final]
+                if cbox is None or cbox.out_pe_slot is None:
+                    self.flag(
+                        "pwrite-no-signal",
+                        f"predicated {entry.opcode} commits at ccnt {final}, "
+                        "but the C-Box drives no predication broadcast "
+                        "(outPE) that cycle",
+                        ccnt=ccnt,
+                        pe=pe,
+                    )
+
+    # -- host interface maps -----------------------------------------------
+
+    def check_interface(self) -> None:
+        comp = self.comp
+        for what, mapping in (
+            ("live-in", self.program.livein_map),
+            ("live-out", self.program.liveout_map),
+        ):
+            for var, (pe, slot) in mapping.items():
+                if not 0 <= pe < comp.n_pes:
+                    self.flag(
+                        "iface-pe-range",
+                        f"{what} {var.name!r} homed on PE {pe}",
+                        pe=pe,
+                    )
+                    continue
+                self._check_rf_slot(
+                    pe,
+                    None,
+                    slot,
+                    comp.pes[pe].regfile_size,
+                    self._rf_used(pe),
+                    f"{what} {var.name!r} maps to",
+                )
+
+    # -- def-before-use dataflow over the CCNT CFG -------------------------
+
+    def _successors(self, ccnt: int) -> Tuple[int, ...]:
+        ccu = self.program.ccu_contexts[ccnt]
+        if ccu.kind is BranchKind.HALT:
+            return ()
+        if ccu.kind is BranchKind.UNCONDITIONAL:
+            t = ccu.target
+            return (t,) if t is not None and 0 <= t < self.n else ()
+        succ = []
+        if ccu.kind is BranchKind.CONDITIONAL:
+            t = ccu.target
+            if t is not None and 0 <= t < self.n:
+                succ.append(t)
+        if ccnt + 1 < self.n:
+            succ.append(ccnt + 1)
+        return tuple(succ)
+
+    def _rf_cell(self, pe: int, slot: int) -> int:
+        return pe * self.stride + slot
+
+    def _cbox_cell(self, slot: int) -> int:
+        return self.cbox_base + slot
+
+    def check_dataflow(self) -> None:
+        """MAY def-before-use: flag reads of cells no path has written.
+
+        Register files power up zero-initialised and live-ins are
+        host-written before cycle 0, so a read of a cell that is neither
+        a live-in home nor written on *any* path from entry consumes a
+        value nobody produced — a selector pointing at a dead slot.
+        The analysis is a union (may) fixpoint, so predicated and
+        partially-taken paths never cause false positives.
+        """
+        n = self.n
+        program = self.program
+        comp = self.comp
+
+        # gen masks: cells written when context ccnt executes
+        gen = [0] * n
+        reads: List[List[Tuple[int, str, Optional[int]]]] = [[] for _ in range(n)]
+        for ccnt in range(n):
+            mask = 0
+            for pe in range(min(comp.n_pes, len(program.pe_contexts))):
+                entry = program.pe_contexts[pe][ccnt]
+                if entry is None:
+                    continue
+                rf_size = comp.pes[pe].regfile_size
+                if entry.dest_slot is not None and 0 <= entry.dest_slot < rf_size:
+                    mask |= 1 << self._rf_cell(pe, entry.dest_slot)
+                for i, sel in enumerate(entry.srcs):
+                    if sel.is_local:
+                        if sel.slot is not None and 0 <= sel.slot < rf_size:
+                            reads[ccnt].append(
+                                (
+                                    self._rf_cell(pe, sel.slot),
+                                    f"operand {i} of {entry.opcode} reads "
+                                    f"RF slot {sel.slot}",
+                                    pe,
+                                )
+                            )
+                    elif (
+                        sel.pe is not None
+                        and 0 <= sel.pe < comp.n_pes
+                        and sel.pe < len(program.pe_contexts)
+                    ):
+                        producer = program.pe_contexts[sel.pe][ccnt]
+                        if (
+                            producer is not None
+                            and producer.out_addr is not None
+                            and 0 <= producer.out_addr
+                            < comp.pes[sel.pe].regfile_size
+                        ):
+                            reads[ccnt].append(
+                                (
+                                    self._rf_cell(sel.pe, producer.out_addr),
+                                    f"operand {i} of {entry.opcode} reads PE "
+                                    f"{sel.pe}'s out-port exposing RF slot "
+                                    f"{producer.out_addr}",
+                                    pe,
+                                )
+                            )
+            cbox = program.cbox_contexts[ccnt]
+            if cbox is not None:
+                mask |= self._cbox_gen(cbox)
+                for cell, what in self._cbox_reads(cbox):
+                    reads[ccnt].append((cell, what, None))
+            gen[ccnt] = mask
+
+        entry_mask = 0
+        for var, (pe, slot) in program.livein_map.items():
+            if 0 <= pe < comp.n_pes and 0 <= slot < comp.pes[pe].regfile_size:
+                entry_mask |= 1 << self._rf_cell(pe, slot)
+
+        # forward may-fixpoint: IN[c] = U OUT[p], OUT[c] = IN[c] | gen[c]
+        in_state: List[Optional[int]] = [None] * n
+        in_state[0] = entry_mask
+        work = [0]
+        while work:
+            c = work.pop()
+            out = in_state[c] | gen[c]  # type: ignore[operator]
+            for s in self._successors(c):
+                prev = in_state[s]
+                if prev is None:
+                    in_state[s] = out
+                    work.append(s)
+                elif out | prev != prev:
+                    in_state[s] = prev | out
+                    work.append(s)
+
+        for ccnt in range(n):
+            state = in_state[ccnt]
+            if state is None:
+                # unreachable context: a non-idle entry here is dead code
+                if any(
+                    lane[ccnt] is not None and lane[ccnt].opcode != "NOP"
+                    for lane in program.pe_contexts
+                ):
+                    self.flag(
+                        "unreachable-context",
+                        "context holds operations but no path from entry "
+                        "reaches it",
+                        ccnt=ccnt,
+                    )
+                continue
+            for cell, what, pe in reads[ccnt]:
+                if not state & (1 << cell):
+                    self.flag(
+                        "read-undef",
+                        f"{what}, which no path from entry has written",
+                        ccnt=ccnt,
+                        pe=pe,
+                    )
+
+    def _cbox_gen(self, op: CBoxOp) -> int:
+        mask = 0
+        slots = self.comp.cbox_slots
+        if op.func is not None:
+            for slot in (op.write_pos, op.write_neg):
+                if slot is not None and 0 <= slot < slots:
+                    mask |= 1 << self._cbox_cell(slot)
+        return mask
+
+    def _cbox_reads(self, op: CBoxOp) -> List[Tuple[int, str]]:
+        out: List[Tuple[int, str]] = []
+        slots = self.comp.cbox_slots
+        if op.func is not None and op.func.needs_read:
+            for role, slot in (("read_pos", op.read_pos), ("read_neg", op.read_neg)):
+                if slot is not None and 0 <= slot < slots:
+                    out.append(
+                        (
+                            self._cbox_cell(slot),
+                            f"C-Box {role} reads condition slot {slot}",
+                        )
+                    )
+        for role, sel in (
+            ("outPE", op.out_pe_slot),
+            ("outctrl", op.out_ctrl_slot),
+        ):
+            if sel is not None and sel not in (FRESH, FRESH_NEG) and 0 <= sel < slots:
+                out.append(
+                    (
+                        self._cbox_cell(sel),
+                        f"C-Box {role} broadcasts condition slot {sel}",
+                    )
+                )
+        return out
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        if not self.check_shape():
+            return self.findings
+        self.check_ccu()
+        self.check_entries()
+        self.check_cbox()
+        self.check_predication()
+        self.check_interface()
+        self.check_dataflow()
+        return self.findings
+
+
+def verify_program(
+    program: ContextProgram, comp: Composition
+) -> List[Finding]:
+    """Statically verify an emitted context program against ``comp``.
+
+    Returns all violations as :class:`Finding` records (empty when the
+    program is clean).  Independent of the scheduler's bookkeeping: only
+    the program and the composition are consulted.
+    """
+    from repro.obs import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    with tracer.span(
+        "verify.check",
+        kernel=program.kernel_name,
+        composition=program.composition_name,
+    ):
+        findings = _Checker(program, comp).run()
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("verify.programs")
+        if findings:
+            metrics.inc("verify.findings", len(findings))
+            for f in findings:
+                metrics.inc("verify.findings.by_code", code=f.code)
+    return findings

@@ -1,0 +1,20 @@
+"""Suite-wide fixtures.
+
+The independent context-program verifier (repro.verify) hooks every
+``generate_contexts`` emission.  Tests run with the hook *on* — every
+schedule any test emits gets re-checked for free (defence in depth) —
+and each test restores the previous state, so a test (or the CLI under
+test, which disables the hook for its own reporting) cannot leak a
+disabled verifier into the rest of the suite.
+"""
+
+import pytest
+
+from repro.verify import set_verify_enabled
+
+
+@pytest.fixture(autouse=True)
+def _verify_emitted_programs():
+    previous = set_verify_enabled(True)
+    yield
+    set_verify_enabled(previous)

@@ -1,8 +1,16 @@
 """Random-kernel generation shared by the property-test modules.
 
 Hypothesis strategies produce an abstract statement tree (assignments,
-array stores, nested if/else, bounded counted loops); ``lower`` turns it
-into a real :class:`~repro.ir.cdfg.Kernel` through the builder API.
+array stores, nested if/else, bounded counted loops, *data-dependent*
+fuel-bounded while loops and break-like early exits); ``lower`` turns
+it into a real :class:`~repro.ir.cdfg.Kernel` through the builder API.
+
+The data-dependent loops matter for differential coverage: their trip
+count varies with live-in values, so the CCU takes a different branch
+trace per input vector — counted loops alone only ever exercise one
+trace per kernel.  Break-like exits are lowered the way a structured
+frontend lowers ``break``: a done flag folded into the loop condition,
+with the post-break tail predicated on the flag staying clear.
 """
 
 from hypothesis import strategies as st
@@ -56,6 +64,19 @@ statements = st.recursive(
             st.just("loop"),
             st.integers(1, 3),  # constant trip count
             st.lists(children, min_size=1, max_size=3),
+        ),
+        st.tuples(
+            st.just("dynwhile"),
+            st.sampled_from(VARS),  # variable driving the data-dependent bound
+            st.integers(2, 5),  # termination fuel
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        st.tuples(
+            st.just("breakloop"),
+            st.integers(2, 5),  # maximum trips
+            conditions,  # break condition, re-evaluated each iteration
+            st.lists(children, min_size=1, max_size=2),  # before the break test
+            st.lists(children, min_size=0, max_size=2),  # tail skipped on break
         ),
     ),
     max_leaves=10,
@@ -137,6 +158,60 @@ class Lowerer:
                     self.block(body),
                     kb.write(i, kb.binop("IADD", kb.read(i), kb.const(1))),
                 ),
+            )
+        elif kind == "dynwhile":
+            # data-dependent trip count: iterate while the low bits of a
+            # live variable are non-zero, shifting them out each trip; a
+            # fuel counter guarantees termination whatever the body does
+            # to the variable
+            _, name, fuel, body = s
+            self._loop_counter += 1
+            n = self._loop_counter
+            fuel_v = kb.local(f"__fuel{n}")
+            kb.write(fuel_v, kb.const(fuel))
+            var = self.vars[name]
+            kb.while_(
+                lambda: kb.c_and(
+                    kb.cmp("IFGT", kb.read(fuel_v), kb.const(0)),
+                    kb.cmp(
+                        "IFNE",
+                        kb.binop("IAND", kb.read(var), kb.const(7)),
+                        kb.const(0),
+                    ),
+                ),
+                lambda: (
+                    self.block(body),
+                    kb.write(var, kb.binop("ISHR", kb.read(var), kb.const(1))),
+                    kb.write(fuel_v, kb.binop("ISUB", kb.read(fuel_v), kb.const(1))),
+                ),
+            )
+        elif kind == "breakloop":
+            # break-like early exit lowered to structured form: the loop
+            # condition also tests a done flag; hitting the break
+            # condition sets the flag and skips the iteration's tail
+            _, trips, brk, body, tail = s
+            self._loop_counter += 1
+            n = self._loop_counter
+            i = kb.local(f"__i{n}")
+            done = kb.local(f"__done{n}")
+            kb.write(i, kb.const(0))
+            kb.write(done, kb.const(0))
+
+            def loop_body():
+                self.block(body)
+                kb.if_(
+                    lambda: self.cond(brk),
+                    lambda: kb.write(done, kb.const(1)),
+                    (lambda: self.block(tail)) if tail else None,
+                )
+                kb.write(i, kb.binop("IADD", kb.read(i), kb.const(1)))
+
+            kb.while_(
+                lambda: kb.c_and(
+                    kb.cmp("IFLT", kb.read(i), kb.const(trips)),
+                    kb.cmp("IFEQ", kb.read(done), kb.const(0)),
+                ),
+                loop_body,
             )
         else:
             raise AssertionError(s)

@@ -1,0 +1,51 @@
+"""Shared plumbing for the pinned scheduler-bug regressions.
+
+Each module in this package pins one scheduler bug that the
+differential fuzzer (tests/integration/test_differential.py) caught
+during development — reduced to the minimal kernel shape that
+triggered it, run as a deterministic differential check so the bug
+cannot silently return.  See EXPERIMENTS.md ("Differential
+validation") and docs/testing.md.
+"""
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.baseline import run_baseline
+from repro.sim.invocation import invoke_kernel
+
+COMPS = [
+    mesh_composition(4),
+    mesh_composition(6),
+    irregular_composition("B"),
+    irregular_composition("D"),
+]
+
+
+def assert_cgra_matches_baseline(kernel, liveins, arrays=None):
+    """Run every (composition, backend) pair against the baseline.
+
+    ``liveins`` is a list of live-in dicts — regressions supply several
+    so both sides of the kernel's branches execute.  ``arrays`` maps
+    array names to initial contents (fresh copies per run).
+    """
+    arrays = arrays or {}
+    for livein in liveins:
+        base = run_baseline(
+            kernel, livein, {k: list(v) for k, v in arrays.items()}
+        )
+        for comp in COMPS:
+            for backend in ("interpreter", "compiled"):
+                cgra = invoke_kernel(
+                    kernel,
+                    comp,
+                    livein,
+                    {k: list(v) for k, v in arrays.items()},
+                    backend=backend,
+                )
+                assert cgra.results == base.results, (
+                    f"live-out divergence on {comp.name} ({backend}) "
+                    f"for {livein}"
+                )
+                for ref in kernel.arrays:
+                    assert cgra.heap.array(ref.handle) == base.heap.array(
+                        ref.handle
+                    ), f"heap divergence on {comp.name} ({backend})"

@@ -1,0 +1,59 @@
+"""Regression: double-homed first-touch variables.
+
+A local whose *first* write sits inside an if/else got a home RF entry
+assigned independently in each arm: the then-arm's first touch homed it
+on one PE, the else-arm's on another.  After the join, reads bound to
+whichever home the scheduler saw last, so values written down the other
+path were lost — live-outs came back as the uninitialised RF content.
+
+The minimal trigger is a variable first touched in *both* arms of a
+branch and read after the join.
+"""
+
+from repro.ir.builder import KernelBuilder
+
+from .harness import assert_cgra_matches_baseline
+
+
+def build_kernel():
+    kb = KernelBuilder("regress_double_home")
+    p = kb.param("p")
+    q = kb.param("q")
+    # `t` has no definition before the if: its first touch is inside
+    # the arms, once per arm — the double-homing trigger
+    t = kb.local("t")
+    kb.if_(
+        lambda: kb.cmp("IFGT", kb.read(p), kb.const(0)),
+        lambda: kb.write(t, kb.binop("IADD", kb.read(p), kb.read(q))),
+        lambda: kb.write(t, kb.binop("ISUB", kb.read(q), kb.read(p))),
+    )
+    # the post-join read must resolve to the single home both arms wrote
+    kb.write(p, kb.binop("IMUL", kb.read(t), kb.const(3)))
+    return kb.finish(results=[p, q])
+
+
+def test_double_homed_first_touch():
+    kernel = build_kernel()
+    assert_cgra_matches_baseline(
+        kernel,
+        [
+            {"p": 7, "q": 5},    # then-arm
+            {"p": -4, "q": 9},   # else-arm
+            {"p": 0, "q": 1},    # boundary: IFGT false
+        ],
+    )
+
+
+def test_home_is_unique_in_schedule():
+    """Structural form of the same pin: one home value id per variable."""
+    from repro.arch.library import mesh_composition
+    from repro.sched.scheduler import schedule_kernel
+
+    kernel = build_kernel()
+    comp = mesh_composition(4)
+    schedule = schedule_kernel(kernel, comp)
+    schedule.validate(comp)
+    t_homes = [
+        vid for var, vid in schedule.var_homes.items() if var.name == "t"
+    ]
+    assert len(t_homes) == 1

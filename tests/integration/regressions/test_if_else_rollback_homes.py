@@ -1,0 +1,53 @@
+"""Regression: home assignments lost across if/else state rollback.
+
+Scheduling an if/else snapshots the value state, schedules the then-arm,
+rolls back to the snapshot and schedules the else-arm.  Home RF entries
+allocated while scheduling the *then*-arm (for variables the arm touched
+first at their final location) were discarded by the rollback, so the
+join saw the else-arm's bindings only: a variable updated in the
+then-arm read back its pre-branch value after the join.
+
+The minimal trigger is a variable defined before the branch, re-written
+in both arms (so each arm's scheduling touches its home) and read after
+the join — with enough other live values that the arms place their
+writes on different PEs.
+"""
+
+from repro.ir.builder import KernelBuilder
+
+from .harness import assert_cgra_matches_baseline
+
+
+def build_kernel():
+    kb = KernelBuilder("regress_rollback_homes")
+    a = kb.param("a")
+    b = kb.param("b")
+    c = kb.param("c")
+    acc = kb.local("acc")
+    kb.write(acc, kb.binop("IADD", kb.read(a), kb.read(b)))
+    kb.if_(
+        lambda: kb.cmp("IFLT", kb.read(a), kb.read(b)),
+        lambda: (
+            kb.write(acc, kb.binop("IMUL", kb.read(acc), kb.const(2))),
+            kb.write(c, kb.binop("IADD", kb.read(c), kb.read(acc))),
+        ),
+        lambda: (
+            kb.write(acc, kb.binop("ISUB", kb.read(acc), kb.read(c))),
+            kb.write(b, kb.binop("IXOR", kb.read(b), kb.read(acc))),
+        ),
+    )
+    # joins read every variable either arm rewrote
+    kb.write(a, kb.binop("IADD", kb.read(acc), kb.read(c)))
+    return kb.finish(results=[a, b, c])
+
+
+def test_homes_survive_if_else_rollback():
+    kernel = build_kernel()
+    assert_cgra_matches_baseline(
+        kernel,
+        [
+            {"a": 1, "b": 10, "c": 3},   # then-arm
+            {"a": 10, "b": 1, "c": 3},   # else-arm
+            {"a": 5, "b": 5, "c": -2},   # boundary: IFLT false on equality
+        ],
+    )

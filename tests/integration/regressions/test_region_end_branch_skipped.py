@@ -1,0 +1,70 @@
+"""Regression: region-end branches skipped by inner jump targets.
+
+When an inner loop was the last statement of an outer region, the outer
+region's end-of-region branch was emitted at the context the inner
+loop's exit jumped *past*: the inner loop's exit target pointed one
+context beyond the region-end branch, so leaving the inner loop fell
+straight into the following region and the outer loop ran its
+back-branch zero times (or branched from the wrong context).
+
+The minimal trigger is a loop nest where the inner loop is the final
+statement of the outer loop body, plus a tail statement after the nest
+so the skipped branch has somewhere observable to fall into.
+"""
+
+from repro.ir.builder import KernelBuilder
+
+from .harness import assert_cgra_matches_baseline
+
+
+def build_kernel():
+    kb = KernelBuilder("regress_region_end_branch")
+    n = kb.param("n")
+    m = kb.param("m")
+    total = kb.local("total")
+    i = kb.local("i")
+    kb.write(total, kb.const(0))
+    kb.write(i, kb.const(0))
+
+    def outer_body():
+        j = kb.local("j")
+        kb.write(j, kb.const(0))
+        # inner loop is the LAST statement of the outer body: its exit
+        # target must land on the outer back-branch, not beyond it
+        kb.while_(
+            lambda: kb.cmp("IFLT", kb.read(j), kb.read(m)),
+            lambda: (
+                kb.write(
+                    total,
+                    kb.binop(
+                        "IADD",
+                        kb.read(total),
+                        kb.binop("IADD", kb.read(i), kb.read(j)),
+                    ),
+                ),
+                kb.write(j, kb.binop("IADD", kb.read(j), kb.const(1))),
+            ),
+        )
+        kb.write(i, kb.binop("IADD", kb.read(i), kb.const(1)))
+
+    kb.while_(
+        lambda: kb.cmp("IFLT", kb.read(i), kb.read(n)),
+        outer_body,
+    )
+    # observable tail: if the outer back-branch is skipped, this sees a
+    # partial `total`
+    kb.write(total, kb.binop("IMUL", kb.read(total), kb.const(10)))
+    return kb.finish(results=[total])
+
+
+def test_region_end_branch_not_skipped():
+    kernel = build_kernel()
+    assert_cgra_matches_baseline(
+        kernel,
+        [
+            {"n": 3, "m": 2},  # nest runs: 3 outer x 2 inner trips
+            {"n": 2, "m": 0},  # inner loop never taken: exit path only
+            {"n": 0, "m": 4},  # outer loop never taken
+            {"n": 1, "m": 1},  # single trip each
+        ],
+    )

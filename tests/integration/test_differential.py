@@ -1,24 +1,40 @@
 """Differential property testing: random kernels, baseline vs CGRA.
 
 Hypothesis generates random kernels (arithmetic, nested if/else, bounded
-counted loops, array loads/stores — see :mod:`kernelgen`); each is
-executed both by the sequential baseline interpreter and by the full
-CGRA pipeline (scheduler -> contexts -> cycle-accurate simulator) on
-several compositions.  Any divergence in live-out values or heap
-contents is a bug in the scheduler, context generator or simulator.
+counted loops, data-dependent fuel-bounded whiles, break-like early
+exits, array loads/stores — see :mod:`kernelgen`); each is executed both
+by the sequential baseline interpreter and by the full CGRA pipeline
+(scheduler -> contexts -> cycle-accurate simulator) on several
+compositions.  Any divergence in live-out values or heap contents is a
+bug in the scheduler, context generator or simulator.
+
+Each property runs against both simulator backends — the per-cycle
+interpreter (the reference semantics) and the ahead-of-time compiled
+executor — so a fused-trace miscompilation diverging from the
+interpreter is caught by the same oracle.
+
+``REPRO_HYPOTHESIS_MAX_EXAMPLES`` scales the example budget: the default
+suits interactive runs and the tier-1 CI job, the scheduled extended
+workflow raises it for a deeper nightly sweep.
 
 This suite caught three real scheduler bugs during development (see
-EXPERIMENTS.md).
+EXPERIMENTS.md and tests/integration/regressions/).
 """
 
-from hypothesis import HealthCheck, given, settings
+import os
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.arch.library import irregular_composition, mesh_composition
 from repro.baseline import run_baseline
+from repro.sched.schedule import SchedulingError
 from repro.sim.invocation import invoke_kernel
 
 from .kernelgen import ARRAY_LEN, VARS, lower, programs
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_HYPOTHESIS_MAX_EXAMPLES", "60"))
 
 # generous context memories: random programs on sparse interconnects can
 # exceed the paper's 256 entries, which is a capacity error, not a bug
@@ -29,7 +45,26 @@ COMPS = [
     irregular_composition("D", context_size=2048),
 ]
 
+BACKENDS = ["interpreter", "compiled"]
 
+
+def _invoke(kernel, comp, livein, arrays, backend):
+    """Map and run, rejecting capacity-limited examples.
+
+    Random programs can legitimately exceed a fixed hardware resource —
+    deeply nested compound conditions overflow the paper's 16-entry
+    C-Box condition memory, many live locals overflow a register file.
+    Those are capacity errors, not scheduler bugs; reject the example
+    rather than shrink onto an uninformative resource limit.
+    """
+    try:
+        return invoke_kernel(kernel, comp, livein, arrays, backend=backend)
+    except SchedulingError as exc:
+        assume("overflow" not in str(exc))
+        raise
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(
     program=programs,
     inputs=st.tuples(*(st.integers(-100, 100) for _ in VARS)),
@@ -37,42 +72,51 @@ COMPS = [
     seed=st.integers(0, 2**16),
 )
 @settings(
-    max_examples=60,
+    max_examples=MAX_EXAMPLES,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.differing_executors,
+    ],
 )
-def test_baseline_and_cgra_agree(program, inputs, comp_index, seed):
+def test_baseline_and_cgra_agree(backend, program, inputs, comp_index, seed):
     kernel, arr = lower(program)
     livein = dict(zip(VARS, inputs))
     initial = [((seed * (i + 3)) % 201) - 100 for i in range(ARRAY_LEN)]
 
     base = run_baseline(kernel, livein, {"arr": list(initial)})
     comp = COMPS[comp_index]
-    cgra = invoke_kernel(kernel, comp, livein, {"arr": list(initial)})
+    cgra = _invoke(kernel, comp, livein, {"arr": list(initial)}, backend)
 
     assert cgra.results == base.results, (
-        f"live-out divergence on {comp.name}"
+        f"live-out divergence on {comp.name} ({backend})"
     )
     assert cgra.heap.array(arr.handle) == base.heap.array(arr.handle), (
-        f"heap divergence on {comp.name}"
+        f"heap divergence on {comp.name} ({backend})"
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(
     program=programs,
     inputs=st.tuples(*(st.integers(-(2**31), 2**31 - 1) for _ in VARS)),
 )
 @settings(
-    max_examples=25,
+    max_examples=max(MAX_EXAMPLES // 2, 5),
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.differing_executors,
+    ],
 )
-def test_extreme_inputs_agree(program, inputs):
+def test_extreme_inputs_agree(backend, program, inputs):
     """Full 32-bit range inputs: wrap-around semantics must match."""
     kernel, arr = lower(program)
     livein = dict(zip(VARS, inputs))
     initial = [0] * ARRAY_LEN
     base = run_baseline(kernel, livein, {"arr": list(initial)})
-    cgra = invoke_kernel(kernel, COMPS[0], livein, {"arr": list(initial)})
+    cgra = _invoke(kernel, COMPS[0], livein, {"arr": list(initial)}, backend)
     assert cgra.results == base.results
     assert cgra.heap.array(arr.handle) == base.heap.array(arr.handle)

@@ -14,15 +14,20 @@ directly — the constraints Sections IV/V impose:
 * allocation fits the composition's RF and C-Box capacities.
 """
 
-from hypothesis import HealthCheck, given, settings
+import os
+
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.arch.ccu import BranchKind
 from repro.arch.library import irregular_composition, mesh_composition
 from repro.context.generator import generate_contexts
+from repro.sched.schedule import SchedulingError
 from repro.sched.scheduler import schedule_kernel
 
 from .kernelgen import lower, programs
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_HYPOTHESIS_MAX_EXAMPLES", "50"))
 
 COMPS = [
     mesh_composition(4, context_size=4096),
@@ -32,14 +37,21 @@ COMPS = [
 
 @given(program=programs, comp_index=st.integers(0, len(COMPS) - 1))
 @settings(
-    max_examples=50,
+    max_examples=MAX_EXAMPLES,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 def test_schedule_invariants(program, comp_index):
     kernel, _ = lower(program)
     comp = COMPS[comp_index]
-    schedule = schedule_kernel(kernel, comp)
+    try:
+        schedule = schedule_kernel(kernel, comp)
+    except SchedulingError as exc:
+        # random programs can exceed a fixed hardware resource (e.g.
+        # nested compound conditions overflowing the C-Box condition
+        # memory) — a capacity error, not an invariant violation
+        assume("overflow" not in str(exc))
+        raise
     schedule.validate(comp)  # PE booking + port/link legality
 
     # C-Box: combines unique per cycle and aligned with compare finals
@@ -83,7 +95,11 @@ def test_schedule_invariants(program, comp_index):
             assert plan is not None and plan.out_ctrl is not None
 
     # allocation fits the hardware
-    program_ctx = generate_contexts(schedule, comp, kernel)
+    try:
+        program_ctx = generate_contexts(schedule, comp, kernel)
+    except SchedulingError as exc:
+        assume("overflow" not in str(exc))
+        raise
     for pe, used in enumerate(program_ctx.rf_used):
         assert used <= comp.pes[pe].regfile_size
     assert program_ctx.cbox_slots_used <= comp.cbox_slots

@@ -72,3 +72,24 @@ class TestValidate:
         branch.target = 10_000
         with pytest.raises(SchedulingError, match="target"):
             schedule.validate(comp)
+
+    def test_branch_target_one_past_end_rejected(self, valid):
+        """Contexts run 0..n_cycles-1: a branch to exactly n_cycles jumps
+        off the end of context memory and must be rejected (this was an
+        off-by-one: validate used ``<= n_cycles``)."""
+        schedule, comp = valid
+        cycle, branch = next(
+            (c, b) for c, b in schedule.branches.items() if b.target is not None
+        )
+        branch.target = schedule.n_cycles
+        with pytest.raises(SchedulingError, match="target"):
+            schedule.validate(comp)
+
+    def test_branch_target_last_context_accepted(self, valid):
+        """The boundary itself (n_cycles - 1) is a legal target."""
+        schedule, comp = valid
+        cycle, branch = next(
+            (c, b) for c, b in schedule.branches.items() if b.target is not None
+        )
+        branch.target = schedule.n_cycles - 1
+        schedule.validate(comp)

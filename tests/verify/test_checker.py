@@ -1,0 +1,158 @@
+"""Static context-program verifier: clean programs pass, corrupt fail.
+
+The checker must re-derive legality with no scheduler state, so every
+test here works on *emitted* :class:`ContextProgram` objects: real ones
+from the pipeline (expected clean) and hand-corrupted clones (expected
+to produce the matching finding code).
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.arch.ccu import BranchKind, CCUEntry
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.context.generator import generate_contexts
+from repro.context.words import PEContext
+from repro.sched.scheduler import schedule_kernel
+from repro.verify import (
+    VerificationError,
+    assert_verified,
+    set_verify_enabled,
+    verify_enabled,
+    verify_program,
+)
+from repro.verify.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gcd_mesh4():
+    comp = mesh_composition(4)
+    kernel = get_workload("gcd").build()
+    schedule = schedule_kernel(kernel, comp)
+    return generate_contexts(schedule, comp, kernel), comp
+
+
+def corrupted(program):
+    return copy.deepcopy(program)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("kernel_name", ["gcd", "adpcm", "dotp", "sort"])
+    @pytest.mark.parametrize("comp_name", ["mesh4", "B"])
+    def test_emitted_program_verifies(self, kernel_name, comp_name):
+        comp = (
+            mesh_composition(4)
+            if comp_name == "mesh4"
+            else irregular_composition("B")
+        )
+        kernel = get_workload(kernel_name).build()
+        schedule = schedule_kernel(kernel, comp)
+        program = generate_contexts(schedule, comp, kernel)
+        assert verify_program(program, comp) == []
+        assert_verified(program, comp)  # must not raise
+
+
+class TestCorruptions:
+    def test_branch_target_out_of_range(self, gcd_mesh4):
+        program, comp = gcd_mesh4
+        bad = corrupted(program)
+        ccnt = next(
+            c
+            for c, e in enumerate(bad.ccu_contexts)
+            if e.kind
+            in (BranchKind.UNCONDITIONAL, BranchKind.CONDITIONAL)
+        )
+        bad.ccu_contexts[ccnt] = CCUEntry(
+            bad.ccu_contexts[ccnt].kind, bad.n_cycles + 3
+        )
+        assert "branch-target" in codes(verify_program(bad, comp))
+
+    def test_halt_removed_falls_off_end(self, gcd_mesh4):
+        program, comp = gcd_mesh4
+        bad = corrupted(program)
+        for c, e in enumerate(bad.ccu_contexts):
+            if e.kind is BranchKind.HALT:
+                bad.ccu_contexts[c] = CCUEntry()
+        found = codes(verify_program(bad, comp))
+        assert found & {"fall-off-end", "read-undef", "unreachable-context"}
+
+    def test_unsupported_opcode(self, gcd_mesh4):
+        program, comp = gcd_mesh4
+        bad = corrupted(program)
+        pe, ccnt, entry = next(
+            (pe, c, e)
+            for pe, lane in enumerate(bad.pe_contexts)
+            for c, e in enumerate(lane)
+            if e is not None and e.opcode != "NOP"
+        )
+        # FDIV exists on no PE of the library compositions
+        bad.pe_contexts[pe][ccnt] = dataclasses.replace(entry, opcode="FDIV")
+        found = codes(verify_program(bad, comp))
+        assert found & {"opcode-unsupported", "opcode-unknown"}
+
+    def test_rf_slot_out_of_allocated_range(self, gcd_mesh4):
+        program, comp = gcd_mesh4
+        bad = corrupted(program)
+        pe, ccnt, entry = next(
+            (pe, c, e)
+            for pe, lane in enumerate(bad.pe_contexts)
+            for c, e in enumerate(lane)
+            if e is not None and e.dest_slot is not None
+        )
+        bad.pe_contexts[pe][ccnt] = PEContext(
+            opcode=entry.opcode,
+            srcs=entry.srcs,
+            dest_slot=comp.pes[pe].regfile_size + 5,
+            predicated=entry.predicated,
+            out_addr=entry.out_addr,
+            immediate=entry.immediate,
+            duration=entry.duration,
+        )
+        found = codes(verify_program(bad, comp))
+        assert found & {"rf-slot-range", "rf-slot-unallocated"}
+
+    def test_assert_verified_raises_with_findings(self, gcd_mesh4):
+        program, comp = gcd_mesh4
+        bad = corrupted(program)
+        ccnt = next(
+            c
+            for c, e in enumerate(bad.ccu_contexts)
+            if e.kind is BranchKind.UNCONDITIONAL
+        )
+        bad.ccu_contexts[ccnt] = CCUEntry(
+            BranchKind.UNCONDITIONAL, bad.n_cycles + 1
+        )
+        with pytest.raises(VerificationError) as exc:
+            assert_verified(bad, comp)
+        assert exc.value.findings
+        assert "branch-target" in {f.code for f in exc.value.findings}
+
+
+class TestEmissionHook:
+    """generate_contexts runs the checker unless disabled."""
+
+    def test_toggle_roundtrip(self):
+        previous = set_verify_enabled(False)
+        try:
+            assert not verify_enabled()
+            set_verify_enabled(True)
+            assert verify_enabled()
+        finally:
+            set_verify_enabled(previous)
+
+    def test_emission_verifies_when_enabled(self):
+        comp = mesh_composition(4)
+        kernel = get_workload("gcd").build()
+        schedule = schedule_kernel(kernel, comp)
+        previous = set_verify_enabled(True)
+        try:
+            program = generate_contexts(schedule, comp, kernel)
+        finally:
+            set_verify_enabled(previous)
+        assert program.n_cycles > 0

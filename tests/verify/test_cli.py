@@ -1,0 +1,45 @@
+"""``python -m repro.verify`` command-line harness."""
+
+import json
+
+import pytest
+
+from repro.verify.__main__ import main
+
+
+def test_default_verify_mode_passes(capsys):
+    assert main(["gcd", "-c", "mesh4"]) == 0
+    out = capsys.readouterr().out
+    assert "gcd on mesh4" in out
+    assert "ok" in out
+
+
+def test_verify_multiple_compositions(capsys):
+    assert main(["gcd", "-c", "mesh4", "-c", "B"]) == 0
+    out = capsys.readouterr().out
+    assert "gcd on mesh4" in out
+    assert "irregularB" in out
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SystemExit) as exc:
+        main(["no_such_kernel"])
+    assert exc.value.code == 2
+
+
+def test_mutate_mode_gcd(capsys, tmp_path):
+    path = tmp_path / "coverage.json"
+    rc = main(["gcd", "-c", "mesh4", "--mutate", "--json", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "escaped" in out
+    data = json.loads(path.read_text())
+    assert data["escaped"] == 0
+    assert data["caught_fraction"] >= 0.95
+
+
+def test_min_caught_is_enforced(capsys):
+    # an impossible bar: even 100% caught is < 1.01
+    rc = main(["gcd", "-c", "mesh4", "--mutate", "--min-caught", "1.01"])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
