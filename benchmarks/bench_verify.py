@@ -44,7 +44,9 @@ def test_verifier_throughput(benchmark, adpcm_programs):
             findings += len(verify_program(program, comp))
         return findings
 
-    findings = benchmark(verify_all)
+    # fixed rounds keep the session obs counters machine-invariant for
+    # the BENCH_* snapshot `count` metrics
+    findings = benchmark.pedantic(verify_all, rounds=5, iterations=1)
     assert findings == 0
 
     contexts = sum(p.n_cycles for _, p in adpcm_programs)
@@ -67,6 +69,6 @@ def test_mutation_cell(benchmark):
             program, comp, workload.vectors, mutants=mutants
         )
 
-    results = benchmark(campaign_cell)
+    results = benchmark.pedantic(campaign_cell, rounds=5, iterations=1)
     assert not [r for r in results if r.outcome == "escaped"]
     print(f"\ngcd on mesh4: {len(results)} mutants per round")

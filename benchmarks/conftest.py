@@ -77,11 +77,20 @@ def _internals(snapshot):
 
 
 def pytest_benchmark_update_json(config, benchmarks, output_json):
-    """Attach the obs metrics snapshot to the ``--benchmark-json`` file."""
+    """Attach the obs metrics snapshot to the ``--benchmark-json`` file.
+
+    ``python -m repro.obs snapshot`` rolls these files into a canonical
+    ``BENCH_<tag>.json`` (see docs/observability.md, "Benchmark
+    snapshots"); the ``provenance`` block records where the numbers
+    were measured.
+    """
+    from repro.obs.bench import environment_provenance
+
     snapshot = _SESSION_REGISTRY.snapshot()
     output_json["obs"] = {
         "internals": _internals(snapshot),
         "metrics": snapshot,
+        "provenance": environment_provenance(),
     }
     for bench in output_json.get("benchmarks", []):
         bench.setdefault("extra_info", {})["obs_internals"] = _internals(

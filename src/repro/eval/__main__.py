@@ -136,6 +136,12 @@ def main(argv=None) -> int:
         help="write a metrics-snapshot JSON of the evaluation run",
     )
     parser.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="write the run ledger (one JSONL record per pipeline "
+        "invocation) — see docs/observability.md",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -182,11 +188,19 @@ def main(argv=None) -> int:
         "max_cycles": args.max_cycles,
     }
 
-    if not (args.trace or args.metrics):
+    if not (args.trace or args.metrics or args.ledger):
         return _run_eval(n, **kwargs)
 
-    with observe() as session:
-        rc = _run_eval(n, **kwargs)
+    from repro.obs import RunLedger, set_ledger
+
+    ledger = RunLedger(args.ledger)
+    previous_ledger = set_ledger(ledger) if args.ledger else None
+    try:
+        with observe() as session:
+            rc = _run_eval(n, **kwargs)
+    finally:
+        if args.ledger:
+            set_ledger(previous_ledger)
     if args.trace:
         session.tracer.to_chrome(args.trace)
         print(f"trace written to {args.trace} ({len(session.tracer.records)} records)")
@@ -194,6 +208,9 @@ def main(argv=None) -> int:
         with open(args.metrics, "w") as fh:
             json.dump(session.metrics.snapshot(), fh, indent=2)
         print(f"metrics written to {args.metrics}")
+    if args.ledger:
+        ledger.write()
+        print(f"run ledger written to {args.ledger} ({len(ledger)} records)")
     return rc
 
 

@@ -12,6 +12,7 @@ bytecode; ours from a leaner IR — see EXPERIMENTS.md), but each table's
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -35,13 +36,14 @@ from repro.kernels.adpcm import (
     build_decoder_kernel,
     encoded_reference,
 )
-from repro.obs import get_metrics
+from repro.obs.ledger import get_ledger, pipeline_record
 from repro.obs.timing import timed
 from repro.perf.cache import ScheduleCache, shared_cache
 from repro.perf.parallel import ParallelEvaluator
 from repro.sched.scheduler import schedule_kernel
 from repro.sim.invocation import invoke_kernel
 from repro.sim.machine import DEFAULT_MAX_CYCLES
+from repro.verify import verify_enabled
 
 __all__ = [
     "adpcm_workload",
@@ -120,6 +122,7 @@ def run_adpcm_on(
     max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> CompositionRun:
     kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
+    cache_hit: Optional[bool] = None
     with timed("sched.walltime", label=label) as timer:
         if cache is None:
             schedule = schedule_kernel(kernel, comp)
@@ -132,9 +135,10 @@ def run_adpcm_on(
                 schedule = schedule_kernel(kernel, comp)
                 return generate_contexts(schedule, comp, kernel)
 
-            program, _hit = cache.get_or_compute(
+            program, cache_hit = cache.get_or_compute(
                 kernel, comp, _compute, fmt=CACHE_FORMAT
             )
+    sim_t0 = time.perf_counter()
     result = invoke_kernel(
         kernel,
         comp,
@@ -144,7 +148,27 @@ def run_adpcm_on(
         backend=backend,
         max_cycles=max_cycles,
     )
+    sim_seconds = time.perf_counter() - sim_t0
     decoded = result.heap.array(kernel.arrays[1].handle)
+    ledger = get_ledger()
+    if ledger.enabled:
+        ledger.record(
+            "grid.cell",
+            label=label,
+            **pipeline_record(
+                kernel,
+                comp,
+                program,
+                schedule_seconds=timer.seconds,
+                cache_hit=cache_hit,
+                backend=backend,
+                sim_seconds=sim_seconds,
+                cycles=result.run_cycles,
+                correct=decoded == expect,
+                energy=result.run.energy,
+                verifier="ok" if cache_hit is not True and verify_enabled() else None,
+            ),
+        )
     fpga = estimate(comp)
     return CompositionRun(
         label=label,
@@ -218,17 +242,14 @@ def run_grid(
     evaluator = ParallelEvaluator(jobs)
     results = evaluator.map(_grid_task, tasks)
     if evaluator.last_used_pool and cached:
-        # worker-side cache counters died with the workers: fold the
-        # reported deltas into this process's cache + metrics
-        hits = sum(r[1] for r in results)
-        misses = sum(r[2] for r in results)
+        # worker-side ScheduleCache instances died with the workers:
+        # fold their reported hit/miss deltas into this process's cache
+        # object.  The *metric* counters (perf.cache.*) need no help —
+        # when an enabled registry is installed the evaluator already
+        # folded every worker counter back (last_obs_folded)
         cache = shared_cache(cache_dir)
-        cache.hits += hits
-        cache.misses += misses
-        metrics = get_metrics()
-        if metrics.enabled:
-            metrics.inc("perf.cache.hits", hits)
-            metrics.inc("perf.cache.misses", misses)
+        cache.hits += sum(r[1] for r in results)
+        cache.misses += sum(r[2] for r in results)
     return {run.label: run for run, _h, _m in results}
 
 

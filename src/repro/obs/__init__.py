@@ -9,7 +9,13 @@ allocator, simulator and eval driver.  Three pieces:
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
   gauges and histograms (``sched.placement.rejected{reason=...}``,
   ``route.copies.inserted``, ``sim.cycles``, ``rf.pressure.max``),
-* :mod:`repro.obs.timing` — :class:`timed`, the one wall-clock path.
+* :mod:`repro.obs.timing` — :class:`timed`, the one wall-clock path,
+* :mod:`repro.obs.ledger` — :class:`RunLedger`, a schema-versioned
+  JSONL record of every pipeline invocation (fingerprints, cache
+  hit/miss, verifier outcome, backend throughput),
+* :mod:`repro.obs.bench` / :mod:`repro.obs.regress` — canonical
+  ``BENCH_<tag>.json`` benchmark snapshots and the perf-regression
+  comparator behind ``python -m repro.obs diff/check``.
 
 By default both the tracer and the registry are inert no-ops, so the
 instrumentation in the hot paths costs ~nothing.  Turn everything on
@@ -32,6 +38,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    get_ledger,
+    set_ledger,
+)
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -51,14 +64,19 @@ from repro.obs.trace import (
 __all__ = [
     "Histogram",
     "MetricsRegistry",
+    "NullLedger",
+    "NULL_LEDGER",
     "NullTracer",
     "NULL_TRACER",
     "ObsSession",
+    "RunLedger",
     "Tracer",
+    "get_ledger",
     "get_metrics",
     "get_tracer",
     "observe",
     "render_key",
+    "set_ledger",
     "set_metrics",
     "set_tracer",
     "timed",

@@ -1,16 +1,30 @@
-"""Observability harness: ``python -m repro.obs [kernel] [options]``.
+"""Observability harness: ``python -m repro.obs [command] [options]``.
 
-Runs one kernel/composition pair through the full pipeline (schedule ->
-contexts -> simulate) with tracing and metrics enabled, prints a
-human-readable report of the scheduler/simulator internals, and
-optionally writes the trace (Chrome trace-event JSON and/or JSONL) and
-the metrics snapshot to files::
+Default command (``run``, implied): run one kernel/composition pair
+through the full pipeline (schedule -> contexts -> simulate) with
+tracing, metrics and the run ledger enabled, print a human-readable
+report of the scheduler/simulator internals, and optionally write the
+trace (Chrome trace-event JSON and/or JSONL), the metrics snapshot and
+the ledger to files::
 
     python -m repro.obs gcd --composition compositions/mesh4.json \\
         --trace out.trace.json --metrics out.metrics.json
 
 Open the trace file in ``chrome://tracing`` or https://ui.perfetto.dev.
-See docs/observability.md for the event taxonomy and metric names.
+
+Benchmark-snapshot commands (the perf-regression observatory)::
+
+    python -m repro.obs snapshot --tag seed -o BENCH_seed.json b1.json b2.json
+    python -m repro.obs diff BENCH_seed.json BENCH_now.json
+    python -m repro.obs check --baseline BENCH_seed.json BENCH_now.json \\
+        --tolerance 10%
+
+``snapshot`` rolls pytest-benchmark ``--benchmark-json`` outputs into a
+canonical ``BENCH_<tag>.json`` with machine provenance; ``diff``
+classifies every per-metric delta (improved/regressed/neutral);
+``check`` exits non-zero when a gated metric regressed beyond the
+tolerance.  See docs/observability.md for the event taxonomy, metric
+names, and the snapshot/ledger schemas.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from repro.arch.library import (
     mesh_composition,
 )
 from repro.obs import observe, timed
+from repro.obs.ledger import RunLedger, set_ledger
 from repro.sim.invocation import invoke_kernel
 
 #: kernel name -> () -> (kernel, livein scalars, array contents)
@@ -149,7 +164,174 @@ def _top_counters(snapshot: Dict, prefix: str, limit: int = 5) -> List[str]:
     return [f"{k} = {v:g}" for v, k in rows[:limit]]
 
 
+def _snapshot_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs snapshot",
+        description="Roll pytest-benchmark JSON outputs into a "
+        "canonical BENCH_<tag>.json snapshot with provenance.",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="BENCHMARK_JSON",
+        help="pytest-benchmark --benchmark-json output file(s)",
+    )
+    parser.add_argument("--tag", required=True, help="snapshot tag, e.g. seed")
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="destination (default: BENCH_<tag>.json)",
+    )
+    parser.add_argument("--note", help="free-form annotation stored in the file")
+    args = parser.parse_args(argv)
+
+    from repro.obs.bench import build_snapshot, write_snapshot
+
+    pairs = []
+    for path in args.inputs:
+        with open(path) as fh:
+            pairs.append((path, json.load(fh)))
+    snapshot = build_snapshot(args.tag, pairs, note=args.note)
+    out = args.output or f"BENCH_{args.tag}.json"
+    write_snapshot(out, snapshot)
+    print(
+        f"snapshot {args.tag!r} written to {out}: "
+        f"{len(snapshot['metrics'])} metrics from "
+        f"{len(args.inputs)} input file(s)"
+    )
+    return 0
+
+
+def _diff_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs diff",
+        description="Classify per-metric deltas between two snapshots "
+        "(improved / regressed / neutral).",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json (or raw benchmark JSON)")
+    parser.add_argument(
+        "--tolerance",
+        default="10%",
+        help="neutral band, e.g. 10%% or 0.1 (default: 10%%)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list neutral metrics too"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.bench import load_snapshot
+    from repro.obs.regress import compare, parse_tolerance, render_deltas
+
+    deltas = compare(
+        load_snapshot(args.baseline),
+        load_snapshot(args.current),
+        tolerance=parse_tolerance(args.tolerance),
+    )
+    print(render_deltas(deltas, verbose=args.verbose))
+    return 0
+
+
+def _check_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs check",
+        description="Gate a current snapshot against a baseline: exit "
+        "non-zero when a gated metric regressed beyond the tolerance.",
+    )
+    parser.add_argument(
+        "current",
+        nargs="+",
+        metavar="CURRENT",
+        help="current snapshot, or raw pytest-benchmark JSON file(s) "
+        "(rolled into an ephemeral snapshot)",
+    )
+    parser.add_argument(
+        "--baseline", required=True, metavar="FILE", help="baseline BENCH_*.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        default="10%",
+        help="neutral band, e.g. 10%% or 0.1 (default: 10%%)",
+    )
+    parser.add_argument(
+        "--include-times",
+        action="store_true",
+        help="also gate wall-clock metrics (same-machine comparisons)",
+    )
+    parser.add_argument(
+        "--include-ratios",
+        action="store_true",
+        help="also gate speedup/hit-rate ratio metrics",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list neutral metrics too"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.bench import build_snapshot, is_snapshot, load_snapshot
+    from repro.obs.regress import compare, gate, parse_tolerance, render_deltas
+
+    if len(args.current) == 1:
+        current = load_snapshot(args.current[0])
+    else:
+        pairs = []
+        for path in args.current:
+            with open(path) as fh:
+                data = json.load(fh)
+            if is_snapshot(data):
+                parser.error(
+                    f"{path}: pass a single snapshot, or only raw "
+                    f"benchmark JSON files"
+                )
+            pairs.append((path, data))
+        current = build_snapshot("current", pairs)
+
+    baseline = load_snapshot(args.baseline)
+    deltas = compare(
+        baseline, current, tolerance=parse_tolerance(args.tolerance)
+    )
+    print(
+        f"baseline {baseline.get('tag')!r} "
+        f"({baseline.get('provenance', {}).get('hostname', '?')}) vs "
+        f"current {current.get('tag')!r}:"
+    )
+    print(render_deltas(deltas, verbose=args.verbose))
+    failures = gate(
+        deltas,
+        include_times=args.include_times,
+        include_ratios=args.include_ratios,
+    )
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated regression(s):")
+        for d in failures:
+            print(f"  {d.render()}")
+        return 1
+    regressed = sum(1 for d in deltas if d.classification == "regressed")
+    print(
+        f"\nok: no gated regressions"
+        + (f" ({regressed} non-gated regression(s) reported above)" if regressed else "")
+    )
+    return 0
+
+
+_SUBCOMMANDS = {
+    "snapshot": _snapshot_main,
+    "diff": _diff_main,
+    "check": _check_main,
+}
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return _run_main(argv)
+
+
+def _run_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -178,6 +360,9 @@ def main(argv=None) -> int:
         "--metrics", metavar="FILE", help="write the metrics snapshot as JSON"
     )
     parser.add_argument(
+        "--ledger", metavar="FILE", help="write the run ledger as JSONL"
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the report"
     )
     args = parser.parse_args(argv)
@@ -185,9 +370,14 @@ def main(argv=None) -> int:
     comp = resolve_composition(args.composition)
     kernel, livein, arrays = KERNELS[args.kernel]()
 
-    with observe() as session:
-        with timed("obs.pipeline", kernel=args.kernel):
-            result = invoke_kernel(kernel, comp, livein, arrays)
+    ledger = RunLedger(args.ledger)
+    previous_ledger = set_ledger(ledger)
+    try:
+        with observe() as session:
+            with timed("obs.pipeline", kernel=args.kernel):
+                result = invoke_kernel(kernel, comp, livein, arrays)
+    finally:
+        set_ledger(previous_ledger)
 
     snapshot = session.metrics.snapshot()
     if not args.quiet:
@@ -227,6 +417,9 @@ def main(argv=None) -> int:
         with open(args.metrics, "w") as fh:
             json.dump(snapshot, fh, indent=2)
         print(f"metrics written to {args.metrics}")
+    if args.ledger:
+        ledger.write()
+        print(f"run ledger written to {args.ledger} ({len(ledger)} records)")
     return 0
 
 

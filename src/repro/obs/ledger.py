@@ -1,0 +1,199 @@
+"""Structured run ledger: one JSONL record per pipeline invocation.
+
+Every trip through the pipeline (schedule -> contexts -> verify ->
+simulate) appends one schema-versioned record to the installed
+:class:`RunLedger`: kernel/composition content fingerprints (from
+:mod:`repro.perf.fingerprint`), the emitted program digest, scheduler
+wall-time, schedule-cache hit/miss, verifier outcome, simulator backend
+and throughput.  The ledger is the durable trail the benchmark
+snapshots and the regression observatory build on: ``BENCH_*.json``
+answers *how fast*, the ledger answers *what exactly ran and what came
+out*.
+
+Like the tracer and the metrics registry, the process-wide default is
+an inert no-op (:data:`NULL_LEDGER`); install a real one with
+:func:`set_ledger` or the ``--ledger FILE`` flag on ``repro.eval`` /
+``repro.verify`` / ``repro.obs``.  Records are buffered in memory and
+written on :meth:`RunLedger.write` — pool workers run with their own
+ledger whose records the parent folds back in submission order, so a
+``--jobs N`` run produces the same ledger as the serial run (see
+:mod:`repro.perf.parallel`).
+
+Schema (``LEDGER_SCHEMA = 1``) — common envelope per record::
+
+    {"schema": 1, "seq": 3, "kind": "pipeline.run", "ts": 1723...,
+     ...kind-specific fields...}
+
+See docs/observability.md ("Run ledger") for the per-kind fields.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "NullLedger",
+    "NULL_LEDGER",
+    "RunLedger",
+    "get_ledger",
+    "set_ledger",
+    "pipeline_record",
+    "read_ledger",
+]
+
+#: bump when the record envelope or the pipeline.run fields change shape
+LEDGER_SCHEMA = 1
+
+
+class NullLedger:
+    """Ledger that records nothing; the process-wide default."""
+
+    enabled = False
+
+    def record(self, kind: str, **fields: Any) -> None:
+        return None
+
+
+NULL_LEDGER = NullLedger()
+
+
+class RunLedger:
+    """In-memory, schema-versioned record buffer with JSONL export."""
+
+    enabled = True
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        #: default destination for :meth:`write` (optional)
+        self.path = path
+        self.records: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.records)
+
+    def record(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record; envelope fields win over ``fields``."""
+        rec = dict(fields)
+        rec.update(
+            schema=LEDGER_SCHEMA,
+            seq=len(self.records),
+            kind=kind,
+            ts=round(time.time(), 3),
+        )
+        self.records.append(rec)
+        return rec
+
+    def extend(self, records: List[Dict[str, Any]]) -> None:
+        """Fold records captured by another process's ledger.
+
+        ``seq`` is re-assigned so the merged ledger stays totally
+        ordered; everything else is kept verbatim.
+        """
+        for rec in records:
+            merged = dict(rec)
+            merged["seq"] = len(self.records)
+            self.records.append(merged)
+
+    def write(self, dest: Optional[Union[str, IO[str]]] = None) -> None:
+        """Write all records as JSONL to ``dest`` (default: ``path``)."""
+        target = dest if dest is not None else self.path
+        if target is None:
+            raise ValueError("RunLedger has no path and no dest was given")
+        if isinstance(target, str):
+            with open(target, "w") as fh:
+                self._render(fh)
+        else:
+            self._render(target)
+
+    def _render(self, fh: IO[str]) -> None:
+        for rec in self.records:
+            fh.write(json.dumps(rec, sort_keys=True, default=str))
+            fh.write("\n")
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL ledger file back into a list of records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def pipeline_record(
+    kernel,
+    comp,
+    program,
+    *,
+    schedule_seconds: Optional[float] = None,
+    cache_hit: Optional[bool] = None,
+    backend: Optional[str] = None,
+    sim_seconds: Optional[float] = None,
+    cycles: Optional[int] = None,
+    correct: Optional[bool] = None,
+    energy: Optional[float] = None,
+    verifier: Optional[str] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The standard ``pipeline.run`` field set for one invocation.
+
+    Computes the content fingerprints / program digest here so call
+    sites stay one line; ``cache_hit=None`` means "no cache in play",
+    ``verifier`` is ``"ok"`` / ``"disabled"`` / a finding count.
+    """
+    from repro.perf.fingerprint import (
+        composition_fingerprint,
+        kernel_fingerprint,
+        program_digest,
+    )
+
+    fields: Dict[str, Any] = {
+        "kernel": getattr(kernel, "name", str(kernel)),
+        "kernel_fp": kernel_fingerprint(kernel),
+        "composition": getattr(comp, "name", str(comp)),
+        "composition_fp": composition_fingerprint(comp),
+        "program_digest": program_digest(program),
+        "contexts": getattr(program, "n_cycles", None),
+        "schedule_seconds": _round(schedule_seconds),
+        "cache_hit": cache_hit,
+        "backend": backend,
+        "sim_seconds": _round(sim_seconds),
+        "cycles": cycles,
+        "cycles_per_sec": (
+            round(cycles / sim_seconds)
+            if cycles is not None and sim_seconds
+            else None
+        ),
+        "correct": correct,
+        "energy": energy,
+        "verifier": verifier,
+    }
+    fields.update(extra)
+    return fields
+
+
+def _round(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds, 6)
+
+
+_ledger: Union[RunLedger, NullLedger] = NULL_LEDGER
+
+
+def get_ledger() -> Union[RunLedger, NullLedger]:
+    """The process-wide ledger (default: :data:`NULL_LEDGER`)."""
+    return _ledger
+
+
+def set_ledger(ledger: Optional[Union[RunLedger, NullLedger]]):
+    """Install ``ledger`` (``None`` = disable); returns the previous."""
+    global _ledger
+    previous = _ledger
+    _ledger = ledger if ledger is not None else NULL_LEDGER
+    return previous

@@ -9,10 +9,20 @@ The process-wide default registry is *disabled*: every ``inc`` /
 check, so the instrumented scheduler and simulator pay near-zero cost
 until a caller installs an enabled registry via :func:`set_metrics`
 or :func:`repro.obs.observe`.
+
+Histograms are *streaming*: besides the exact moments (count / sum /
+min / max) every observation lands in a fixed-relative-error log
+bucket, so p50/p90/p99 stay accurate to a few percent no matter how
+many values stream through, with bounded memory.  Bucket counts (and
+therefore percentiles) merge exactly across registries, which is what
+lets :class:`~repro.perf.parallel.ParallelEvaluator` fold per-worker
+registries back into the parent without losing distribution shape:
+``parent.merge(worker.dump())``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -41,11 +51,25 @@ def render_key(name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> str:
     return f"{name}{{{inner}}}"
 
 
-class Histogram:
-    """Streaming distribution: exact count/sum/min/max + a bounded
-    sample reservoir (first ``cap`` observations) for percentiles."""
+#: log-bucket growth factor: each bucket spans 4% of relative range,
+#: so streamed percentiles carry at most ~2% relative error
+_BUCKET_GROWTH = 1.04
+_LOG_GROWTH = math.log(_BUCKET_GROWTH)
 
-    __slots__ = ("count", "total", "vmin", "vmax", "_sample", "_cap")
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max + fixed-relative-
+    error log buckets for percentiles, plus a bounded sample reservoir
+    (first ``cap`` observations) kept for exact small-run inspection.
+
+    The log buckets make percentiles *streaming* (bounded memory, any
+    number of observations) and *mergeable*: two histograms over
+    disjoint observation sets merge into exactly the histogram the
+    union would have produced — the property the cross-process metric
+    fold relies on.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "_sample", "_cap", "_buckets")
 
     def __init__(self, cap: int = 4096) -> None:
         self.count = 0
@@ -54,6 +78,25 @@ class Histogram:
         self.vmax: Optional[float] = None
         self._sample: List[float] = []
         self._cap = cap
+        #: bucket index -> observation count (see :func:`_bucket_index`)
+        self._buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        """Index of the log bucket holding ``value`` (sign-symmetric)."""
+        if value == 0:
+            return 0
+        magnitude = 1 + max(0, math.floor(math.log(abs(value)) / _LOG_GROWTH) + 2**30)
+        return magnitude if value > 0 else -magnitude
+
+    @staticmethod
+    def _bucket_value(index: int) -> float:
+        """Representative (geometric-mid) value of one bucket."""
+        if index == 0:
+            return 0.0
+        magnitude = abs(index) - 1 - 2**30
+        value = _BUCKET_GROWTH ** (magnitude + 0.5)
+        return value if index > 0 else -value
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -64,18 +107,70 @@ class Histogram:
             self.vmax = value
         if len(self._sample) < self._cap:
             self._sample.append(value)
+        idx = self._bucket_index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained sample (0..100)."""
-        if not self._sample:
+        """Streamed nearest-rank percentile (0..100), ~2% relative error.
+
+        Walks the log buckets to the observation of rank
+        ``ceil(p/100 * count)`` and returns that bucket's representative
+        value, clamped into ``[min, max]`` so the extremes are exact.
+        """
+        if not self.count:
             return 0.0
-        ordered = sorted(self._sample)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = max(1, min(self.count, math.ceil(p / 100.0 * self.count)))
+        seen = 0
+        value = 0.0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                value = self._bucket_value(idx)
+                break
+        assert self.vmin is not None and self.vmax is not None
+        return max(self.vmin, min(self.vmax, value))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in: exact moments, exact bucket counts."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.vmin is None or (other.vmin is not None and other.vmin < self.vmin):
+            self.vmin = other.vmin
+        if self.vmax is None or (other.vmax is not None and other.vmax > self.vmax):
+            self.vmax = other.vmax
+        room = self._cap - len(self._sample)
+        if room > 0:
+            self._sample.extend(other._sample[:room])
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+
+    def dump(self) -> Dict[str, Any]:
+        """Picklable/JSON-able raw state (mergeable, unlike a summary)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "sample": list(self._sample),
+            "buckets": {str(k): v for k, v in self._buckets.items()},
+        }
+
+    @classmethod
+    def from_dump(cls, data: Dict[str, Any]) -> "Histogram":
+        h = cls()
+        h.count = data["count"]
+        h.total = data["sum"]
+        h.vmin = data["min"]
+        h.vmax = data["max"]
+        h._sample = list(data["sample"])[: h._cap]
+        h._buckets = {int(k): v for k, v in data["buckets"].items()}
+        return h
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -98,6 +193,8 @@ class MetricsRegistry:
         self._counters: Dict[_Key, float] = {}
         self._gauges: Dict[_Key, float] = {}
         self._hists: Dict[_Key, Histogram] = {}
+        #: gauges written through :meth:`set_max` — merged as peaks
+        self._max_gauges: set = set()
 
     # -- writers (no-ops when disabled) ---------------------------------
 
@@ -119,6 +216,7 @@ class MetricsRegistry:
         if not self.enabled:
             return
         key = _key(name, labels)
+        self._max_gauges.add(key)
         if key not in self._gauges or value > self._gauges[key]:
             self._gauges[key] = value
 
@@ -164,6 +262,54 @@ class MetricsRegistry:
             },
         }
 
+    # -- cross-process fold ---------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Raw, picklable state for :meth:`merge` (lossless, unlike
+        :meth:`snapshot` whose histograms are already summarised)."""
+        return {
+            "counters": [
+                [name, list(labels), value]
+                for (name, labels), value in self._counters.items()
+            ],
+            "gauges": [
+                [name, list(labels), value, (name, labels) in self._max_gauges]
+                for (name, labels), value in self._gauges.items()
+            ],
+            "histograms": [
+                [name, list(labels), hist.dump()]
+                for (name, labels), hist in self._hists.items()
+            ],
+        }
+
+    def merge(self, dump: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump` from another registry (e.g. a pool
+        worker) into this one.
+
+        Counters add, histograms merge exactly (moments + buckets),
+        ``set_max`` gauges keep the peak, and plain gauges keep the
+        *incoming* value (last-write-wins, matching what a serial run
+        of the same work would have left behind).
+        """
+        for name, labels, value in dump["counters"]:
+            key = (name, tuple(tuple(lb) for lb in labels))
+            self._counters[key] = self._counters.get(key, 0) + value
+        for name, labels, value, is_max in dump["gauges"]:
+            key = (name, tuple(tuple(lb) for lb in labels))
+            if is_max:
+                self._max_gauges.add(key)
+                if key not in self._gauges or value > self._gauges[key]:
+                    self._gauges[key] = value
+            else:
+                self._gauges[key] = value
+        for name, labels, hist_dump in dump["histograms"]:
+            key = (name, tuple(tuple(lb) for lb in labels))
+            hist = self._hists.get(key)
+            if hist is None:
+                self._hists[key] = Histogram.from_dump(hist_dump)
+            else:
+                hist.merge(Histogram.from_dump(hist_dump))
+
     def render_report(self) -> str:
         """Aligned, human-readable dump of the snapshot."""
         snap = self.snapshot()
@@ -192,6 +338,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._hists.clear()
+        self._max_gauges.clear()
 
 
 #: default registry: disabled so the instrumented hot paths cost ~nothing

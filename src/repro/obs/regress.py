@@ -1,0 +1,189 @@
+"""Perf-regression observatory: diff and gate benchmark snapshots.
+
+:func:`compare` lines two :mod:`repro.obs.bench` snapshots up metric by
+metric and classifies every delta:
+
+* ``improved`` / ``regressed`` — moved beyond the tolerance in the
+  metric's good/bad direction,
+* ``neutral`` — within tolerance (or the metric has no direction),
+* ``added`` / ``removed`` — present in only one snapshot (a CI smoke
+  subset legitimately produces fewer metrics than the full baseline).
+
+:func:`gate` turns the comparison into an exit code: a regression on a
+gated metric kind fails the check.  Deterministic ``count`` metrics are
+always gated; machine-dependent ``time`` metrics and machine-relative
+``ratio`` metrics only when explicitly included, so the same baseline
+works across laptops and CI runners.
+
+CLI: ``python -m repro.obs diff A B`` and ``python -m repro.obs check
+--baseline BENCH_seed.json --tolerance 10%`` (see docs/observability.md,
+"Regression gating").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MetricDelta",
+    "compare",
+    "gate",
+    "parse_tolerance",
+    "render_deltas",
+]
+
+#: metric kinds gated by default (see repro.obs.bench for the taxonomy)
+DEFAULT_GATED_KINDS = ("count",)
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between a baseline and a current snapshot."""
+
+    name: str
+    kind: str
+    unit: str
+    direction: Optional[str]
+    baseline: Optional[float]
+    current: Optional[float]
+    #: relative change (cur - base) / base; None when undefined
+    rel_change: Optional[float]
+    #: improved | regressed | neutral | added | removed
+    classification: str
+
+    def render(self) -> str:
+        def fmt(v: Optional[float]) -> str:
+            return "-" if v is None else f"{v:g}"
+
+        pct = (
+            ""
+            if self.rel_change is None
+            else f" ({self.rel_change:+.1%})"
+        )
+        return (
+            f"{self.classification:<9} {self.kind:<6} {self.name}: "
+            f"{fmt(self.baseline)} -> {fmt(self.current)}{pct}"
+        )
+
+
+def parse_tolerance(text: str) -> float:
+    """``"10%"`` -> 0.10, ``"0.1"`` -> 0.1."""
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    return float(text)
+
+
+def _classify(
+    direction: Optional[str],
+    baseline: float,
+    current: float,
+    tolerance: float,
+) -> str:
+    if direction not in ("lower", "higher"):
+        return "neutral"
+    if baseline == 0:
+        if current == 0:
+            return "neutral"
+        # something from nothing: treat growth as movement in ``current``'s
+        # favour or against it depending on direction
+        return "regressed" if direction == "lower" else "improved"
+    rel = (current - baseline) / abs(baseline)
+    if abs(rel) <= tolerance:
+        return "neutral"
+    worse = rel > 0 if direction == "lower" else rel < 0
+    return "regressed" if worse else "improved"
+
+
+def compare(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    tolerance: float = 0.10,
+) -> List[MetricDelta]:
+    """All metric deltas between two snapshots, sorted by name."""
+    base_metrics: Dict[str, Dict] = baseline.get("metrics", {})
+    cur_metrics: Dict[str, Dict] = current.get("metrics", {})
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        b = base_metrics.get(name)
+        c = cur_metrics.get(name)
+        meta = c if c is not None else b
+        assert meta is not None
+        kind = meta.get("kind", "info")
+        unit = meta.get("unit", "")
+        direction = meta.get("direction")
+        if b is None:
+            deltas.append(
+                MetricDelta(name, kind, unit, direction, None, c["value"], None, "added")
+            )
+            continue
+        if c is None:
+            deltas.append(
+                MetricDelta(name, kind, unit, direction, b["value"], None, None, "removed")
+            )
+            continue
+        bv, cv = b["value"], c["value"]
+        rel = (cv - bv) / abs(bv) if bv else None
+        deltas.append(
+            MetricDelta(
+                name,
+                kind,
+                unit,
+                direction,
+                bv,
+                cv,
+                rel,
+                _classify(direction, bv, cv, tolerance),
+            )
+        )
+    return deltas
+
+
+def gate(
+    deltas: List[MetricDelta],
+    *,
+    include_times: bool = False,
+    include_ratios: bool = False,
+) -> List[MetricDelta]:
+    """The regressions that should fail the check.
+
+    ``count`` regressions always gate; ``time`` / ``ratio`` ones only
+    when opted in (cross-machine comparisons make raw wall-clock and
+    core-count-relative ratios unreliable).
+    """
+    kinds = set(DEFAULT_GATED_KINDS)
+    if include_times:
+        kinds.add("time")
+    if include_ratios:
+        kinds.add("ratio")
+    return [
+        d
+        for d in deltas
+        if d.classification == "regressed" and d.kind in kinds
+    ]
+
+
+def render_deltas(
+    deltas: List[MetricDelta], *, verbose: bool = False
+) -> str:
+    """Human-readable comparison: movements first, neutrals summarised."""
+    lines: List[str] = []
+    moved = [d for d in deltas if d.classification in ("improved", "regressed")]
+    edges = [d for d in deltas if d.classification in ("added", "removed")]
+    neutral = [d for d in deltas if d.classification == "neutral"]
+    for d in moved:
+        lines.append(d.render())
+    if verbose:
+        for d in neutral + edges:
+            lines.append(d.render())
+    else:
+        if edges:
+            lines.append(
+                f"(+{sum(1 for d in edges if d.classification == 'added')} added, "
+                f"-{sum(1 for d in edges if d.classification == 'removed')} removed "
+                f"metric(s) — not compared)"
+            )
+        lines.append(f"({len(neutral)} metric(s) neutral)")
+    return "\n".join(lines) if lines else "(no metrics to compare)"

@@ -102,13 +102,20 @@ class Tracer:
         *,
         max_records: int = 1_000_000,
         clock: Callable[[], int] = time.perf_counter_ns,
+        epoch_ns: Optional[int] = None,
     ) -> None:
         self.records: List[Dict[str, Any]] = []
         self.dropped = 0
         self.max_records = max_records
         self._clock = clock
-        self._t0 = clock()
+        # ``epoch_ns`` aligns this tracer's timestamps with another
+        # tracer's timeline: pool workers pass the parent's epoch so the
+        # merged trace shares one time axis (perf_counter_ns is the
+        # system-wide monotonic clock, comparable across processes)
+        self._t0 = epoch_ns if epoch_ns is not None else clock()
         self._depth = 0
+        #: pid -> display label for foreign (merged-in) record lanes
+        self._pid_labels: Dict[int, str] = {}
 
     # -- recording ------------------------------------------------------
 
@@ -147,6 +154,29 @@ class Tracer:
             }
         )
 
+    @property
+    def epoch_ns(self) -> int:
+        """The ns instant this tracer's ``ts`` values are relative to."""
+        return self._t0
+
+    def add_foreign_records(
+        self,
+        records: List[Dict[str, Any]],
+        *,
+        pid: int,
+        label: Optional[str] = None,
+    ) -> None:
+        """Merge records captured by another process's tracer.
+
+        The foreign tracer must have been constructed with this
+        tracer's :attr:`epoch_ns` so the timelines align; its records
+        land on a separate ``pid`` lane in the Chrome export.
+        """
+        if label is not None:
+            self._pid_labels[pid] = label
+        for record in records:
+            self._append({**record, "pid": pid})
+
     # -- export ---------------------------------------------------------
 
     def to_jsonl(self, dest: Union[str, IO[str]]) -> None:
@@ -159,14 +189,32 @@ class Tracer:
             fh.write("\n")
 
     def chrome_events(self) -> List[Dict[str, Any]]:
-        """Records in Chrome trace-event form (``ph: X`` / ``ph: i``)."""
+        """Records in Chrome trace-event form (``ph: X`` / ``ph: i``).
+
+        Records merged in via :meth:`add_foreign_records` keep their
+        worker pid, so a parallel run renders as one lane per process;
+        metadata events name each lane.
+        """
         events: List[Dict[str, Any]] = []
+        labels = dict(self._pid_labels)
+        if labels:
+            labels.setdefault(0, "main")
+        for pid, label in sorted(labels.items()):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
         for record in self.records:
             common = {
                 "name": record["name"],
                 "cat": record["name"].split(".", 1)[0],
                 "ts": record["ts"],
-                "pid": 0,
+                "pid": record.get("pid", 0),
                 "tid": 0,
                 "args": record["args"],
             }

@@ -20,6 +20,17 @@ identical schedules) and its warm in-memory caches.
 
 Pool statistics are mirrored into the ``repro.obs`` metrics registry:
 ``perf.pool.tasks`` (counter), ``perf.pool.workers`` (gauge).
+
+**Cross-process observability.**  When the parent has an enabled
+tracer, metrics registry or run ledger, each task is wrapped so the
+worker runs it under *fresh* per-task obs sinks and ships their raw
+state back with the result.  The parent folds everything in submission
+order: counters add, histograms merge bucket-exactly, trace records
+land on per-worker pid lanes of the parent tracer (one merged Chrome
+trace), and ledger records are re-sequenced into the parent ledger.
+Totals therefore equal the serial run's (see
+``tests/perf/test_obs_merge.py``); only ``perf.pool.workers`` reflects
+the actual pool width.
 """
 
 from __future__ import annotations
@@ -29,11 +40,48 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.obs import get_metrics
+from repro.obs import get_metrics, get_tracer
+from repro.obs.ledger import RunLedger, get_ledger, set_ledger
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import Tracer, set_tracer
 
 __all__ = ["ParallelEvaluator", "resolve_jobs"]
+
+
+def _obs_task(payload: Tuple) -> Tuple[Any, Optional[dict]]:
+    """Run one task under fresh per-task obs sinks (worker side).
+
+    The worker process forked from the parent *inherits* the parent's
+    enabled registries — recording into them would strand the data in
+    the worker (and double-count the inherited baseline if shipped
+    wholesale).  Fresh sinks capture exactly this task's contribution;
+    the returned raw dumps are what the parent folds back in.
+    """
+    fn, item, want_metrics, want_trace, want_ledger, epoch_ns = payload
+    metrics = MetricsRegistry() if want_metrics else None
+    tracer = Tracer(epoch_ns=epoch_ns) if want_trace else None
+    ledger = RunLedger() if want_ledger else None
+    prev_metrics = set_metrics(metrics) if want_metrics else None
+    prev_tracer = set_tracer(tracer) if want_trace else None
+    prev_ledger = set_ledger(ledger) if want_ledger else None
+    try:
+        result = fn(item)
+    finally:
+        if want_metrics:
+            set_metrics(prev_metrics)
+        if want_trace:
+            set_tracer(prev_tracer)
+        if want_ledger:
+            set_ledger(prev_ledger)
+    obs = {
+        "pid": os.getpid(),
+        "metrics": metrics.dump() if metrics is not None else None,
+        "trace": tracer.records if tracer is not None else None,
+        "ledger": ledger.records if ledger is not None else None,
+    }
+    return result, obs
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -53,6 +101,11 @@ class ParallelEvaluator:
         #: (callers aggregate worker-side counters only in that case —
         #: serial tasks already updated the in-process registry)
         self.last_used_pool = False
+        #: whether the most recent :meth:`map` folded worker obs state
+        #: (metrics/trace/ledger) back into the parent sinks — when
+        #: True, worker-side ``repro.obs`` data is already accounted
+        #: for and callers must not re-add it
+        self.last_obs_folded = False
 
     # -- internals -------------------------------------------------------
 
@@ -84,17 +137,38 @@ class ParallelEvaluator:
         if metrics.enabled:
             metrics.inc("perf.pool.tasks", len(items))
         self.last_used_pool = False
+        self.last_obs_folded = False
         if self.jobs <= 1 or len(items) <= 1 or self._pool_broken:
             if metrics.enabled:
                 metrics.set_max("perf.pool.workers", 1)
             return self._map_serial(fn, items)
 
+        tracer = get_tracer()
+        ledger = get_ledger()
+        capture_obs = metrics.enabled or tracer.enabled or ledger.enabled
         workers = min(self.jobs, len(items))
         try:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=self._mp_context()
             ) as pool:
-                futures = [pool.submit(fn, item) for item in items]
+                if capture_obs:
+                    epoch = tracer.epoch_ns if tracer.enabled else None
+                    futures = [
+                        pool.submit(
+                            _obs_task,
+                            (
+                                fn,
+                                item,
+                                metrics.enabled,
+                                tracer.enabled,
+                                ledger.enabled,
+                                epoch,
+                            ),
+                        )
+                        for item in items
+                    ]
+                else:
+                    futures = [pool.submit(fn, item) for item in items]
                 # collect by submission index: deterministic ordering
                 # no matter which worker finishes first
                 results = [f.result() for f in futures]
@@ -122,4 +196,23 @@ class ParallelEvaluator:
         if metrics.enabled:
             metrics.set_max("perf.pool.workers", workers)
         self.last_used_pool = True
+        if capture_obs:
+            # fold worker obs state in submission order: the merged
+            # sinks end up identical to what the serial loop would have
+            # recorded (modulo perf.pool.workers)
+            plain = []
+            for result, obs in results:
+                plain.append(result)
+                if obs["metrics"] is not None:
+                    metrics.merge(obs["metrics"])
+                if obs["trace"] is not None:
+                    tracer.add_foreign_records(
+                        obs["trace"],
+                        pid=obs["pid"],
+                        label=f"worker-{obs['pid']}",
+                    )
+                if obs["ledger"] is not None:
+                    ledger.extend(obs["ledger"])
+            self.last_obs_folded = True
+            return plain
         return results

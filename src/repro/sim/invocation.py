@@ -11,6 +11,7 @@ kernel + composition + inputs -> schedule -> contexts -> simulate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Union
 
@@ -19,6 +20,7 @@ from repro.context.generator import generate_contexts
 from repro.context.words import ContextProgram
 from repro.ir.cdfg import Kernel
 from repro.ir.nodes import Var
+from repro.obs.ledger import get_ledger
 from repro.sched.schedule import Schedule
 from repro.sim.machine import (
     DEFAULT_MAX_CYCLES,
@@ -106,12 +108,15 @@ def invoke_kernel(
     ``arrays`` maps array parameter names to initial contents; the final
     contents are reachable through ``result.heap``.
     """
+    schedule_seconds = None
     if program is None:
+        t0 = time.perf_counter()
         if schedule is None:
             from repro.sched.scheduler import schedule_kernel
 
             schedule = schedule_kernel(kernel, comp)
         program = generate_contexts(schedule, comp, kernel)
+        schedule_seconds = time.perf_counter() - t0
     heap = Heap()
     arrays = dict(arrays or {})
     for ref in kernel.arrays:
@@ -121,6 +126,34 @@ def invoke_kernel(
         heap.allocate(ref.handle, data)
     if arrays:
         raise KeyError(f"unknown arrays supplied: {sorted(arrays)}")
-    return run_invocation(
+    t0 = time.perf_counter()
+    result = run_invocation(
         program, comp, livein, heap, max_cycles=max_cycles, backend=backend
     )
+    ledger = get_ledger()
+    if ledger.enabled:
+        from repro.obs.ledger import pipeline_record
+        from repro.verify import verify_enabled
+
+        ledger.record(
+            "pipeline.run",
+            **pipeline_record(
+                kernel,
+                comp,
+                program,
+                schedule_seconds=schedule_seconds,
+                backend=backend,
+                sim_seconds=time.perf_counter() - t0,
+                cycles=result.run_cycles,
+                energy=result.run.energy,
+                # contexts emitted here passed the always-on post-emission
+                # checker (it raises on findings); a supplied program was
+                # verified wherever it was generated
+                verifier=(
+                    ("ok" if verify_enabled() else "disabled")
+                    if schedule_seconds is not None
+                    else "precomputed"
+                ),
+            ),
+        )
+    return result

@@ -16,14 +16,24 @@ Examples::
     python -m repro.verify                        # verify gcd+adpcm
     python -m repro.verify --all -c mesh4 -c B    # verify all kernels
     python -m repro.verify --mutate --json out.json
+
+``--trace FILE`` / ``--metrics FILE`` / ``--ledger FILE`` capture the
+run exactly as on ``python -m repro.eval``: a Chrome trace of the
+checker / mutation-campaign spans (``verify.check``,
+``verify.campaign``, ``verify.campaign.cell``, ``verify.mutate``), the
+metrics snapshot (``verify.*`` counters and timing histograms), and the
+JSONL run ledger.  See docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.obs import observe
 from repro.obs.__main__ import resolve_composition
+from repro.obs.ledger import RunLedger, pipeline_record, set_ledger
 from repro.verify import set_verify_enabled, verify_program
 from repro.verify.mutate import run_mutation_campaign
 from repro.verify.workloads import WORKLOADS, get_workload
@@ -80,6 +90,22 @@ def main(argv=None) -> int:
         metavar="FRAC",
         help="fail if the caught fraction drops below FRAC (default 0.95)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace JSON of the verification run",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics-snapshot JSON of the verification run",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="write the run ledger (one JSONL record per checked "
+        "program / campaign cell)",
+    )
     args = parser.parse_args(argv)
 
     names = list(WORKLOADS) if args.all else (args.kernels or list(DEFAULT_KERNELS))
@@ -97,10 +123,52 @@ def main(argv=None) -> int:
     # explicitly here instead.
     set_verify_enabled(False)
 
+    want_obs = args.trace or args.metrics or args.ledger
+    ledger = RunLedger(args.ledger)
+    previous_ledger = set_ledger(ledger) if args.ledger else None
+    try:
+        if want_obs:
+            with observe() as session:
+                rc = _run_checks(args, workloads, comps, ledger)
+        else:
+            rc = _run_checks(args, workloads, comps, ledger)
+    finally:
+        if args.ledger:
+            set_ledger(previous_ledger)
+    if args.trace:
+        session.tracer.to_chrome(args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(session.tracer.records)} records)"
+        )
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(session.metrics.snapshot(), fh, indent=2)
+        print(f"metrics written to {args.metrics}")
+    if args.ledger:
+        ledger.write()
+        print(f"run ledger written to {args.ledger} ({len(ledger)} records)")
+    return rc
+
+
+def _run_checks(args, workloads, comps, ledger) -> int:
     if args.mutate:
         report = run_mutation_campaign(
             workloads, comps, backend=args.backend, progress=print
         )
+        if ledger.enabled:
+            for cell in report.cells:
+                ledger.record(
+                    "verify.campaign.cell",
+                    kernel=cell.kernel,
+                    composition=cell.composition,
+                    mutants=cell.n_mutants,
+                    caught_static=cell.count("caught_static"),
+                    caught_dynamic=cell.count("caught_dynamic"),
+                    equivalent=cell.count("equivalent"),
+                    escaped=cell.count("escaped"),
+                    backend=args.backend,
+                )
         print()
         print(report.render_table())
         if args.json:
@@ -137,6 +205,16 @@ def main(argv=None) -> int:
             schedule = schedule_kernel(kernel, comp)
             program = generate_contexts(schedule, comp, kernel)
             findings = verify_program(program, comp)
+            if ledger.enabled:
+                ledger.record(
+                    "verify.program",
+                    **pipeline_record(
+                        kernel,
+                        comp,
+                        program,
+                        verifier="ok" if not findings else str(len(findings)),
+                    ),
+                )
             status = "ok" if not findings else f"{len(findings)} finding(s)"
             print(
                 f"{workload.name} on {comp.name}: {program.n_cycles} "

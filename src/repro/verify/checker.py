@@ -727,10 +727,12 @@ def verify_program(
     program is clean).  Independent of the scheduler's bookkeeping: only
     the program and the composition are consulted.
     """
-    from repro.obs import get_metrics, get_tracer
+    from repro.obs import get_metrics
+    from repro.obs.timing import timed
 
-    tracer = get_tracer()
-    with tracer.span(
+    # timed (not a bare span) so checker latency also lands in the
+    # verify.check.seconds histogram — the p50/p99 SLO series
+    with timed(
         "verify.check",
         kernel=program.kernel_name,
         composition=program.composition_name,

@@ -1146,26 +1146,38 @@ def run_mutation_campaign(
     ``progress`` (optional) is called with a one-line status string per
     cell — the CLI passes ``print``.
     """
+    from repro.obs.timing import timed
     from repro.sched.scheduler import schedule_kernel
 
     report = CampaignReport()
-    for workload in workloads:
-        kernel = workload.build()
-        for comp in comps:
-            schedule = schedule_kernel(kernel, comp)
-            program = generate_contexts(schedule, comp, kernel)
-            results = classify_mutants(
-                program, comp, workload.vectors, backend=backend
-            )
-            cell = CellReport(
-                kernel=workload.name, composition=comp.name, results=results
-            )
-            report.cells.append(cell)
-            if progress is not None:
-                progress(
-                    f"{workload.name} on {comp.name}: {cell.n_mutants} "
-                    f"mutants, {cell.count('caught_static')} static, "
-                    f"{cell.count('caught_dynamic')} dynamic, "
-                    f"{cell.count('escaped')} escaped"
+    with timed(
+        "verify.campaign",
+        workloads=len(workloads),
+        compositions=len(comps),
+        backend=backend,
+    ):
+        for workload in workloads:
+            kernel = workload.build()
+            for comp in comps:
+                with timed(
+                    "verify.campaign.cell",
+                    kernel=workload.name,
+                    composition=comp.name,
+                ):
+                    schedule = schedule_kernel(kernel, comp)
+                    program = generate_contexts(schedule, comp, kernel)
+                    results = classify_mutants(
+                        program, comp, workload.vectors, backend=backend
+                    )
+                cell = CellReport(
+                    kernel=workload.name, composition=comp.name, results=results
                 )
+                report.cells.append(cell)
+                if progress is not None:
+                    progress(
+                        f"{workload.name} on {comp.name}: {cell.n_mutants} "
+                        f"mutants, {cell.count('caught_static')} static, "
+                        f"{cell.count('caught_dynamic')} dynamic, "
+                        f"{cell.count('escaped')} escaped"
+                    )
     return report

@@ -1,0 +1,301 @@
+"""Benchmark snapshots and the perf-regression observatory.
+
+Covers the snapshot builder (pytest-benchmark JSON -> BENCH_<tag>.json),
+the delta classifier/gate, and the CLI acceptance criterion: a synthetic
+2x slowdown is flagged as a regression with a non-zero exit code.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    build_snapshot,
+    classify_metric,
+    is_snapshot,
+    load_snapshot,
+    metrics_from_benchmark_json,
+    write_snapshot,
+)
+from repro.obs.regress import compare, gate, parse_tolerance, render_deltas
+
+
+def _bench_json(mean=0.5, sim_cycles=5000, copies=12, speedup=3.1):
+    """A minimal pytest-benchmark --benchmark-json payload with the
+    obs.internals block our benchmarks/conftest.py attaches."""
+    return {
+        "benchmarks": [
+            {
+                "fullname": "benchmarks/bench_fake.py::test_speed",
+                "name": "test_speed",
+                "stats": {"mean": mean, "min": mean * 0.9},
+                "extra_info": {
+                    "speedup": speedup,
+                    "cpu_count": 4,
+                    "obs_internals": {"ignored": "nested"},
+                },
+            }
+        ],
+        "obs": {
+            "internals": {
+                "sim_cycles": sim_cycles,
+                "copies_inserted": copies,
+                "placement_attempts": 900,
+                "placement_accepted": 400,
+            }
+        },
+    }
+
+
+class TestClassifyMetric:
+    @pytest.mark.parametrize(
+        "name,expected_kind,expected_direction",
+        [
+            ("bench_x.test.mean_seconds", "time", "lower"),
+            ("bench_x.test.cycles_per_sec", "time", "higher"),
+            ("bench_x.test.speedup", "ratio", "higher"),
+            ("bench_x.test.hit_rate", "ratio", "higher"),
+            ("bench_x.obs.sim_cycles", "count", "lower"),
+            ("bench_x.obs.copies_inserted", "count", "lower"),
+            ("bench_x.test.cpu_count", "info", None),
+            ("bench_x.test.mystery_metric", "info", None),
+        ],
+    )
+    def test_kind_and_direction(self, name, expected_kind, expected_direction):
+        _unit, direction, kind = classify_metric(name)
+        assert kind == expected_kind
+        assert direction == expected_direction
+
+
+class TestSnapshot:
+    def test_metrics_from_benchmark_json(self):
+        metrics = metrics_from_benchmark_json(
+            _bench_json(), source="bench_fake"
+        )
+        assert metrics["bench_fake.test_speed.mean_seconds"] == {
+            "value": 0.5,
+            "unit": "seconds",
+            "direction": "lower",
+            "kind": "time",
+        }
+        assert metrics["bench_fake.test_speed.speedup"]["kind"] == "ratio"
+        assert metrics["bench_fake.obs.sim_cycles"] == {
+            "value": 5000,
+            "unit": "count",
+            "direction": "lower",
+            "kind": "count",
+        }
+        # nested obs_internals extra_info must not leak in
+        assert not any("ignored" in name for name in metrics)
+
+    def test_build_and_round_trip(self, tmp_path):
+        snap = build_snapshot(
+            "seed", [("bench_fake.json", _bench_json())], note="hello"
+        )
+        assert snap["schema"] == BENCH_SCHEMA
+        assert snap["tag"] == "seed"
+        assert snap["sources"] == ["bench_fake"]
+        assert snap["note"] == "hello"
+        assert {"hostname", "platform", "python", "cpu_count", "git_rev"} <= set(
+            snap["provenance"]
+        )
+        assert is_snapshot(snap)
+        assert not is_snapshot(_bench_json())
+
+        path = str(tmp_path / "BENCH_seed.json")
+        write_snapshot(path, snap)
+        assert load_snapshot(path) == snap
+
+    def test_load_converts_raw_benchmark_json(self, tmp_path):
+        path = str(tmp_path / "raw.json")
+        with open(path, "w") as fh:
+            json.dump(_bench_json(), fh)
+        snap = load_snapshot(path)
+        assert is_snapshot(snap)
+        assert "bench_fake.obs.sim_cycles" in snap["metrics"]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        snap = build_snapshot("x", [("f.json", _bench_json())])
+        snap["schema"] = 99
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump(snap, fh)
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+
+class TestCompare:
+    def test_parse_tolerance(self):
+        assert parse_tolerance("10%") == pytest.approx(0.10)
+        assert parse_tolerance("0.25") == pytest.approx(0.25)
+
+    def _snapshots(self, **current_overrides):
+        base = build_snapshot("base", [("f.json", _bench_json())])
+        cur = build_snapshot(
+            "cur", [("f.json", _bench_json(**current_overrides))]
+        )
+        return base, cur
+
+    def test_identical_snapshots_all_neutral(self):
+        base, cur = self._snapshots()
+        deltas = compare(base, cur)
+        assert all(d.classification == "neutral" for d in deltas)
+        assert gate(deltas, include_times=True, include_ratios=True) == []
+
+    def test_direction_awareness(self):
+        # cycles went DOWN (lower=better) and speedup UP (higher=better)
+        base, cur = self._snapshots(sim_cycles=4000, speedup=4.5)
+        by_name = {d.name: d for d in compare(base, cur)}
+        assert by_name["bench_fake.obs.sim_cycles"].classification == "improved"
+        assert by_name["bench_fake.test_speed.speedup"].classification == "improved"
+
+    def test_count_regression_is_gated_by_default(self):
+        base, cur = self._snapshots(sim_cycles=9000)
+        deltas = compare(base, cur)
+        gated = gate(deltas)
+        assert [d.name for d in gated] == ["bench_fake.obs.sim_cycles"]
+        assert gated[0].rel_change == pytest.approx(0.8)
+
+    def test_time_regression_needs_opt_in(self):
+        base, cur = self._snapshots(mean=1.0)  # 2x slower
+        deltas = compare(base, cur)
+        assert gate(deltas) == []
+        gated = gate(deltas, include_times=True)
+        assert {d.name for d in gated} == {
+            "bench_fake.test_speed.mean_seconds",
+            "bench_fake.test_speed.min_seconds",
+        }
+
+    def test_added_and_removed_are_not_gated(self):
+        base, cur = self._snapshots()
+        del cur["metrics"]["bench_fake.obs.sim_cycles"]
+        cur["metrics"]["bench_fake.obs.new_metric_cycles"] = {
+            "value": 1,
+            "unit": "count",
+            "direction": "lower",
+            "kind": "count",
+        }
+        deltas = compare(base, cur)
+        by_name = {d.name: d for d in deltas}
+        assert by_name["bench_fake.obs.sim_cycles"].classification == "removed"
+        assert by_name["bench_fake.obs.new_metric_cycles"].classification == "added"
+        assert gate(deltas) == []
+
+    def test_render_mentions_movement(self):
+        base, cur = self._snapshots(sim_cycles=9000)
+        text = render_deltas(compare(base, cur))
+        assert "regressed" in text
+        assert "bench_fake.obs.sim_cycles" in text
+
+
+class TestCli:
+    """`python -m repro.obs {snapshot,diff,check}` end to end."""
+
+    def _write(self, tmp_path, name, payload):
+        path = str(tmp_path / name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return path
+
+    def test_snapshot_command(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        raw = self._write(tmp_path, "raw.json", _bench_json())
+        out = str(tmp_path / "BENCH_seed.json")
+        assert main(["snapshot", "--tag", "seed", "-o", out, raw]) == 0
+        snap = load_snapshot(out)
+        assert snap["tag"] == "seed"
+        assert "snapshot 'seed' written" in capsys.readouterr().out
+
+    def test_check_passes_on_identical(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        base = self._write(
+            tmp_path,
+            "base.json",
+            build_snapshot("base", [("f.json", _bench_json())]),
+        )
+        raw = self._write(tmp_path, "raw.json", _bench_json())
+        assert main(["check", "--baseline", base, raw]) == 0
+        assert "ok: no gated regressions" in capsys.readouterr().out
+
+    def test_synthetic_2x_slowdown_fails_check(self, tmp_path, capsys):
+        """Acceptance: a 2x slowdown flagged as regression, exit != 0."""
+        from repro.obs.__main__ import main
+
+        base = self._write(
+            tmp_path,
+            "base.json",
+            build_snapshot("base", [("f.json", _bench_json(mean=0.5))]),
+        )
+        slow = self._write(tmp_path, "slow.json", _bench_json(mean=1.0))
+        rc = main(
+            ["check", "--baseline", base, "--include-times", slow]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "regressed" in out
+
+    def test_synthetic_count_regression_fails_without_opt_in(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.__main__ import main
+
+        base = self._write(
+            tmp_path,
+            "base.json",
+            build_snapshot("base", [("f.json", _bench_json())]),
+        )
+        worse = self._write(
+            tmp_path, "worse.json", _bench_json(sim_cycles=11000)
+        )
+        assert main(["check", "--baseline", base, worse]) == 1
+        assert "sim_cycles" in capsys.readouterr().out
+
+    def test_check_merges_multiple_raw_inputs(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        one = _bench_json()
+        two = copy.deepcopy(_bench_json())
+        two["benchmarks"][0]["fullname"] = (
+            "benchmarks/bench_other.py::test_speed"
+        )
+        base = self._write(
+            tmp_path,
+            "base.json",
+            build_snapshot(
+                "base", [("one.json", one), ("two.json", two)]
+            ),
+        )
+        assert (
+            main(
+                [
+                    "check",
+                    "--baseline",
+                    base,
+                    self._write(tmp_path, "one.json", one),
+                    self._write(tmp_path, "two.json", two),
+                ]
+            )
+            == 0
+        )
+
+    def test_diff_command(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        base = self._write(
+            tmp_path,
+            "base.json",
+            build_snapshot("base", [("f.json", _bench_json())]),
+        )
+        cur = self._write(
+            tmp_path,
+            "cur.json",
+            build_snapshot(
+                "cur", [("f.json", _bench_json(sim_cycles=4000))]
+            ),
+        )
+        assert main(["diff", base, cur]) == 0
+        assert "improved" in capsys.readouterr().out

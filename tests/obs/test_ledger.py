@@ -1,0 +1,137 @@
+"""The run ledger: schema, JSONL round-trip, pipeline integration, and
+the no-interference invariant (schedules byte-identical with the ledger
+on or off)."""
+
+import json
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.kernels import gcd
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    NULL_LEDGER,
+    RunLedger,
+    get_ledger,
+    pipeline_record,
+    read_ledger,
+    set_ledger,
+)
+from repro.perf.fingerprint import program_digest
+from repro.sim.invocation import invoke_kernel
+
+
+@pytest.fixture(autouse=True)
+def _no_ledger_leak():
+    previous = set_ledger(None)
+    yield
+    set_ledger(previous)
+
+
+class TestRunLedger:
+    def test_default_is_null(self):
+        assert get_ledger() is NULL_LEDGER
+        assert not NULL_LEDGER.enabled
+        assert NULL_LEDGER.record("x", a=1) is None
+
+    def test_record_envelope(self):
+        led = RunLedger()
+        rec = led.record("pipeline.run", kernel="gcd", cycles=42)
+        assert rec["schema"] == LEDGER_SCHEMA
+        assert rec["kind"] == "pipeline.run"
+        assert rec["seq"] == 0
+        assert rec["kernel"] == "gcd" and rec["cycles"] == 42
+        assert led.record("other")["seq"] == 1
+        assert len(led) == 2
+
+    def test_envelope_wins_over_fields(self):
+        rec = RunLedger().record("k", seq=99, schema=0)
+        assert rec["kind"] == "k" and rec["seq"] == 0
+        assert rec["schema"] == LEDGER_SCHEMA
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        led = RunLedger(path)
+        led.record("a", x=1)
+        led.record("b", y=[1, 2])
+        led.write()
+        back = read_ledger(path)
+        assert [r["kind"] for r in back] == ["a", "b"]
+        assert back[1]["y"] == [1, 2]
+        # one valid JSON object per line
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_extend_resequences(self):
+        parent, worker = RunLedger(), RunLedger()
+        parent.record("parent.rec")
+        worker.record("worker.rec")
+        parent.extend(worker.records)
+        assert [r["seq"] for r in parent.records] == [0, 1]
+        assert parent.records[1]["kind"] == "worker.rec"
+        # the worker's own copy is untouched
+        assert worker.records[0]["seq"] == 0
+
+    def test_write_requires_destination(self):
+        with pytest.raises(ValueError):
+            RunLedger().write()
+
+
+class TestPipelineIntegration:
+    def test_invoke_kernel_records_run(self):
+        led = RunLedger()
+        set_ledger(led)
+        result = invoke_kernel(
+            gcd.build_kernel(), mesh_composition(4), {"a": 1071, "b": 462}
+        )
+        set_ledger(None)
+        assert result.results["a"] == gcd.golden(1071, 462)
+        runs = [r for r in led if r["kind"] == "pipeline.run"]
+        assert len(runs) == 1
+        rec = runs[0]
+        assert rec["kernel"] == "gcd"
+        assert rec["composition"] == "mesh4"
+        assert len(rec["kernel_fp"]) == 64
+        assert len(rec["composition_fp"]) == 64
+        assert len(rec["program_digest"]) == 64
+        assert rec["cycles"] == result.run_cycles
+        assert rec["schedule_seconds"] > 0
+        assert rec["cycles_per_sec"] > 0
+        assert rec["verifier"] == "ok"
+
+    def test_pipeline_record_field_shape(self):
+        from repro.context.generator import generate_contexts
+        from repro.sched.scheduler import schedule_kernel
+
+        kernel = gcd.build_kernel()
+        comp = mesh_composition(4)
+        program = generate_contexts(schedule_kernel(kernel, comp), comp, kernel)
+        fields = pipeline_record(
+            kernel, comp, program, cache_hit=True, backend="compiled"
+        )
+        assert fields["cache_hit"] is True
+        assert fields["backend"] == "compiled"
+        assert fields["contexts"] == program.n_cycles
+        assert fields["cycles_per_sec"] is None  # no sim timing given
+        # JSON-serialisable as-is
+        json.dumps(fields)
+
+    def test_ledger_does_not_change_schedules(self):
+        """Byte-identical programs with the ledger enabled vs disabled."""
+        from repro.context.generator import generate_contexts
+        from repro.sched.scheduler import schedule_kernel
+
+        def compile_digest():
+            kernel = gcd.build_kernel()
+            comp = mesh_composition(4)
+            program = generate_contexts(
+                schedule_kernel(kernel, comp), comp, kernel
+            )
+            return program_digest(program)
+
+        baseline = compile_digest()
+        set_ledger(RunLedger())
+        with_ledger = compile_digest()
+        set_ledger(None)
+        assert with_ledger == baseline

@@ -129,6 +129,105 @@ class TestSnapshotAndReport:
         assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
 
 
+class TestHistogramMerge:
+    """Cross-process folding: dump/from_dump and bucket-exact merge."""
+
+    def test_dump_round_trip(self):
+        h = Histogram()
+        for v in [0.001, 0.5, 3.0, 3.1, 100.0]:
+            h.observe(v)
+        back = Histogram.from_dump(h.dump())
+        assert back.count == h.count
+        assert back.total == pytest.approx(h.total)
+        assert back.vmin == h.vmin and back.vmax == h.vmax
+        for p in (50, 90, 99):
+            assert back.percentile(p) == pytest.approx(h.percentile(p))
+
+    def test_dump_is_picklable_plain_data(self):
+        import pickle
+
+        h = Histogram()
+        h.observe(2.5)
+        pickle.loads(pickle.dumps(h.dump()))
+        json.dumps(h.dump())
+
+    def test_merge_equals_single_stream(self):
+        """Splitting observations across histograms then merging gives
+        the same moments and quantiles as one histogram seeing all."""
+        values = [0.01 * i for i in range(1, 301)]
+        whole = Histogram()
+        parts = [Histogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            parts[i % 3].observe(v)
+        merged = parts[0]
+        for other in parts[1:]:
+            merged.merge(other)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.vmin == whole.vmin and merged.vmax == whole.vmax
+        for p in (50, 90, 99):
+            assert merged.percentile(p) == pytest.approx(whole.percentile(p))
+
+    def test_merge_handles_negative_and_zero(self):
+        a, b = Histogram(), Histogram()
+        a.observe(-5.0)
+        a.observe(0.0)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.vmin == -5.0 and a.vmax == 5.0
+        assert a.percentile(50) == pytest.approx(0.0, abs=0.3)
+
+
+class TestRegistryMerge:
+    def test_counters_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("sim.cycles", 10)
+        worker.inc("sim.cycles", 5)
+        worker.inc("route.copies.inserted", 2, kind="chain")
+        parent.merge(worker.dump())
+        assert parent.counter_value("sim.cycles") == 15
+        assert parent.counter_value("route.copies.inserted", kind="chain") == 2
+
+    def test_max_gauges_keep_peak_across_processes(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.set_max("rf.pressure.max", 7)
+        worker.set_max("rf.pressure.max", 4)
+        parent.merge(worker.dump())
+        assert parent.gauge_value("rf.pressure.max") == 7
+        higher = MetricsRegistry()
+        higher.set_max("rf.pressure.max", 11)
+        parent.merge(higher.dump())
+        assert parent.gauge_value("rf.pressure.max") == 11
+
+    def test_plain_gauges_last_write_wins(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.set_gauge("g", 1)
+        worker.set_gauge("g", 2)
+        parent.merge(worker.dump())
+        assert parent.gauge_value("g") == 2
+
+    def test_histograms_fold(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.observe("sched.walltime.seconds", 0.5)
+        worker.observe("sched.walltime.seconds", 1.5)
+        worker.observe("sched.walltime.seconds", 2.5)
+        parent.merge(worker.dump())
+        hist = parent.histogram("sched.walltime.seconds")
+        assert hist.count == 3
+        assert hist.total == pytest.approx(4.5)
+
+    def test_merge_into_empty_matches_source(self):
+        worker = MetricsRegistry()
+        worker.inc("a", 3)
+        worker.set_max("m", 9)
+        worker.observe("h", 1.0)
+        parent = MetricsRegistry()
+        parent.merge(worker.dump())
+        assert parent.snapshot() == worker.snapshot()
+
+
 class TestDisabledAndGlobals:
     def test_disabled_registry_records_nothing(self):
         m = MetricsRegistry(enabled=False)

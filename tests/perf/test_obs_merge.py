@@ -1,0 +1,156 @@
+"""Cross-process observability: ``--jobs > 1`` folds worker obs state.
+
+The tentpole invariants: a parallel run's merged metrics equal the
+serial run's (except the ``perf.pool.workers`` gauge), the merged
+Chrome trace is one well-formed JSON file with per-worker pid lanes,
+and ledger records come back in submission order.  Every test tolerates
+the serial fallback (sandboxes without a usable process pool) by
+checking ``last_used_pool`` before asserting pool-only properties.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.arch.library import mesh_composition
+from repro.kernels import gcd
+from repro.obs.ledger import RunLedger, set_ledger
+from repro.perf.parallel import ParallelEvaluator
+from repro.sim.invocation import invoke_kernel
+
+#: small co-prime-ish input pairs so each task does distinct real work
+ITEMS = [(1071, 462), (252, 105), (640, 480), (97, 13)]
+
+_MESH4 = None
+
+
+def _task(item):
+    """Module-level (picklable) task: full pipeline on one input pair."""
+    global _MESH4
+    if _MESH4 is None:
+        _MESH4 = mesh_composition(4)
+    a, b = item
+    result = invoke_kernel(
+        gcd.build_kernel(), _MESH4, {"a": a, "b": b}
+    )
+    return result.results["a"]
+
+
+EXPECTED = [21, 21, 160, 1]
+
+
+@pytest.fixture(autouse=True)
+def _no_ledger_leak():
+    previous = set_ledger(None)
+    yield
+    set_ledger(previous)
+
+
+def _run(jobs):
+    """One observed map; returns (evaluator, results, session, ledger)."""
+    ledger = RunLedger()
+    set_ledger(ledger)
+    try:
+        with obs.observe() as session:
+            evaluator = ParallelEvaluator(jobs=jobs)
+            results = evaluator.map(_task, list(ITEMS))
+    finally:
+        set_ledger(None)
+    return evaluator, results, session, ledger
+
+
+class TestParallelObsMerge:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """Serial and parallel observed runs over the same items."""
+        serial = _run(jobs=1)
+        parallel = _run(jobs=3)
+        return serial, parallel
+
+    def test_results_identical(self, runs):
+        (_, serial_results, _, _), (_, par_results, _, _) = runs
+        assert serial_results == EXPECTED
+        assert par_results == EXPECTED
+
+    def test_counter_totals_equal_serial(self, runs):
+        (_, _, s_session, _), (p_ev, _, p_session, _) = runs
+        s_counters = s_session.metrics.snapshot()["counters"]
+        p_counters = p_session.metrics.snapshot()["counters"]
+        assert s_counters == p_counters
+        # the one intended difference is the workers gauge
+        if p_ev.last_used_pool:
+            s_gauges = s_session.metrics.snapshot()["gauges"]
+            p_gauges = p_session.metrics.snapshot()["gauges"]
+            assert s_gauges["perf.pool.workers"] == 1
+            assert p_gauges["perf.pool.workers"] > 1
+
+    def test_histogram_totals_equal_serial(self, runs):
+        (_, _, s_session, _), (_, _, p_session, _) = runs
+        s_hists = s_session.metrics.snapshot()["histograms"]
+        p_hists = p_session.metrics.snapshot()["histograms"]
+        assert set(s_hists) == set(p_hists)
+        for key, s in s_hists.items():
+            assert p_hists[key]["count"] == s["count"], key
+
+    def test_ledger_folded_in_submission_order(self, runs):
+        (_, _, _, s_ledger), (p_ev, _, _, p_ledger) = runs
+        s_runs = [r for r in s_ledger if r["kind"] == "pipeline.run"]
+        p_runs = [r for r in p_ledger if r["kind"] == "pipeline.run"]
+        assert len(s_runs) == len(ITEMS)
+        assert [r["program_digest"] for r in p_runs] == [
+            r["program_digest"] for r in s_runs
+        ]
+        assert [r["seq"] for r in p_ledger] == list(range(len(p_ledger)))
+        if p_ev.last_used_pool:
+            assert p_ev.last_obs_folded
+
+    def test_merged_trace_is_well_formed_with_pid_lanes(self, runs, tmp_path):
+        _, (p_ev, _, p_session, _) = runs
+        path = str(tmp_path / "merged.trace.json")
+        p_session.tracer.to_chrome(path)
+        with open(path) as fh:
+            payload = json.load(fh)  # well-formed single JSON document
+        events = payload["traceEvents"]
+        assert events
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        if p_ev.last_used_pool:
+            worker_pids = pids - {0}
+            assert worker_pids, "no per-worker pid lanes in merged trace"
+            assert os.getpid() not in worker_pids
+            # every lane gets a process_name metadata record
+            names = {
+                e["pid"]: e["args"]["name"]
+                for e in events
+                if e["ph"] == "M" and e["name"] == "process_name"
+            }
+            assert set(names) >= pids
+            for pid in worker_pids:
+                assert names[pid] == f"worker-{pid}"
+            assert names.get(0) == "main"
+
+    def test_worker_spans_share_parent_epoch(self, runs):
+        """Merged records sit on one time axis: no span may start before
+        the parent tracer's epoch."""
+        _, (p_ev, _, p_session, _) = runs
+        if not p_ev.last_used_pool:
+            pytest.skip("pool unavailable; no foreign records to check")
+        for record in p_session.tracer.records:
+            assert record["ts"] >= 0
+
+
+class TestScheduleDeterminismUnderObs:
+    def test_parallel_schedules_match_serial(self, tmp_path):
+        """program digests identical serial vs parallel, obs on or off."""
+        _, _, _, observed = _run(jobs=3)
+        bare = ParallelEvaluator(jobs=3).map(_task, list(ITEMS))
+        assert bare == EXPECTED
+        digests = [
+            r["program_digest"]
+            for r in observed
+            if r["kind"] == "pipeline.run"
+        ]
+        assert len(set(digests)) == 1  # same kernel+comp => same program
