@@ -14,9 +14,12 @@ results to the serial uncached path; see docs/performance.md.
 
 ``--sim-backend`` selects the simulator executor: the AOT-``compiled``
 backend (default — context programs are lowered once to pre-bound step
-records and fused traces) or the per-cycle ``interpreter`` reference.
-Results are identical.  ``--max-cycles`` tightens the per-run runaway
-bound below the 50M default.
+records and fused traces), the per-cycle ``interpreter`` reference, or
+the batched ``vector`` backend (lockstep numpy execution; single-run
+grid invocations route through a batch of one, so it mainly serves
+differential checking here — see docs/performance.md).  Results are
+identical.  ``--max-cycles`` tightens the per-run runaway bound below
+the 50M default.
 """
 
 from __future__ import annotations
@@ -157,7 +160,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--sim-backend",
-        choices=("interpreter", "compiled"),
+        choices=("interpreter", "compiled", "vector"),
         default="compiled",
         help="simulator executor: AOT-compiled traces (default) or the "
         "per-cycle reference interpreter; results are identical",

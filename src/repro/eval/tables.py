@@ -64,7 +64,8 @@ UNROLL_FACTOR = 2
 CACHE_FORMAT = 1
 
 #: grid runs execute on the AOT-compiled simulator backend by default
-#: (identical results to the interpreter; see docs/performance.md)
+#: (identical results to the interpreter and the batched vector
+#: backend; see docs/performance.md)
 DEFAULT_SIM_BACKEND = "compiled"
 
 

@@ -16,7 +16,18 @@ from repro.sim.machine import (
     SimulationError,
 )
 from repro.sim.compiled import CompiledProgram, compile_program
-from repro.sim.invocation import invoke_kernel, InvocationResult
+from repro.sim.invocation import (
+    invoke_kernel,
+    InvocationResult,
+    run_invocation,
+    run_invocations_batch,
+)
+from repro.sim.vector import (
+    BatchRunResult,
+    VectorHeap,
+    VectorSimulator,
+    vectorize_program,
+)
 
 __all__ = [
     "Heap",
@@ -29,4 +40,10 @@ __all__ = [
     "DEFAULT_MAX_CYCLES",
     "invoke_kernel",
     "InvocationResult",
+    "run_invocation",
+    "run_invocations_batch",
+    "BatchRunResult",
+    "VectorHeap",
+    "VectorSimulator",
+    "vectorize_program",
 ]

@@ -123,12 +123,27 @@ class CompiledProgram:
         comp: Composition,
         steps: List[_Step],
     ) -> None:
-        self.program = program
+        # weak: the compile memo holds this object strongly, so a strong
+        # back-reference would keep every program alive forever and the
+        # memo's weakref eviction could never fire.  Any caller actually
+        # *running* the compiled program holds the program itself (the
+        # simulator keeps it), so the deref below cannot fail mid-run.
+        self._program_ref = weakref.ref(program)
         self.comp = comp
         self.steps = steps
         #: entry ccnt -> tuple of steps up to the next branch/halt point
         self._traces: Dict[int, Tuple[_Step, ...]] = {}
         self._ctx = _err_suffix(program)
+
+    @property
+    def program(self) -> ContextProgram:
+        program = self._program_ref()
+        if program is None:
+            raise ReferenceError(
+                "context program was garbage-collected; a CompiledProgram "
+                "only outlives its program inside the compile memo"
+            )
+        return program
 
     # -- traces ----------------------------------------------------------
 
@@ -420,6 +435,22 @@ class CompiledProgram:
 _COMPILED: Dict[int, list] = {}
 
 
+def _memo_count(event: str) -> None:
+    """``sim.compile.memo.{hit,miss,evict}`` counters (no-ops while
+    metrics are disabled, like all obs instrumentation)."""
+    try:
+        metrics = get_metrics()
+    except Exception:  # interpreter teardown (weakref finalizer path)
+        return
+    if metrics.enabled:
+        metrics.inc(f"sim.compile.memo.{event}")
+
+
+def _memo_evict(key: int) -> None:
+    _COMPILED.pop(key, None)
+    _memo_count("evict")
+
+
 def _err_suffix(program: ContextProgram) -> str:
     return (
         f" [kernel={program.kernel_name!r}, "
@@ -436,7 +467,9 @@ def compile_program(
     if entries is not None:
         for cached_comp, compiled in entries:
             if cached_comp is comp:
+                _memo_count("hit")
                 return compiled
+    _memo_count("miss")
     tracer = get_tracer()
     with tracer.span(
         "sim.compile",
@@ -450,7 +483,7 @@ def compile_program(
         metrics.inc("sim.compile.steps", len(compiled.steps))
     if entries is None:
         _COMPILED[key] = [(comp, compiled)]
-        weakref.finalize(program, _COMPILED.pop, key, None)
+        weakref.finalize(program, _memo_evict, key)
     else:
         entries.append((comp, compiled))
     return compiled

@@ -50,6 +50,10 @@ class Heap:
         """The current contents of an array (a direct reference)."""
         return self._get(handle)
 
+    def items(self) -> Iterable:
+        """``(handle, contents)`` pairs (direct references)."""
+        return self._arrays.items()
+
     def _get(self, handle: int) -> List[int]:
         try:
             return self._arrays[handle]

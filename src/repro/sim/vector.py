@@ -1,0 +1,1017 @@
+"""Batched, vectorized simulator backend (lockstep numpy execution).
+
+:mod:`repro.sim.compiled` lowered the context program to per-CCNT step
+records; this module lowers one level further into flat numpy tables
+and executes a whole *batch* of invocations in lockstep:
+
+* register files become one ``(batch, n_pes, max_rf)`` int32 ndarray,
+  C-Box condition bits one ``(batch, slots)`` int8 ndarray, and the
+  heap per-handle ``(batch, max_len)`` int32 arrays with per-lane
+  valid lengths;
+* per step, duration-1 value/CONST issues are grouped by opcode into
+  operand ``(pe, slot)`` index arrays — one vectorized gather / apply /
+  scatter per opcode group per step instead of one Python call per PE
+  per lane per cycle.  Multi-cycle, status, DMA and void issues keep
+  the compiled backend's flight machinery, with per-lane operand
+  vectors;
+* control flow runs on *cohorts*: all lanes at the same CCNT (with the
+  same in-flight signature) execute a fused trace together.  A
+  divergent conditional branch splits the cohort by branch direction;
+  cohorts re-converging on the same CCNT merge back (lane order is
+  restored by lane id, so results are deterministic); halted lanes
+  retire.  The scheduler always advances the cohort with the smallest
+  entry CCNT, so looping cohorts drain and re-merge with lanes waiting
+  at the loop exit.
+
+Within a cohort every structural/timing decision (which PEs issue,
+finish, single-write-port conflicts, C-Box wiring) is lane-invariant —
+only *values*, predication squash masks, DMA contents and branch
+directions vary per lane — which is what makes lockstep execution
+bit-equal to the per-cycle interpreter: identical ``RunResult`` fields
+(including integer micro-unit energy), live-outs, final register files
+and heap contents (see ``tests/sim/test_vector.py``).
+
+wrap32 (Java ``int``) arithmetic maps directly onto int32 ndarray
+ops: add/sub/mul/neg/abs wrap modularly, ``ISHL`` shifts as uint32,
+``ISHR`` is numpy's arithmetic int32 shift, ``IUSHR`` shifts the
+uint32 view, all with shift amounts masked to 5 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.cbox import CBoxFunc
+from repro.arch.composition import Composition
+from repro.arch.operations import ENERGY_SCALE, wrap32
+from repro.context.words import ContextProgram
+from repro.obs import get_metrics, get_tracer
+from repro.sim.compiled import (
+    _B_COND,
+    _B_HALT,
+    _B_UNCOND,
+    _K_CONST,
+    _K_LOAD,
+    _K_STATUS,
+    _K_STORE,
+    _K_VALUE,
+    _M_FRESH,
+    _M_FRESH_NEG,
+    _M_SLOT,
+    compile_program,
+)
+from repro.sim.memory import Heap, HeapError
+
+__all__ = [
+    "VectorProgram",
+    "VectorHeap",
+    "VectorSimulator",
+    "BatchRunResult",
+    "vectorize_program",
+]
+
+_I32 = np.int32
+_U32 = np.uint32
+_I8 = np.int8
+
+
+# ---------------------------------------------------------------------------
+# Vectorized operation semantics (verified against repro.arch.operations:
+# int32 ndarray arithmetic wraps exactly like Java ints)
+# ---------------------------------------------------------------------------
+
+
+def _v_ishl(a, b):
+    return (a.astype(_U32) << (b & 31).astype(_U32)).astype(_I32)
+
+
+def _v_ishr(a, b):
+    return a >> (b & 31)  # numpy int32 >> is arithmetic
+
+
+def _v_iushr(a, b):
+    return (a.astype(_U32) >> (b & 31).astype(_U32)).astype(_I32)
+
+
+#: opcode -> ndarray semantics.  Value producers take/return int32;
+#: compares (status producers) return int8 {0,1} for the C-Box.
+_VOPS = {
+    "IADD": lambda a, b: a + b,
+    "ISUB": lambda a, b: a - b,
+    "IMUL": lambda a, b: a * b,
+    "INEG": lambda a: -a,
+    "IMIN": np.minimum,
+    "IMAX": np.maximum,
+    "IABS": np.abs,
+    "IAND": np.bitwise_and,
+    "IOR": np.bitwise_or,
+    "IXOR": np.bitwise_xor,
+    "INOT": np.invert,
+    "ISHL": _v_ishl,
+    "ISHR": _v_ishr,
+    "IUSHR": _v_iushr,
+    "MOVE": lambda a: a,
+    "IFEQ": lambda a, b: (a == b).astype(_I8),
+    "IFNE": lambda a, b: (a != b).astype(_I8),
+    "IFLT": lambda a, b: (a < b).astype(_I8),
+    "IFLE": lambda a, b: (a <= b).astype(_I8),
+    "IFGT": lambda a, b: (a > b).astype(_I8),
+    "IFGE": lambda a, b: (a >= b).astype(_I8),
+}
+
+
+# ---------------------------------------------------------------------------
+# Lowered step/trace records
+# ---------------------------------------------------------------------------
+
+
+class _VGroup:
+    """Duration-1 value/CONST issues of one step, grouped by opcode.
+
+    All members commit this same cycle on *distinct* PEs (one issue per
+    PE per CCNT), so one gather/apply/scatter per group is
+    order-independent and exactly equals the scalar per-PE commits.
+    """
+
+    __slots__ = (
+        "opcode",
+        "vfunc",
+        "predicated",
+        "pes",
+        "srcs",
+        "dests",
+        "values",
+        "nonpiped",
+    )
+
+
+class _VSingle:
+    """One issue kept on the flight path (multi-cycle / status / DMA)."""
+
+    __slots__ = (
+        "pe",
+        "opcode",
+        "srcs",
+        "duration",
+        "kind",
+        "vfunc",
+        "dest_slot",
+        "value",
+        "handle",
+        "predicated",
+        "pipelined",
+    )
+
+
+class _VStep:
+    __slots__ = (
+        "ccnt",
+        "groups",
+        "singles",
+        "static_pes",
+        "cbox",
+        "kind",
+        "target",
+        "taken_is_branch",
+    )
+
+
+class _VTrace:
+    __slots__ = ("entry", "steps", "length", "energy", "ops")
+
+
+class VectorProgram:
+    """A :class:`CompiledProgram` lowered to numpy step tables.
+
+    Built lazily per fused trace (mirroring the compiled backend's
+    trace memo) and cached on the compiled program, so repeated batch
+    runs over the same program pay the lowering once.
+    """
+
+    def __init__(self, compiled) -> None:
+        self.compiled = compiled
+        self.comp = compiled.comp
+        self._ctx = compiled._ctx
+        self._vsteps: Dict[int, _VStep] = {}
+        self._vtraces: Dict[int, _VTrace] = {}
+
+    @property
+    def program(self) -> ContextProgram:
+        # delegate to the compiled program's weak back-reference so the
+        # memo chain (memo -> compiled -> _vector -> here) stays free of
+        # strong references to the context program
+        return self.compiled.program
+
+    def trace(self, entry: int) -> _VTrace:
+        vt = self._vtraces.get(entry)
+        if vt is None:
+            vt = self._build_trace(entry)
+        return vt
+
+    def _build_trace(self, entry: int) -> _VTrace:
+        ctrace = self.compiled._traces.get(entry)
+        if ctrace is None:
+            ctrace = self.compiled._build_trace(entry)
+        steps = tuple(self._vectorize_step(s) for s in ctrace)
+        energy = 0
+        ops = np.zeros(self.comp.n_pes, np.int64)
+        for cstep in ctrace:
+            for rec in cstep.issues:
+                energy += rec.energy
+                ops[rec.pe] += 1
+        vt = _VTrace()
+        vt.entry = entry
+        vt.steps = steps
+        vt.length = len(steps)
+        vt.energy = energy
+        vt.ops = ops
+        self._vtraces[entry] = vt
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("sim.vector.compile.traces")
+            metrics.inc("sim.vector.compile.steps", len(steps))
+        return vt
+
+    def _vectorize_step(self, cstep) -> _VStep:
+        vs = self._vsteps.get(cstep.ccnt)
+        if vs is not None:
+            return vs
+        pes = self.comp.pes
+        grouped: Dict[Tuple[str, bool], list] = {}
+        singles: List[_VSingle] = []
+        static_pes: List[int] = []
+        for rec in cstep.issues:
+            if rec.duration == 1:
+                static_pes.append(rec.pe)
+                if rec.kind == _K_VALUE or rec.kind == _K_CONST:
+                    grouped.setdefault(
+                        (rec.opcode, rec.predicated), []
+                    ).append(rec)
+                    continue
+            singles.append(self._vectorize_issue(rec))
+        groups = []
+        for (opcode, predicated), recs in grouped.items():
+            g = _VGroup()
+            g.opcode = opcode
+            g.predicated = predicated
+            g.pes = np.array([r.pe for r in recs], np.intp)
+            arity = len(recs[0].srcs)
+            g.srcs = tuple(
+                (
+                    np.array([r.srcs[j][0] for r in recs], np.intp),
+                    np.array([r.srcs[j][1] for r in recs], np.intp),
+                )
+                for j in range(arity)
+            )
+            if opcode == "CONST":
+                g.vfunc = None
+                g.values = np.array([r.value for r in recs], _I32)
+            else:
+                g.vfunc = _VOPS[opcode]
+                g.values = None
+            g.dests = np.array([r.dest_slot for r in recs], np.intp)
+            g.nonpiped = frozenset(
+                r.pe for r in recs if not pes[r.pe].pipelined
+            )
+            groups.append(g)
+        vs = _VStep()
+        vs.ccnt = cstep.ccnt
+        vs.groups = tuple(groups)
+        vs.singles = tuple(singles)
+        vs.static_pes = tuple(static_pes)
+        vs.cbox = cstep.cbox
+        vs.kind = cstep.kind
+        vs.target = cstep.target
+        vs.taken_is_branch = cstep.taken_is_branch
+        self._vsteps[cstep.ccnt] = vs
+        return vs
+
+    @staticmethod
+    def _vectorize_issue(rec) -> _VSingle:
+        s = _VSingle()
+        s.pe = rec.pe
+        s.opcode = rec.opcode
+        s.srcs = rec.srcs
+        s.duration = rec.duration
+        s.kind = rec.kind
+        s.vfunc = _VOPS.get(rec.opcode)
+        s.dest_slot = rec.dest_slot
+        s.value = rec.value
+        s.handle = rec.handle
+        s.predicated = rec.predicated
+        s.pipelined = rec.pipelined
+        return s
+
+
+def vectorize_program(
+    program: ContextProgram, comp: Composition
+) -> VectorProgram:
+    """Lower ``program`` for the vector backend (memoised alongside the
+    compiled program: same identity-keyed, weakref-evicted cache)."""
+    compiled = compile_program(program, comp)
+    vprog = getattr(compiled, "_vector", None)
+    if vprog is None:
+        vprog = VectorProgram(compiled)
+        compiled._vector = vprog
+    return vprog
+
+
+# ---------------------------------------------------------------------------
+# Batched heap
+# ---------------------------------------------------------------------------
+
+
+class VectorHeap:
+    """Per-handle 2-D heap arrays: ``(batch, max_len)`` int32 + per-lane
+    valid lengths (lanes of one batch may carry different-length
+    arrays; out-of-range checks use each lane's own length)."""
+
+    def __init__(self, batch: int) -> None:
+        self.batch = batch
+        self._data: Dict[int, np.ndarray] = {}
+        self._lengths: Dict[int, np.ndarray] = {}
+
+    def allocate(self, handle: int, rows: Sequence[Sequence[int]]) -> None:
+        if handle in self._data:
+            raise HeapError(f"handle {handle} already allocated")
+        if len(rows) != self.batch:
+            raise ValueError(
+                f"handle {handle}: {len(rows)} rows for batch {self.batch}"
+            )
+        lengths = np.array([len(r) for r in rows], np.int64)
+        width = int(lengths.max()) if len(lengths) else 0
+        data = np.zeros((self.batch, width), _I32)
+        for i, row in enumerate(rows):
+            if row:
+                data[i, : len(row)] = [wrap32(int(v)) for v in row]
+        self._data[handle] = data
+        self._lengths[handle] = lengths
+
+    def _get(self, handle: int) -> Tuple[np.ndarray, np.ndarray]:
+        try:
+            return self._data[handle], self._lengths[handle]
+        except KeyError:
+            raise HeapError(f"unknown heap handle {handle}") from None
+
+    def lane_array(self, lane: int, handle: int) -> List[int]:
+        data, lengths = self._get(handle)
+        return [int(v) for v in data[lane, : lengths[lane]]]
+
+    def lane_heap(self, lane: int) -> Heap:
+        """A scalar :class:`Heap` with this lane's current contents."""
+        heap = Heap()
+        for handle in self._data:
+            heap.allocate(handle, self.lane_array(lane, handle))
+        return heap
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._data
+
+
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchRunResult:
+    """Per-lane run results plus cohort statistics for one batch."""
+
+    #: per-lane executed cycles, ``(batch,)`` int64
+    cycles: np.ndarray
+    #: per-lane, per-PE dynamic op counts, ``(batch, n_pes)`` int64
+    ops_executed: np.ndarray
+    #: per-lane energy in integer micro-units (ENERGY_SCALE)
+    energy_units: np.ndarray
+    #: per-lane taken-branch counts
+    branches_taken: np.ndarray
+    #: cohort splits at divergent conditional branches
+    splits: int
+    #: cohort re-merges on reconvergent CCNTs
+    merges: int
+    #: fused-trace executions (cohort dispatches)
+    trace_runs: int
+    #: dispatched steps summed over cohort-trace executions
+    steps: int
+    #: total lane-cycles executed (sum of ``cycles``)
+    lane_cycles: int
+
+    @property
+    def batch(self) -> int:
+        return len(self.cycles)
+
+    def lane_result(self, lane: int):
+        """The scalar :class:`RunResult` of one lane (bit-equal to the
+        interpreter's, including the micro-unit energy division)."""
+        from repro.sim.machine import RunResult
+
+        return RunResult(
+            cycles=int(self.cycles[lane]),
+            ops_executed=[int(v) for v in self.ops_executed[lane]],
+            energy=int(self.energy_units[lane]) / ENERGY_SCALE,
+            branches_taken=int(self.branches_taken[lane]),
+        )
+
+
+class _Cohort:
+    """Lanes executing in lockstep: a lane-id array (``None`` = the
+    full batch in natural order), in-flight operations with per-lane
+    operand vectors, and the issue sequence counter."""
+
+    __slots__ = ("lanes", "pending", "seq", "order")
+
+    def __init__(self, lanes, pending, seq, order) -> None:
+        self.lanes = lanes
+        self.pending = pending
+        self.seq = seq
+        self.order = order
+
+
+def _pending_sig(pending) -> tuple:
+    # cohorts only merge when their in-flight operations pair up
+    # exactly (same remaining cycles, PE and issue record, in order)
+    return tuple((f[0], f[2], id(f[3])) for f in pending)
+
+
+def _gather(rf, lanes, pe, slot):
+    if lanes is None:
+        return rf[:, pe, slot].copy()  # basic slice is a view
+    return rf[lanes, pe, slot]
+
+
+def _gather2(rf, lanes, src_pes, src_slots):
+    if lanes is None:
+        return rf[:, src_pes, src_slots]
+    return rf[lanes[:, None], src_pes, src_slots]
+
+
+def _bit(bits, lanes, slot):
+    if lanes is None:
+        return bits[:, slot].copy()
+    return bits[lanes, slot]
+
+
+def _combine_vec(func, rp, rn, s):
+    ns = 1 - s
+    if func is CBoxFunc.STORE:
+        return s, ns
+    if func is CBoxFunc.STORE_NOT:
+        return ns, s
+    if func is CBoxFunc.AND:
+        return rp & s, rn | ns
+    if func is CBoxFunc.OR:
+        return rp | s, rn & ns
+    if func is CBoxFunc.AND_NOT:
+        return rp & ns, rn | s
+    if func is CBoxFunc.OR_NOT:
+        return rp | ns, rn & s
+    if func is CBoxFunc.FORK_AND:
+        return rp & s, rp & ns
+    raise AssertionError(func)
+
+
+def execute_batch(
+    vprog: VectorProgram,
+    rf: np.ndarray,
+    bits: np.ndarray,
+    heap: VectorHeap,
+    *,
+    start_ccnt: int = 0,
+    max_cycles: int,
+    tracer=None,
+) -> BatchRunResult:
+    """Run every lane to halt; ``rf``/``bits``/``heap`` are the live
+    batched machine state, mutated in place.
+
+    Any lane trapping (heap fault, runaway bound, structural error)
+    raises for the whole batch — callers needing per-lane attribution
+    fall back to scalar runs (see ``repro.verify.mutate``).
+    """
+    from repro.sim.machine import SimulationError, emit_context_profile
+
+    ctx = vprog._ctx
+    B = rf.shape[0]
+    all_rows = np.arange(B)
+    cycles = np.zeros(B, np.int64)
+    branches = np.zeros(B, np.int64)
+    energy = np.zeros(B, np.int64)
+    ops = np.zeros((B, vprog.comp.n_pes), np.int64)
+
+    observing = (
+        tracer is not None and tracer.enabled
+    ) or get_metrics().enabled
+    visits: Optional[List[int]] = (
+        [0] * len(vprog.compiled.steps) if observing else None
+    )
+
+    splits = merges = trace_runs = steps_run = lane_cycles = 0
+    order = 0
+    waiting: Dict[tuple, _Cohort] = {
+        (start_ccnt, ()): _Cohort(None if B else np.arange(0), [], 0, 0)
+    }
+    if B == 0:
+        waiting.clear()
+
+    def requeue(ccnt, lanes, pending, seq):
+        nonlocal order, merges
+        key = (ccnt, _pending_sig(pending))
+        existing = waiting.get(key)
+        if existing is None or lanes is None:
+            # a full batch (lanes None) covers every live lane, so no
+            # other cohort can share its key
+            order += 1
+            waiting[key] = _Cohort(lanes, pending, seq, order)
+            return
+        # re-merge: concatenate and restore deterministic lane order
+        merged = np.concatenate([existing.lanes, lanes])
+        sort = np.argsort(merged)
+        merged = merged[sort]
+        pend = [
+            [
+                fa[0],
+                fa[1],
+                fa[2],
+                fa[3],
+                tuple(
+                    np.concatenate([va, vb])[sort]
+                    for va, vb in zip(fa[4], fb[4])
+                ),
+            ]
+            for fa, fb in zip(existing.pending, pending)
+        ]
+        if len(merged) == B:
+            existing.lanes = None
+        else:
+            existing.lanes = merged
+        existing.pending = pend
+        existing.seq = max(existing.seq, seq)
+        merges += 1
+
+    while waiting:
+        key = min(waiting, key=lambda k: (k[0], waiting[k].order))
+        coh = waiting.pop(key)
+        vtrace = vprog.trace(key[0])
+        lanes = coh.lanes
+        K = B if lanes is None else len(lanes)
+        L = vtrace.length
+        cmax = int(cycles.max() if lanes is None else cycles[lanes].max())
+        if cmax + L > max_cycles:
+            raise SimulationError(
+                f"exceeded {max_cycles} cycles (runaway loop?){ctx}"
+            )
+        trace_runs += 1
+        steps_run += L
+        lane_cycles += K * L
+        pending = coh.pending
+        seq = coh.seq
+        out_ctrl = None
+
+        for step in vtrace.steps:
+            if visits is not None:
+                visits[step.ccnt] += K
+            out_pe = None
+            out_ctrl = None
+
+            # ---- finish countdown (flights issued in earlier cycles;
+            # a flight finishing now still occupies its PE's busy slot
+            # for this cycle's issue check, like the compiled backend)
+            finish_now: Optional[list] = None
+            busy_pes = None
+            if pending:
+                busy_pes = [f[2] for f in pending]
+                still = []
+                for flight in pending:
+                    flight[0] -= 1
+                    if flight[0]:
+                        still.append(flight)
+                    else:
+                        if finish_now is None:
+                            finish_now = [flight]
+                        else:
+                            finish_now.append(flight)
+                if finish_now is not None:
+                    pending = still
+
+            # ---- issue: flight-path singles ----
+            for rec in step.singles:
+                if (
+                    busy_pes is not None
+                    and not rec.pipelined
+                    and rec.pe in busy_pes
+                ):
+                    raise SimulationError(
+                        f"PE {rec.pe} issued {rec.opcode} at ccnt "
+                        f"{step.ccnt} while busy{ctx}"
+                    )
+                operands = tuple(
+                    _gather(rf, lanes, p, s) for p, s in rec.srcs
+                )
+                seq += 1
+                if rec.duration == 1:
+                    if finish_now is None:
+                        finish_now = [[0, seq, rec.pe, rec, operands]]
+                    else:
+                        finish_now.append([0, seq, rec.pe, rec, operands])
+                else:
+                    pending.append(
+                        [rec.duration - 1, seq, rec.pe, rec, operands]
+                    )
+
+            # ---- issue + compute: opcode groups (reads before any
+            # commit of this cycle, results applied below) ----
+            group_results = None
+            if step.groups:
+                group_results = []
+                for g in step.groups:
+                    if busy_pes is not None and g.nonpiped:
+                        for pe in busy_pes:
+                            if pe in g.nonpiped:
+                                raise SimulationError(
+                                    f"PE {pe} issued {g.opcode} at ccnt "
+                                    f"{step.ccnt} while busy{ctx}"
+                                )
+                    if g.vfunc is None:
+                        group_results.append(None)
+                    else:
+                        args = [
+                            _gather2(rf, lanes, sp, ss) for sp, ss in g.srcs
+                        ]
+                        group_results.append(g.vfunc(*args))
+
+            # ---- single-write-port check: this step's own issues are
+            # one per PE by construction, so only a flight issued in an
+            # earlier cycle can collide with another finisher ----
+            if finish_now is not None and len(finish_now) > 1:
+                finish_now.sort(key=lambda f: (f[2], f[1]))
+            if finish_now is not None and any(
+                f[3].duration != 1 for f in finish_now
+            ):
+                fin_pes = [f[2] for f in finish_now]
+                for g in step.groups:
+                    fin_pes.extend(g.pes.tolist())
+                seen = set()
+                for pe in fin_pes:
+                    if pe in seen:
+                        done = sum(1 for p in fin_pes if p == pe)
+                        raise SimulationError(
+                            f"PE {pe} finishes {done} operations in one "
+                            f"cycle (single write port){ctx}"
+                        )
+                    seen.add(pe)
+
+            # ---- statuses of finishing compares ----
+            statuses = None
+            if finish_now is not None:
+                for f in finish_now:
+                    rec = f[3]
+                    if rec.kind == _K_STATUS:
+                        if statuses is None:
+                            statuses = {}
+                        statuses[f[2]] = rec.vfunc(*f[4])
+
+            # ---- C-Box ----
+            cb = step.cbox
+            if cb is not None:
+                func = cb.func
+                pos = neg = None
+                if func is not None:
+                    s = None if statuses is None else statuses.get(
+                        cb.status_pe
+                    )
+                    if s is None:
+                        raise RuntimeError(
+                            f"C-Box selected status of PE {cb.status_pe} "
+                            "but that PE produced no status this cycle"
+                        )
+                    if cb.needs_read:
+                        rp = _bit(bits, lanes, cb.read_pos)
+                        rn = (
+                            _bit(bits, lanes, cb.read_neg)
+                            if cb.read_neg is not None
+                            else np.zeros_like(s)
+                        )
+                    else:
+                        rp = rn = None
+                    pos, neg = _combine_vec(func, rp, rn, s)
+                m = cb.pe_mode
+                if m:
+                    out_pe = (
+                        pos
+                        if m == _M_FRESH
+                        else neg
+                        if m == _M_FRESH_NEG
+                        else _bit(bits, lanes, cb.pe_slot)
+                    )
+                m = cb.ctrl_mode
+                if m:
+                    out_ctrl = (
+                        pos
+                        if m == _M_FRESH
+                        else neg
+                        if m == _M_FRESH_NEG
+                        else _bit(bits, lanes, cb.ctrl_slot)
+                    )
+                if func is not None:
+                    if cb.write_pos is not None:
+                        if lanes is None:
+                            bits[:, cb.write_pos] = pos
+                        else:
+                            bits[lanes, cb.write_pos] = pos
+                    if cb.write_neg is not None:
+                        if lanes is None:
+                            bits[:, cb.write_neg] = neg
+                        else:
+                            bits[lanes, cb.write_neg] = neg
+
+            # ---- commits: flight path in (pe, seq) order (DMA ops
+            # interact through the heap), then the opcode groups
+            # (RF-only, distinct PEs — order-free) ----
+            squash_rows = None  # lazily computed active-row cache
+            if finish_now is not None:
+                for f in finish_now:
+                    rec = f[3]
+                    kind = rec.kind
+                    if kind == _K_STATUS or kind > _K_STORE:
+                        continue
+                    rows = None
+                    if rec.predicated:
+                        if out_pe is None:
+                            raise SimulationError(
+                                f"predicated {rec.opcode} on PE {f[2]} "
+                                f"committed at ccnt {step.ccnt} without "
+                                f"a predication signal{ctx}"
+                            )
+                        if squash_rows is None:
+                            squash_rows = np.nonzero(out_pe)[0]
+                        rows = squash_rows
+                        if not len(rows):
+                            continue
+                    if kind == _K_VALUE:
+                        vals = rec.vfunc(*f[4])
+                        if rows is None:
+                            if lanes is None:
+                                rf[:, f[2], rec.dest_slot] = vals
+                            else:
+                                rf[lanes, f[2], rec.dest_slot] = vals
+                        else:
+                            sel = rows if lanes is None else lanes[rows]
+                            rf[sel, f[2], rec.dest_slot] = vals[rows]
+                    elif kind == _K_CONST:
+                        if rows is None:
+                            if lanes is None:
+                                rf[:, f[2], rec.dest_slot] = rec.value
+                            else:
+                                rf[lanes, f[2], rec.dest_slot] = rec.value
+                        else:
+                            sel = rows if lanes is None else lanes[rows]
+                            rf[sel, f[2], rec.dest_slot] = rec.value
+                    else:  # _K_LOAD / _K_STORE
+                        if rows is None:
+                            sel = all_rows if lanes is None else lanes
+                            idx = f[4][0]
+                        else:
+                            sel = rows if lanes is None else lanes[rows]
+                            idx = f[4][0][rows]
+                        data, lengths = heap._get(rec.handle)
+                        idx = idx.astype(np.int64)
+                        lens = lengths[sel]
+                        bad = (idx < 0) | (idx >= lens)
+                        if bad.any():
+                            j = int(np.argmax(bad))
+                            what = "load" if kind == _K_LOAD else "store"
+                            raise HeapError(
+                                f"{what} index {int(idx[j])} out of range "
+                                f"for handle {rec.handle} "
+                                f"(length {int(lens[j])})"
+                            )
+                        if kind == _K_LOAD:
+                            vals = data[sel, idx]
+                            rf[sel, f[2], rec.dest_slot] = vals
+                        else:
+                            vals = f[4][1] if rows is None else f[4][1][rows]
+                            data[sel, idx] = vals
+            if group_results is not None:
+                for g, res in zip(step.groups, group_results):
+                    if g.predicated:
+                        if out_pe is None:
+                            raise SimulationError(
+                                f"predicated {g.opcode} committed at ccnt "
+                                f"{step.ccnt} without a predication "
+                                f"signal{ctx}"
+                            )
+                        if squash_rows is None:
+                            squash_rows = np.nonzero(out_pe)[0]
+                        rows = squash_rows
+                        if not len(rows):
+                            continue
+                        sel = rows if lanes is None else lanes[rows]
+                        if res is None:
+                            rf[sel[:, None], g.pes, g.dests] = g.values
+                        else:
+                            rf[sel[:, None], g.pes, g.dests] = res[rows]
+                    else:
+                        if res is None:
+                            if lanes is None:
+                                rf[:, g.pes, g.dests] = g.values
+                            else:
+                                rf[lanes[:, None], g.pes, g.dests] = g.values
+                        else:
+                            if lanes is None:
+                                rf[:, g.pes, g.dests] = res
+                            else:
+                                rf[lanes[:, None], g.pes, g.dests] = res
+
+        # ---- account the trace, then the terminal ----
+        if lanes is None:
+            cycles += L
+            energy += vtrace.energy
+            ops += vtrace.ops
+        else:
+            cycles[lanes] += L
+            energy[lanes] += vtrace.energy
+            ops[lanes] += vtrace.ops
+
+        last = vtrace.steps[-1]
+        kind = last.kind
+        if kind == _B_HALT:
+            if pending:
+                raise SimulationError(
+                    f"halt with operations in flight{ctx}"
+                )
+            continue  # lanes retire
+        if kind == _B_UNCOND:
+            if last.taken_is_branch:
+                if lanes is None:
+                    branches += 1
+                else:
+                    branches[lanes] += 1
+            requeue(last.target, lanes, pending, seq)
+        elif kind == _B_COND:
+            taken = out_ctrl != 0
+            rows_t = np.nonzero(taken)[0]
+            n_taken = len(rows_t)
+            if n_taken == K:
+                if last.taken_is_branch:
+                    if lanes is None:
+                        branches += 1
+                    else:
+                        branches[lanes] += 1
+                requeue(last.target, lanes, pending, seq)
+            elif n_taken == 0:
+                requeue(last.ccnt + 1, lanes, pending, seq)
+            else:
+                splits += 1
+                rows_f = np.nonzero(~taken)[0]
+                lanes_t = rows_t if lanes is None else lanes[rows_t]
+                lanes_f = rows_f if lanes is None else lanes[rows_f]
+                if last.taken_is_branch:
+                    branches[lanes_t] += 1
+                pend_t = [
+                    [f[0], f[1], f[2], f[3], tuple(a[rows_t] for a in f[4])]
+                    for f in pending
+                ]
+                pend_f = [
+                    [f[0], f[1], f[2], f[3], tuple(a[rows_f] for a in f[4])]
+                    for f in pending
+                ]
+                requeue(last.target, lanes_t, pend_t, seq)
+                requeue(last.ccnt + 1, lanes_f, pend_f, seq)
+        else:  # _B_NONE: fell off the end of the program
+            requeue(last.ccnt + 1, lanes, pending, seq)
+
+    if visits is not None and B:
+        emit_context_profile(tracer, vprog.program, visits, lane_cycles)
+    metrics = get_metrics()
+    if metrics.enabled and B:
+        metrics.inc("sim.vector.batches")
+        metrics.inc("sim.vector.lanes", B)
+        metrics.inc("sim.vector.cohort.splits", splits)
+        metrics.inc("sim.vector.cohort.merges", merges)
+        metrics.inc("sim.vector.traces", trace_runs)
+        metrics.inc("sim.vector.steps", steps_run)
+        metrics.inc("sim.vector.lane.cycles", lane_cycles)
+        if steps_run:
+            metrics.observe(
+                "sim.vector.occupancy.pct",
+                round(100 * lane_cycles / (B * steps_run)),
+            )
+    return BatchRunResult(
+        cycles=cycles,
+        ops_executed=ops,
+        energy_units=energy,
+        branches_taken=branches,
+        splits=splits,
+        merges=merges,
+        trace_runs=trace_runs,
+        steps=steps_run,
+        lane_cycles=lane_cycles,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Host interface
+# ---------------------------------------------------------------------------
+
+
+class VectorSimulator:
+    """Batched counterpart of :class:`~repro.sim.machine.CGRASimulator`.
+
+    One instance holds the whole batch's machine state: ``rf`` is
+    ``(batch, n_pes, max_rf)`` int32 (slots beyond a PE's register-file
+    size are padding and never addressed), ``bits`` is the batched
+    C-Box condition memory, ``heap`` a :class:`VectorHeap`.
+    """
+
+    def __init__(
+        self,
+        comp: Composition,
+        program: ContextProgram,
+        batch: int,
+        *,
+        max_cycles: Optional[int] = None,
+    ) -> None:
+        from repro.sim.machine import DEFAULT_MAX_CYCLES, SimulationError
+
+        if program.n_cycles > comp.context_size:
+            raise SimulationError(
+                f"program needs {program.n_cycles} contexts, composition "
+                f"provides {comp.context_size}" + _err_ctx(program)
+            )
+        self.comp = comp
+        self.program = program
+        self.batch = batch
+        self.max_cycles = (
+            DEFAULT_MAX_CYCLES if max_cycles is None else max_cycles
+        )
+        self.vprog = vectorize_program(program, comp)
+        max_rf = max(pe.regfile_size for pe in comp.pes)
+        self.rf = np.zeros((batch, comp.n_pes, max_rf), _I32)
+        self.bits = np.zeros((batch, comp.cbox_slots), _I8)
+        self.heap = VectorHeap(batch)
+
+    # -- host interface ---------------------------------------------------
+
+    def write_livein(self, lane: int, pe: int, slot: int, value: int) -> None:
+        self.rf[lane, pe, slot] = wrap32(int(value))
+
+    def write_livein_all(
+        self, pe: int, slot: int, values: Sequence[int]
+    ) -> None:
+        self.rf[:, pe, slot] = [wrap32(int(v)) for v in values]
+
+    def read_liveout(self, lane: int, pe: int, slot: int) -> int:
+        return int(self.rf[lane, pe, slot])
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, start_ccnt: int = 0) -> BatchRunResult:
+        tracer = get_tracer()
+        with tracer.span(
+            "sim.vector.run",
+            kernel=self.program.kernel_name,
+            composition=self.program.composition_name,
+            batch=self.batch,
+        ):
+            result = execute_batch(
+                self.vprog,
+                self.rf,
+                self.bits,
+                self.heap,
+                start_ccnt=start_ccnt,
+                max_cycles=self.max_cycles,
+                tracer=tracer,
+            )
+        return result
+
+
+def _err_ctx(program: ContextProgram) -> str:
+    return (
+        f" [kernel={program.kernel_name!r}, "
+        f"composition={program.composition_name!r}]"
+    )
+
+
+def run_single_via_vector(sim, start_ccnt: int, tracer):
+    """``CGRASimulator`` backend adapter: run one invocation as a
+    batch of one and write the final state back into the scalar
+    simulator's ``rf`` / ``cbox`` / ``heap``."""
+    vs = VectorSimulator(
+        sim.comp, sim.program, 1, max_cycles=sim.max_cycles
+    )
+    for pe, row in enumerate(sim.rf):
+        if row:
+            vs.rf[0, pe, : len(row)] = row
+    vs.bits[0, :] = sim.cbox.bits
+    for handle, arr in sim.heap.items():
+        vs.heap.allocate(handle, [arr])
+    batch = vs.run(start_ccnt)
+    for pe, row in enumerate(sim.rf):
+        for slot in range(len(row)):
+            row[slot] = int(vs.rf[0, pe, slot])
+    sim.cbox.bits = [int(b) for b in vs.bits[0]]
+    for handle, arr in sim.heap.items():
+        arr[:] = vs.heap.lane_array(0, handle)
+    return batch.lane_result(0)

@@ -73,10 +73,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("interpreter", "compiled"),
+        choices=("interpreter", "compiled", "vector"),
         default="interpreter",
         help="simulator backend for the dynamic oracle (default: "
         "interpreter)",
+    )
+    parser.add_argument(
+        "--replay",
+        choices=("batch", "scalar", "both"),
+        default="batch",
+        help="mutation dynamic replay: one vectorized batch per mutant "
+        "(batch, default), the per-vector scalar loop (scalar), or both "
+        "with outcome cross-checking and wall-time comparison (both)",
     )
     parser.add_argument(
         "--json",
@@ -154,7 +162,11 @@ def main(argv=None) -> int:
 def _run_checks(args, workloads, comps, ledger) -> int:
     if args.mutate:
         report = run_mutation_campaign(
-            workloads, comps, backend=args.backend, progress=print
+            workloads,
+            comps,
+            backend=args.backend,
+            replay=args.replay,
+            progress=print,
         )
         if ledger.enabled:
             for cell in report.cells:
@@ -171,6 +183,16 @@ def _run_checks(args, workloads, comps, ledger) -> int:
                 )
         print()
         print(report.render_table())
+        if (
+            report.batch_seconds is not None
+            and report.scalar_seconds is not None
+            and report.batch_seconds > 0
+        ):
+            print(
+                f"\nreplay wall time: batch {report.batch_seconds:.2f}s vs "
+                f"scalar {report.scalar_seconds:.2f}s "
+                f"({report.scalar_seconds / report.batch_seconds:.2f}x)"
+            )
         if args.json:
             report.write_json(args.json)
             print(f"\ncoverage report written to {args.json}")

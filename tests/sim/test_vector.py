@@ -1,0 +1,266 @@
+"""Differential tests: batched vector backend vs the interpreter oracle.
+
+The lockstep numpy backend (:mod:`repro.sim.vector`) must be bit-equal
+to the per-cycle interpreter on every lane of every batch: same
+:class:`RunResult` (cycles, per-PE op counts, branch counts and energy
+— exact, not approximate), same live-out values and same final heap
+contents.  Every bundled kernel runs on several compositions with
+per-lane input variation (so lanes genuinely diverge through the CCU)
+at batch sizes 1, 7 and 64, plus targeted tests for cohort
+splitting/merging, the batch-of-one scalar adapter, the empty batch
+and the compile-memo counters.
+"""
+
+import pytest
+
+from repro.obs import observe
+from repro.context.generator import generate_contexts
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import run_invocation, run_invocations_batch
+from repro.sim.memory import Heap
+from repro.sim.vector import VectorSimulator, vectorize_program
+
+from tests.sim.test_compiled import COMPS, WORKLOADS
+
+#: one test per (kernel, composition); every test sweeps these batches
+BATCH_SIZES = (1, 7, 64)
+
+#: per-lane inputs repeat with this period (reference runs stay cheap)
+PERIOD = 8
+
+_GCD_PAIRS = [
+    (1071, 462),
+    (48, 18),
+    (7, 13),
+    (100, 100),
+    (13, 7),
+    (2, 2048),
+    (270, 192),
+    (17, 17),
+]
+
+
+def _variant(wid, livein, arrays, lane):
+    """Lane ``lane``'s inputs: the base workload, perturbed per kernel
+    so lanes take different control paths / touch different data."""
+    livein = dict(livein)
+    arrays = {k: list(v) for k, v in arrays.items()}
+    i = lane % PERIOD
+    if wid == "gcd":
+        livein["a"], livein["b"] = _GCD_PAIRS[i]
+    elif wid == "dotp":
+        arrays["xs"] = [((v + 3 * i) % 19) - 9 for v in arrays["xs"]]
+    elif wid == "fir":
+        arrays["xs"] = [((v + 5 * i) % 17) - 8 for v in arrays["xs"]]
+    elif wid == "sort":
+        data = arrays["data"]
+        k = i % len(data)
+        arrays["data"] = data[k:] + data[:k]
+    elif wid == "matmul":
+        arrays["a"] = [v + i for v in arrays["a"]]
+    elif wid == "histogram":
+        arrays["data"] = [((v + i + 2) % 10) - 2 for v in arrays["data"]]
+    elif wid == "crc32":
+        arrays["data"] = [(v * (i + 1)) % 256 for v in arrays["data"]]
+    elif wid == "adpcm":
+        livein["gain"] = 1024 * (i + 1)
+    return livein, arrays
+
+
+_PROGRAMS = {}
+
+
+def _scheduled(wid, build, comp_name):
+    key = (wid, comp_name)
+    if key not in _PROGRAMS:
+        kernel = build()
+        comp = COMPS[comp_name]
+        schedule = schedule_kernel(kernel, comp)
+        _PROGRAMS[key] = (kernel, generate_contexts(schedule, comp, kernel))
+    return _PROGRAMS[key]
+
+
+def _heap_for(kernel, arrays):
+    heap = Heap()
+    for ref in kernel.arrays:
+        heap.allocate(ref.handle, arrays[ref.name])
+    return heap
+
+
+def _assert_lane_equal(kernel, ref, got, where):
+    assert got.results == ref.results, where
+    assert got.run_cycles == ref.run_cycles, where
+    assert got.total_cycles == ref.total_cycles, where
+    assert got.run.cycles == ref.run.cycles, where
+    assert list(got.run.ops_executed) == list(ref.run.ops_executed), where
+    assert got.run.branches_taken == ref.run.branches_taken, where
+    # bit-equal, not approx: both backends sum integer micro-units
+    assert got.run.energy == ref.run.energy, where
+    for ref_arr in kernel.arrays:
+        assert list(got.heap.array(ref_arr.handle)) == list(
+            ref.heap.array(ref_arr.handle)
+        ), (where, ref_arr.name)
+
+
+@pytest.mark.parametrize("comp_name", sorted(COMPS))
+@pytest.mark.parametrize("wid,build,livein,arrays", WORKLOADS)
+def test_batch_matches_interpreter(wid, build, livein, arrays, comp_name):
+    kernel, program = _scheduled(wid, build, comp_name)
+    comp = COMPS[comp_name]
+    refs = []
+    for i in range(PERIOD):
+        lv, ar = _variant(wid, livein, arrays, i)
+        refs.append(
+            run_invocation(
+                program, comp, lv, _heap_for(kernel, ar), backend="interpreter"
+            )
+        )
+    for batch in BATCH_SIZES:
+        liveins, heaps = [], []
+        for lane in range(batch):
+            lv, ar = _variant(wid, livein, arrays, lane)
+            liveins.append(lv)
+            heaps.append(_heap_for(kernel, ar))
+        out = run_invocations_batch(program, comp, liveins, heaps)
+        assert len(out) == batch
+        for lane, got in enumerate(out):
+            _assert_lane_equal(
+                kernel,
+                refs[lane % PERIOD],
+                got,
+                (wid, comp_name, batch, lane),
+            )
+            # the in-place heap contract: heaps[lane] IS the result heap
+            assert got.heap is heaps[lane]
+
+
+def test_gcd_divergence_splits_and_merges():
+    """Mixed gcd inputs force the CCU down different paths per lane —
+    the cohort machinery must actually split and re-merge, and lanes
+    must retire at different cycle counts."""
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    batch = 16
+    sim = VectorSimulator(comp, program, batch)
+    by_name = {var.name: loc for var, loc in program.livein_map.items()}
+    for lane in range(batch):
+        a, b = _GCD_PAIRS[lane % PERIOD]
+        sim.write_livein(lane, *by_name["a"], a)
+        sim.write_livein(lane, *by_name["b"], b)
+    result = sim.run()
+    assert result.batch == batch
+    assert result.splits > 0
+    assert result.merges > 0
+    assert len(set(result.cycles.tolist())) > 1
+    for lane in range(batch):
+        a, b = _GCD_PAIRS[lane % PERIOD]
+        ref = run_invocation(program, comp, {"a": a, "b": b})
+        got = result.lane_result(lane)
+        assert got.cycles == ref.run.cycles
+        assert got.energy == ref.run.energy
+        (var, (pe, slot)), = program.liveout_map.items()
+        assert sim.read_liveout(lane, pe, slot) == ref.results[var.name]
+
+
+def test_uniform_batch_never_splits():
+    """Identical lanes follow one cohort the whole way: no divergence,
+    full occupancy."""
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    sim = VectorSimulator(comp, program, 8)
+    by_name = {var.name: loc for var, loc in program.livein_map.items()}
+    for lane in range(8):
+        sim.write_livein(lane, *by_name["a"], 1071)
+        sim.write_livein(lane, *by_name["b"], 462)
+    result = sim.run()
+    assert result.splits == 0
+    assert result.merges == 0
+    assert len(set(result.cycles.tolist())) == 1
+
+
+def test_batch_of_one_matches_scalar_backend():
+    """batch=1 and ``backend="vector"`` on the scalar entry point agree
+    with the interpreter (the adapter shares one code path)."""
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    livein = {"a": 1071, "b": 462}
+    ref = run_invocation(program, comp, livein, backend="interpreter")
+    via_batch = run_invocations_batch(program, comp, [livein])[0]
+    via_scalar = run_invocation(program, comp, livein, backend="vector")
+    for got in (via_batch, via_scalar):
+        assert got.results == ref.results
+        assert got.run.cycles == ref.run.cycles
+        assert got.run.energy == ref.run.energy
+        assert list(got.run.ops_executed) == list(ref.run.ops_executed)
+
+
+def test_empty_batch():
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    assert run_invocations_batch(program, comp, []) == []
+
+
+def test_non_vector_backend_falls_back_to_scalar_loop():
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    liveins = [{"a": a, "b": b} for a, b in _GCD_PAIRS[:3]]
+    batch = run_invocations_batch(program, comp, liveins)
+    scalar = run_invocations_batch(
+        program, comp, liveins, backend="interpreter"
+    )
+    for got, ref in zip(batch, scalar):
+        assert got.results == ref.results
+        assert got.run.cycles == ref.run.cycles
+
+
+def test_livein_validation_matches_scalar():
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    with pytest.raises(KeyError, match="no live-in variable"):
+        run_invocations_batch(program, comp, [{"a": 1, "b": 2, "zz": 3}])
+    with pytest.raises(KeyError, match="missing live-in values"):
+        run_invocations_batch(program, comp, [{"a": 1, "b": 2}, {"a": 1}])
+    with pytest.raises(ValueError, match="heaps for a batch"):
+        run_invocations_batch(program, comp, [{"a": 1, "b": 2}], [None, None])
+
+
+def test_compile_memo_counters():
+    """sim.compile.memo.{hit,miss,evict} track the weakref-finalized
+    compile memo in repro.sim.compiled."""
+    import gc
+
+    build = WORKLOADS[0][1]
+    kernel = build()
+    comp = COMPS["mesh4"]
+    schedule = schedule_kernel(kernel, comp)
+    with observe() as session:
+        program = generate_contexts(schedule, comp, kernel)
+        run_invocation(program, comp, {"a": 48, "b": 18}, backend="compiled")
+        miss0 = session.metrics.counter_value("sim.compile.memo.miss")
+        assert miss0 >= 1
+        assert session.metrics.counter_value("sim.compile.memo.hit") == 0
+        run_invocation(program, comp, {"a": 7, "b": 13}, backend="compiled")
+        assert session.metrics.counter_value("sim.compile.memo.hit") == 1
+        assert session.metrics.counter_value("sim.compile.memo.miss") == miss0
+        assert session.metrics.counter_value("sim.compile.memo.evict") == 0
+        del program
+        gc.collect()
+        assert session.metrics.counter_value("sim.compile.memo.evict") >= 1
+
+
+def test_vector_obs_metrics():
+    """Batched runs publish the sim.vector.* counters and occupancy."""
+    kernel, program = _scheduled("gcd", WORKLOADS[0][1], "mesh4")
+    comp = COMPS["mesh4"]
+    liveins = [{"a": a, "b": b} for a, b in _GCD_PAIRS]
+    with observe() as session:
+        run_invocations_batch(program, comp, liveins)
+        m = session.metrics
+        assert m.counter_value("sim.vector.batches") == 1
+        assert m.counter_value("sim.vector.lanes") == len(_GCD_PAIRS)
+        assert m.counter_value("sim.vector.cohort.splits") > 0
+        assert m.counter_value("sim.vector.cohort.merges") > 0
+        assert m.counter_value("sim.vector.lane.cycles") > 0
+        assert m.counter_value("sim.runs", backend="vector") == len(
+            _GCD_PAIRS
+        )
