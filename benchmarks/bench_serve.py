@@ -1,0 +1,83 @@
+"""Serving layer — seeded Zipf load, cold vs warm requests/sec.
+
+Boots a :class:`~repro.serve.server.ScheduleServer` on an ephemeral
+localhost port and replays the default 8-problem catalog through the
+seeded Zipf generator (:mod:`repro.serve.load`):
+
+* **cold** — every catalog problem once; each request schedules;
+* **warm** — 200 Zipf(1.1)-drawn requests over the same catalog; hot
+  problems collapse onto the single-flight memo and the shared
+  schedule cache.
+
+Asserted: warm throughput >= 5x cold (a warm request replaces
+scheduling with a dedupe lookup) and every response of the same
+fingerprint carries the same ``program_digest`` (the serving stack
+never changes results — see tests/serve/test_differential.py for the
+full byte-equality suite).  The recorded numbers (requests/sec,
+p50/p99 ms, hit rate) land in ``extra_info`` and, via
+``repro.obs.bench``, in the ``BENCH_*`` snapshots the
+``bench-regression`` CI gate diffs.
+"""
+
+from repro.serve.load import DEFAULT_CATALOG, run_load
+from repro.serve.server import serve_in_thread
+
+#: warm-phase request count: enough draws for a stable Zipf mix,
+#: small enough to keep the bench in seconds
+_N_WARM = 200
+
+_ZIPF_S = 1.1
+_SEED = 0
+
+
+def test_zipf_load_warm_vs_cold(benchmark, tmp_path):
+    with serve_in_thread(
+        workers=1, cache_dir=str(tmp_path / "cache")
+    ) as handle:
+        report = benchmark.pedantic(
+            run_load,
+            args=(handle.address,),
+            kwargs={"n": _N_WARM, "s": _ZIPF_S, "seed": _SEED,
+                    "connections": 4},
+            rounds=1,
+            iterations=1,
+        )
+
+    assert report["digests_consistent"], "served digests diverged"
+    assert report["cold_requests"] == len(DEFAULT_CATALOG)
+    assert report["warm_requests"] == _N_WARM
+    assert report["distinct_fingerprints"] == len(DEFAULT_CATALOG)
+
+    for key in (
+        "cold_requests_per_sec",
+        "warm_requests_per_sec",
+        "cold_p50_ms",
+        "cold_p99_ms",
+        "warm_p50_ms",
+        "warm_p99_ms",
+        "warm_hit_rate",
+        "warm_speedup",
+        "warm_hits",
+        "zipf_s",
+        "seed",
+        "connections",
+    ):
+        benchmark.extra_info[key] = report[key]
+
+    print(
+        f"\nserve Zipf load: cold {report['cold_requests_per_sec']} req/s "
+        f"(p50 {report['cold_p50_ms']} ms), warm "
+        f"{report['warm_requests_per_sec']} req/s "
+        f"(p50 {report['warm_p50_ms']} ms, p99 {report['warm_p99_ms']} ms), "
+        f"hit rate {report['warm_hit_rate']:.0%}, "
+        f"{report['warm_speedup']}x"
+    )
+
+    # the serving bar: repeat-heavy traffic must ride the dedupe path,
+    # not re-schedule — >= 5x throughput over the all-cold phase
+    assert report["warm_speedup"] >= 5.0, (
+        f"warm Zipf traffic only {report['warm_speedup']}x cold"
+    )
+    assert report["warm_hit_rate"] >= 0.9, (
+        f"warm hit rate {report['warm_hit_rate']} — dedupe not engaging"
+    )

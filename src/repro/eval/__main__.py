@@ -52,10 +52,16 @@ def _run_eval(
     *,
     jobs: int = 1,
     cache_dir=None,
+    cache_max_bytes=None,
     sim_backend: str = "compiled",
     max_cycles=None,
 ) -> int:
-    grid = {"jobs": jobs, "cache_dir": cache_dir, "backend": sim_backend}
+    grid = {
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "cache_max_bytes": cache_max_bytes,
+        "backend": sim_backend,
+    }
     if max_cycles is not None:
         grid["max_cycles"] = max_cycles
     with timed("eval.total") as total:
@@ -159,6 +165,14 @@ def main(argv=None) -> int:
         "cached schedules (see docs/performance.md)",
     )
     parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size bound for the on-disk schedule cache; oldest entries "
+        "are LRU-evicted once the store exceeds the budget",
+    )
+    parser.add_argument(
         "--sim-backend",
         choices=("interpreter", "compiled", "vector"),
         default="compiled",
@@ -187,6 +201,7 @@ def main(argv=None) -> int:
     kwargs = {
         "jobs": args.jobs,
         "cache_dir": args.cache_dir,
+        "cache_max_bytes": args.cache_max_bytes,
         "sim_backend": args.sim_backend,
         "max_cycles": args.max_cycles,
     }

@@ -12,7 +12,6 @@ bytecode; ours from a leaner IR — see EXPERIMENTS.md), but each table's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -25,7 +24,6 @@ from repro.arch.library import (
     paper_mesh_compositions,
 )
 from repro.baseline import run_baseline
-from repro.context.generator import generate_contexts
 from repro.fpga import estimate
 from repro.ir.cdfg import Kernel
 from repro.ir.transform import eliminate_common_subexpressions, unroll_inner_loops
@@ -36,14 +34,16 @@ from repro.kernels.adpcm import (
     build_decoder_kernel,
     encoded_reference,
 )
-from repro.obs.ledger import get_ledger, pipeline_record
-from repro.obs.timing import timed
 from repro.perf.cache import ScheduleCache, shared_cache
 from repro.perf.parallel import ParallelEvaluator
-from repro.sched.scheduler import schedule_kernel
-from repro.sim.invocation import invoke_kernel
+from repro.serve.jobs import (
+    CACHE_FORMAT,
+    DEFAULT_SIM_BACKEND,
+    JobResult,
+    JobSpec,
+    execute_job,
+)
 from repro.sim.machine import DEFAULT_MAX_CYCLES
-from repro.verify import verify_enabled
 
 __all__ = [
     "adpcm_workload",
@@ -59,14 +59,6 @@ __all__ = [
 
 #: paper evaluation settings (Section VI-B)
 UNROLL_FACTOR = 2
-
-#: bump to invalidate cached programs when their format changes
-CACHE_FORMAT = 1
-
-#: grid runs execute on the AOT-compiled simulator backend by default
-#: (identical results to the interpreter and the batched vector
-#: backend; see docs/performance.md)
-DEFAULT_SIM_BACKEND = "compiled"
 
 
 def adpcm_workload(
@@ -112,6 +104,54 @@ class CompositionRun:
         return self.cycles / (self.frequency_mhz * 1e3)
 
 
+def _adpcm_spec(
+    label: str,
+    comp: Composition,
+    *,
+    n_samples: int,
+    unroll: int,
+    cached: bool = False,
+    cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
+    backend: str = DEFAULT_SIM_BACKEND,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> JobSpec:
+    """The grid's per-cell job: the ADPCM workload on ``comp``."""
+    return JobSpec(
+        workload="adpcm",
+        composition=comp,
+        label=label,
+        params=(("n_samples", n_samples), ("unroll", unroll)),
+        cached=cached,
+        cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        backend=backend,
+        max_cycles=max_cycles,
+        ledger_kind="grid.cell",
+    )
+
+
+def _to_composition_run(result: JobResult, comp: Composition) -> CompositionRun:
+    """JobResult -> the table-facing row (FPGA estimate runs here, in
+    the parent — it is composition-only and never crosses the pool)."""
+    fpga = estimate(comp)
+    return CompositionRun(
+        label=result.label,
+        composition=comp,
+        used_contexts=result.used_contexts,
+        max_rf_entries=result.max_rf_entries,
+        cycles=result.run_cycles,
+        correct=bool(result.correct),
+        schedule_seconds=result.schedule_seconds,
+        frequency_mhz=fpga.frequency_mhz,
+        lut_logic_pct=fpga.lut_logic_pct,
+        lut_mem_pct=fpga.lut_mem_pct,
+        dsp_pct=fpga.dsp_pct,
+        bram_pct=fpga.bram_pct,
+        energy=result.energy,
+    )
+
+
 def run_adpcm_on(
     label: str,
     comp: Composition,
@@ -122,95 +162,16 @@ def run_adpcm_on(
     backend: str = DEFAULT_SIM_BACKEND,
     max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> CompositionRun:
-    kernel, arrays, expect = adpcm_workload(n_samples, unroll=unroll)
-    cache_hit: Optional[bool] = None
-    with timed("sched.walltime", label=label) as timer:
-        if cache is None:
-            schedule = schedule_kernel(kernel, comp)
-            program = generate_contexts(schedule, comp, kernel)
-        else:
-            # content-addressed: a hit skips scheduling + context
-            # generation entirely (byte-identical program, see
-            # tests/perf/test_determinism.py)
-            def _compute():
-                schedule = schedule_kernel(kernel, comp)
-                return generate_contexts(schedule, comp, kernel)
-
-            program, cache_hit = cache.get_or_compute(
-                kernel, comp, _compute, fmt=CACHE_FORMAT
-            )
-    sim_t0 = time.perf_counter()
-    result = invoke_kernel(
-        kernel,
-        comp,
-        {"n": n_samples, "gain": 4096},
-        arrays,
-        program=program,
-        backend=backend,
-        max_cycles=max_cycles,
-    )
-    sim_seconds = time.perf_counter() - sim_t0
-    decoded = result.heap.array(kernel.arrays[1].handle)
-    ledger = get_ledger()
-    if ledger.enabled:
-        ledger.record(
-            "grid.cell",
-            label=label,
-            **pipeline_record(
-                kernel,
-                comp,
-                program,
-                schedule_seconds=timer.seconds,
-                cache_hit=cache_hit,
-                backend=backend,
-                sim_seconds=sim_seconds,
-                cycles=result.run_cycles,
-                correct=decoded == expect,
-                energy=result.run.energy,
-                verifier="ok" if cache_hit is not True and verify_enabled() else None,
-            ),
-        )
-    fpga = estimate(comp)
-    return CompositionRun(
-        label=label,
-        composition=comp,
-        used_contexts=program.used_contexts,
-        max_rf_entries=program.max_rf_entries,
-        cycles=result.run_cycles,
-        correct=decoded == expect,
-        schedule_seconds=timer.seconds,
-        frequency_mhz=fpga.frequency_mhz,
-        lut_logic_pct=fpga.lut_logic_pct,
-        lut_mem_pct=fpga.lut_mem_pct,
-        dsp_pct=fpga.dsp_pct,
-        bram_pct=fpga.bram_pct,
-        energy=result.run.energy,
-    )
-
-
-def _grid_task(task) -> Tuple[CompositionRun, int, int]:
-    """One kernel×composition cell; module-level so pools can pickle it.
-
-    Returns ``(run, cache_hits_delta, cache_misses_delta)`` — the
-    deltas let the parent aggregate cache statistics from pool workers,
-    whose own metrics registries die with the worker process.
-    """
-    label, comp, n_samples, unroll, cache_dir, cached, backend, max_cycles = (
-        task
-    )
-    cache = shared_cache(cache_dir) if cached else None
-    before = (cache.hits, cache.misses) if cache else (0, 0)
-    run = run_adpcm_on(
+    spec = _adpcm_spec(
         label,
         comp,
         n_samples=n_samples,
         unroll=unroll,
-        cache=cache,
         backend=backend,
         max_cycles=max_cycles,
     )
-    after = (cache.hits, cache.misses) if cache else (0, 0)
-    return run, after[0] - before[0], after[1] - before[1]
+    result = execute_job(spec, cache=cache)
+    return _to_composition_run(result, comp)
 
 
 def run_grid(
@@ -221,27 +182,41 @@ def run_grid(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     cached: bool = False,
+    cache_max_bytes: Optional[int] = None,
     backend: str = DEFAULT_SIM_BACKEND,
     max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> Dict[str, CompositionRun]:
     """Run the ADPCM workload over a labelled composition grid.
 
-    ``jobs > 1`` fans the cells out over a process pool (deterministic
-    ordering, serial fallback); ``cache_dir``/``cached`` route
-    scheduling through the content-addressed schedule cache;
+    Each cell is a :class:`~repro.serve.jobs.JobSpec` executed through
+    :func:`~repro.serve.jobs.execute_job` — the same job layer the
+    scheduling server fans out to its worker pool.  ``jobs > 1`` maps
+    the cells over a process pool (deterministic ordering, serial
+    fallback); ``cache_dir``/``cached`` route scheduling through the
+    content-addressed schedule cache (``cache_max_bytes`` bounds the
+    on-disk artifact store, LRU-evicting oldest entries);
     ``backend`` selects the simulator executor (AOT-compiled by
     default).  Results are identical to the serial uncached
     interpreter loop in all configurations.  ``max_cycles`` tightens
     the per-run runaway bound below the 50M default.
     """
     cached = cached or cache_dir is not None
-    tasks = [
-        (label, comp, n_samples, unroll, cache_dir, cached, backend,
-         max_cycles)
+    specs = [
+        _adpcm_spec(
+            label,
+            comp,
+            n_samples=n_samples,
+            unroll=unroll,
+            cached=cached,
+            cache_dir=cache_dir,
+            cache_max_bytes=cache_max_bytes,
+            backend=backend,
+            max_cycles=max_cycles,
+        )
         for label, comp in items
     ]
     evaluator = ParallelEvaluator(jobs)
-    results = evaluator.map(_grid_task, tasks)
+    results = evaluator.map(execute_job, specs)
     if evaluator.last_used_pool and cached:
         # worker-side ScheduleCache instances died with the workers:
         # fold their reported hit/miss deltas into this process's cache
@@ -249,9 +224,12 @@ def run_grid(
         # when an enabled registry is installed the evaluator already
         # folded every worker counter back (last_obs_folded)
         cache = shared_cache(cache_dir)
-        cache.hits += sum(r[1] for r in results)
-        cache.misses += sum(r[2] for r in results)
-    return {run.label: run for run, _h, _m in results}
+        cache.hits += sum(r.cache_hits_delta for r in results)
+        cache.misses += sum(r.cache_misses_delta for r in results)
+    return {
+        result.label: _to_composition_run(result, spec.composition)
+        for spec, result in zip(specs, results)
+    }
 
 
 def table1(*, n_samples: int = N_SAMPLES, **grid) -> Dict[str, CompositionRun]:

@@ -18,9 +18,17 @@ Two layers:
   survive across processes and are how ``--jobs N`` workers share warm
   state.
 
-Hit/miss counters are kept per instance *and* mirrored into the
+The disk layer doubles as the *shared artifact store* of the
+scheduling service (:mod:`repro.serve`): ``max_bytes`` bounds its
+size with least-recently-used eviction (recency is the entry file's
+mtime, refreshed on every disk hit), so a long-lived server's cache
+directory cannot grow without bound.  The in-process memo is not
+evicted — it only ever holds what this process actually touched.
+
+Hit/miss/evict counters are kept per instance *and* mirrored into the
 ``repro.obs`` metrics registry (``perf.cache.hits`` /
-``perf.cache.misses``) whenever an enabled registry is installed.
+``perf.cache.misses`` / ``perf.cache.evict``) whenever an enabled
+registry is installed.
 """
 
 from __future__ import annotations
@@ -41,11 +49,21 @@ __all__ = ["ScheduleCache", "shared_cache"]
 class ScheduleCache:
     """Memoises schedule/context-generation results by content address."""
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        *,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.cache_dir = cache_dir
+        #: on-disk size budget; ``None`` = unbounded (the historical
+        #: behaviour), otherwise least-recently-used entries are
+        #: evicted after every put until the directory fits
+        self.max_bytes = max_bytes
         self._memory: Dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -76,6 +94,12 @@ class ScheduleCache:
                     payload = None  # torn/corrupt entry: treat as miss
                 else:
                     self._memory[key] = payload
+                    try:
+                        # refresh recency so LRU eviction spares hot
+                        # entries other processes keep reading
+                        os.utime(path)
+                    except OSError:
+                        pass
         metrics = get_metrics()
         if payload is None:
             self.misses += 1
@@ -106,6 +130,64 @@ class ScheduleCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        self._evict_lru(protect=path)
+
+    # -- size-bounded LRU eviction ---------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk entries (0 without a ``cache_dir``)."""
+        return sum(size for _, _, size in self._disk_entries())
+
+    def _disk_entries(self):
+        """``(mtime, path, size)`` per on-disk entry, oldest first."""
+        if self.cache_dir is None:
+            return []
+        entries = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".pkl") or name.startswith(".tmp-"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((st.st_mtime_ns, path, st.st_size))
+        entries.sort()
+        return entries
+
+    def _evict_lru(self, protect: Optional[str] = None) -> None:
+        """Drop least-recently-used disk entries until under budget.
+
+        ``protect`` (the entry just written) is never evicted, so a
+        single oversized payload still lands.  Eviction only trims the
+        disk layer; the in-process memo keeps what this process read.
+        """
+        if self.max_bytes is None or self.cache_dir is None:
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, _, size in entries)
+        evicted = 0
+        for _, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == protect:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # lost a race with a concurrent evictor
+            total -= size
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("perf.cache.evict", evicted)
 
     # -- the memoised pipeline stage -------------------------------------
 
@@ -128,11 +210,15 @@ class ScheduleCache:
     # -- stats ----------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._memory),
+            "evictions": self.evictions,
         }
+        if self.cache_dir is not None:
+            out["disk_bytes"] = self.disk_bytes()
+        return out
 
     def clear(self) -> None:
         self._memory.clear()
@@ -143,10 +229,20 @@ class ScheduleCache:
 _SHARED: Dict[Optional[str], ScheduleCache] = {}
 
 
-def shared_cache(cache_dir: Optional[str] = None) -> ScheduleCache:
-    """The process-wide cache for ``cache_dir`` (created on first use)."""
+def shared_cache(
+    cache_dir: Optional[str] = None,
+    *,
+    max_bytes: Optional[int] = None,
+) -> ScheduleCache:
+    """The process-wide cache for ``cache_dir`` (created on first use).
+
+    ``max_bytes`` installs (or updates) the disk-size budget on the
+    shared instance; ``None`` leaves any previously-set budget alone.
+    """
     key = os.path.abspath(cache_dir) if cache_dir is not None else None
     cache = _SHARED.get(key)
     if cache is None:
-        cache = _SHARED[key] = ScheduleCache(cache_dir)
+        cache = _SHARED[key] = ScheduleCache(cache_dir, max_bytes=max_bytes)
+    elif max_bytes is not None:
+        cache.max_bytes = max_bytes
     return cache

@@ -12,7 +12,19 @@ Fallbacks keep the evaluator safe everywhere:
   pool, no pickling, bit-for-bit the historical code path;
 * if the pool cannot be created or a task cannot be pickled (sandboxed
   environments, exotic payloads), the evaluator falls back to the
-  serial loop and remembers the failure for the rest of its lifetime.
+  serial loop for that call.  Pool failures are *budgeted*, not
+  latched: the next call tries a fresh pool again (a long-lived server
+  must survive a worker crash), and only ``max_pool_failures``
+  consecutive failures degrade the evaluator to serial for good.  A
+  successful pooled run resets the budget.
+
+Besides the batch :meth:`ParallelEvaluator.map`, the evaluator offers
+a *persistent* single-task path for long-lived services
+(:mod:`repro.serve`): :meth:`start_pool` pre-forks a warm worker pool
+once, :meth:`submit` ships one task to it (returning a
+``concurrent.futures.Future``), and :meth:`close` tears it down.  The
+persistent pool is re-created transparently after a crash, inside the
+same failure budget.
 
 On POSIX the pool uses the ``fork`` start method when available: workers
 inherit the parent's hash seed (identical set/dict iteration order ⇒
@@ -38,7 +50,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -84,6 +96,12 @@ def _obs_task(payload: Tuple) -> Tuple[Any, Optional[dict]]:
     return result, obs
 
 
+def _plain_task(payload: Tuple) -> Tuple[Any, None]:
+    """Uncaptured single task: ``(fn(item), None)`` (see :meth:`submit`)."""
+    fn, item = payload
+    return fn(item), None
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value: ``None``/``0`` = all cores."""
     if jobs is None or jobs <= 0:
@@ -91,12 +109,42 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _warm_task(_item) -> int:
+    """No-op warm-up task: forces the pool to fork its workers."""
+    return os.getpid()
+
+
+#: exceptions that mean "the pool (not the task) is unusable"
+_POOL_ERRORS = (
+    OSError,
+    ImportError,
+    PermissionError,
+    pickle.PicklingError,
+    # CPython reports unpicklable payloads as AttributeError
+    # ("Can't pickle local object ...") or TypeError, not only
+    # PicklingError; a task that genuinely raises one of these
+    # re-raises it from the serial fallback, so catching them costs
+    # at most a redundant serial pass
+    AttributeError,
+    TypeError,
+    BrokenProcessPool,
+)
+
+
 class ParallelEvaluator:
     """Ordered map over a process pool, with serial fallback."""
 
-    def __init__(self, jobs: Optional[int] = 1) -> None:
+    def __init__(
+        self, jobs: Optional[int] = 1, *, max_pool_failures: int = 3
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
-        self._pool_broken = False
+        #: consecutive pool failures tolerated before degrading to the
+        #: serial loop permanently (a success resets the count)
+        self.max_pool_failures = max_pool_failures
+        self._pool_failures = 0
+        #: persistent executor behind :meth:`submit` (server mode)
+        self._persistent: Optional[ProcessPoolExecutor] = None
+        self._thread_fallback: Optional[ThreadPoolExecutor] = None
         #: whether the most recent :meth:`map` actually used the pool
         #: (callers aggregate worker-side counters only in that case —
         #: serial tasks already updated the in-process registry)
@@ -107,6 +155,34 @@ class ParallelEvaluator:
         #: for and callers must not re-add it
         self.last_obs_folded = False
 
+    # -- pool-health accounting ------------------------------------------
+
+    @property
+    def pool_broken(self) -> bool:
+        """Whether the failure budget is exhausted (serial from now on)."""
+        return self._pool_failures >= self.max_pool_failures
+
+    def record_pool_failure(self, exc: Optional[BaseException] = None) -> None:
+        """Count one pool failure and discard the persistent pool.
+
+        Callers that observe a :class:`BrokenProcessPool` on a future
+        returned by :meth:`submit` report it here; the next
+        :meth:`submit`/:meth:`map` re-creates the pool unless the
+        failure budget is exhausted.
+        """
+        self._pool_failures += 1
+        self._discard_persistent()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "perf.pool.fallbacks",
+                reason=type(exc).__name__ if exc is not None else "reported",
+            )
+
+    def reset_pool(self) -> None:
+        """Forget past failures; the next call may use a pool again."""
+        self._pool_failures = 0
+
     # -- internals -------------------------------------------------------
 
     @staticmethod
@@ -115,6 +191,11 @@ class ParallelEvaluator:
             return multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return multiprocessing.get_context()
+
+    def _discard_persistent(self) -> None:
+        pool, self._persistent = self._persistent, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _map_serial(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -138,7 +219,7 @@ class ParallelEvaluator:
             metrics.inc("perf.pool.tasks", len(items))
         self.last_used_pool = False
         self.last_obs_folded = False
-        if self.jobs <= 1 or len(items) <= 1 or self._pool_broken:
+        if self.jobs <= 1 or len(items) <= 1 or self.pool_broken:
             if metrics.enabled:
                 metrics.set_max("perf.pool.workers", 1)
             return self._map_serial(fn, items)
@@ -172,27 +253,17 @@ class ParallelEvaluator:
                 # collect by submission index: deterministic ordering
                 # no matter which worker finishes first
                 results = [f.result() for f in futures]
-        except (
-            OSError,
-            ImportError,
-            PermissionError,
-            pickle.PicklingError,
-            # CPython reports unpicklable payloads as AttributeError
-            # ("Can't pickle local object ...") or TypeError, not only
-            # PicklingError; a task that genuinely raises one of these
-            # re-raises it from the serial fallback below, so catching
-            # them costs at most a redundant serial pass
-            AttributeError,
-            TypeError,
-            BrokenProcessPool,
-        ) as exc:
-            # pool unavailable (sandbox, fd limits): degrade to serial
-            # once and for all
-            self._pool_broken = True
+        except _POOL_ERRORS as exc:
+            # pool unavailable (sandbox, fd limits, worker crash):
+            # degrade this call to serial and count the failure — only
+            # a run of max_pool_failures consecutive failures latches
+            # serial for good
+            self._pool_failures += 1
             if metrics.enabled:
                 metrics.inc("perf.pool.fallbacks", reason=type(exc).__name__)
                 metrics.set_max("perf.pool.workers", 1)
             return self._map_serial(fn, items)
+        self._pool_failures = 0
         if metrics.enabled:
             metrics.set_max("perf.pool.workers", workers)
         self.last_used_pool = True
@@ -203,16 +274,122 @@ class ParallelEvaluator:
             plain = []
             for result, obs in results:
                 plain.append(result)
-                if obs["metrics"] is not None:
-                    metrics.merge(obs["metrics"])
-                if obs["trace"] is not None:
-                    tracer.add_foreign_records(
-                        obs["trace"],
-                        pid=obs["pid"],
-                        label=f"worker-{obs['pid']}",
-                    )
-                if obs["ledger"] is not None:
-                    ledger.extend(obs["ledger"])
+                self.fold_obs(obs)
             self.last_obs_folded = True
             return plain
         return results
+
+    def fold_obs(self, obs: Optional[dict]) -> None:
+        """Fold one worker's raw obs dumps into the parent sinks.
+
+        ``obs`` is the second element of an :func:`_obs_task` result
+        (``None`` when the task ran without capture).  Counters add,
+        histograms merge bucket-exactly, trace records land on the
+        worker's pid lane, ledger records are re-sequenced.
+        """
+        if obs is None:
+            return
+        if obs["metrics"] is not None:
+            get_metrics().merge(obs["metrics"])
+        if obs["trace"] is not None:
+            get_tracer().add_foreign_records(
+                obs["trace"],
+                pid=obs["pid"],
+                label=f"worker-{obs['pid']}",
+            )
+        if obs["ledger"] is not None:
+            get_ledger().extend(obs["ledger"])
+
+    # -- persistent single-task path (server mode) -----------------------
+
+    def start_pool(self) -> int:
+        """Pre-fork the persistent worker pool; returns its width.
+
+        Submits one warm-up task per worker so the fork happens *now*
+        (workers inherit the parent's imports and warm in-memory
+        caches) instead of on the first real request.  Returns 0 when
+        the evaluator is serial (``jobs <= 1``) or the failure budget
+        is already exhausted — :meth:`submit` then runs tasks on a
+        small thread pool instead.
+        """
+        if self.jobs <= 1 or self.pool_broken:
+            return 0
+        try:
+            pool = self._ensure_persistent()
+            for f in [
+                pool.submit(_warm_task, i) for i in range(self.jobs)
+            ]:
+                f.result()
+        except _POOL_ERRORS as exc:
+            self.record_pool_failure(exc)
+            return 0
+        self._pool_failures = 0
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.set_max("perf.pool.workers", self.jobs)
+        return self.jobs
+
+    def _ensure_persistent(self) -> ProcessPoolExecutor:
+        if self._persistent is None:
+            self._persistent = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._mp_context()
+            )
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("perf.pool.recreations")
+        return self._persistent
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_fallback is None:
+            self._thread_fallback = ThreadPoolExecutor(
+                max_workers=max(1, min(self.jobs, 4)),
+                thread_name_prefix="repro-serial",
+            )
+        return self._thread_fallback
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> "Future":
+        """Ship one task to the persistent pool; ``Future`` of
+        ``(result, obs)``.
+
+        ``obs`` is a raw worker obs dump to pass to :meth:`fold_obs`
+        (``None`` when the task ran in-process, where it already
+        recorded into the parent sinks directly).  When the pool is
+        unavailable the task runs on a small thread pool instead, so
+        callers in an event loop never block.  A worker crash surfaces
+        as :class:`BrokenProcessPool` from the future — report it via
+        :meth:`record_pool_failure` and resubmit; the pool is then
+        re-created within the failure budget.
+        """
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("perf.pool.tasks")
+        if self.jobs > 1 and not self.pool_broken:
+            tracer = get_tracer()
+            ledger = get_ledger()
+            capture = metrics.enabled or tracer.enabled or ledger.enabled
+            try:
+                pool = self._ensure_persistent()
+                if capture:
+                    epoch = tracer.epoch_ns if tracer.enabled else None
+                    return pool.submit(
+                        _obs_task,
+                        (
+                            fn,
+                            item,
+                            metrics.enabled,
+                            tracer.enabled,
+                            ledger.enabled,
+                            epoch,
+                        ),
+                    )
+                return pool.submit(_plain_task, (fn, item))
+            except _POOL_ERRORS as exc:
+                self.record_pool_failure(exc)
+        return self._threads().submit(_plain_task, (fn, item))
+
+    def close(self) -> None:
+        """Shut down the persistent executors (idempotent)."""
+        self._discard_persistent()
+        threads, self._thread_fallback = self._thread_fallback, None
+        if threads is not None:
+            threads.shutdown(wait=False)

@@ -1,0 +1,35 @@
+"""Scheduling-as-a-service: job layer, asyncio server, client, load gen.
+
+The package splits into:
+
+- :mod:`repro.serve.jobs` — transport-free job layer (spec,
+  execution, result envelope) shared by the grid evaluator
+  (:mod:`repro.eval.tables`) and the server;
+- :mod:`repro.serve.server` — asyncio JSONL front door with
+  single-flight dedupe and a warm worker pool;
+- :mod:`repro.serve.client` — small synchronous client;
+- :mod:`repro.serve.load` — seeded Zipf load generator.
+
+``python -m repro.serve`` boots a server; see docs/serving.md.
+"""
+
+from repro.serve.jobs import (
+    JobResult,
+    JobSpec,
+    execute_job,
+    job_payload,
+    register_workload,
+    resolve_workload,
+)
+from repro.serve.server import PROTOCOL_VERSION, ScheduleServer
+
+__all__ = [
+    "JobResult",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "ScheduleServer",
+    "execute_job",
+    "job_payload",
+    "register_workload",
+    "resolve_workload",
+]

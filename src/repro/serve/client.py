@@ -1,0 +1,157 @@
+"""Small synchronous client for the scheduling server's JSONL protocol.
+
+One :class:`ServeClient` wraps one connection (unix socket or TCP).
+Requests are JSON objects terminated by ``\\n``; responses arrive as
+JSON lines tagged with the request ``id``.  ``run`` requests also emit
+interleaved status events (``{"event": "status", ...}``), which the
+client collects per request.
+
+The client pipelines: :meth:`submit` sends without waiting, and
+:meth:`drain` (or :meth:`run`, which submits one job and waits for it)
+reads lines until the wanted responses arrive.  Used by the
+differential test suite and the Zipf load generator.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ScheduleServer`."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        elif port is not None:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        else:
+            raise ValueError("need socket_path or port")
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        #: responses that arrived while waiting for a different id
+        self._responses: Dict[Any, Dict[str, Any]] = {}
+        #: status events per request id, in arrival order
+        self.events: Dict[Any, List[Dict[str, Any]]] = {}
+
+    # -- wire ------------------------------------------------------------
+
+    def send(self, request: Dict[str, Any]) -> Any:
+        """Send one request, returning the id it was tagged with."""
+        rid = request.get("id")
+        if rid is None:
+            self._next_id += 1
+            rid = self._next_id
+            request = dict(request, id=rid)
+        self._file.write(
+            (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
+        )
+        self._file.flush()
+        return rid
+
+    def _read_line(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def recv(self, rid: Any) -> Dict[str, Any]:
+        """Block until the response for ``rid`` arrives."""
+        while rid not in self._responses:
+            msg = self._read_line()
+            if msg.get("event") == "status":
+                self.events.setdefault(msg.get("id"), []).append(msg)
+            else:
+                self._responses[msg.get("id")] = msg
+        response = self._responses.pop(rid)
+        if not response.get("ok", False):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    # -- ops -------------------------------------------------------------
+
+    def submit(
+        self,
+        kernel: str,
+        composition: str,
+        *,
+        params: Optional[Dict[str, Any]] = None,
+        **fields: Any,
+    ) -> Any:
+        """Pipeline one ``run`` request; returns its id for :meth:`recv`."""
+        req: Dict[str, Any] = {
+            "op": "run",
+            "kernel": kernel,
+            "composition": composition,
+        }
+        if params:
+            req["params"] = params
+        req.update(fields)
+        return self.send(req)
+
+    def run(
+        self,
+        kernel: str,
+        composition: str,
+        *,
+        params: Optional[Dict[str, Any]] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Submit one job and wait for its full response envelope."""
+        return self.recv(
+            self.submit(kernel, composition, params=params, **fields)
+        )
+
+    def drain(self, rids: List[Any]) -> List[Dict[str, Any]]:
+        """Responses for ``rids``, in the given order."""
+        return [self.recv(rid) for rid in rids]
+
+    def ping(self) -> Dict[str, Any]:
+        return self.recv(self.send({"op": "ping"}))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.recv(self.send({"op": "stats"}))["stats"]
+
+    def shutdown(self) -> None:
+        try:
+            self.recv(self.send({"op": "shutdown"}))
+        except (ConnectionError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(address: str, *, timeout: float = 120.0) -> ServeClient:
+    """Client from an address string: ``host:port`` or a socket path."""
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit():
+        return ServeClient(host=host or "127.0.0.1", port=int(port),
+                           timeout=timeout)
+    return ServeClient(socket_path=address, timeout=timeout)

@@ -1,0 +1,192 @@
+"""Seeded Zipf load generator for the scheduling server.
+
+Serving workloads are repeat-heavy: a few hot (kernel, composition)
+problems dominate while a long tail of one-off requests trickles in.
+The generator models this with a Zipf(s) draw over a fixed job
+catalog — rank ``r`` is requested with probability proportional to
+``1 / r**s`` — from a seeded RNG, so every run replays the identical
+request sequence.
+
+Two phases measure the dedupe machinery:
+
+* **cold** — each distinct catalog job once (every request schedules);
+* **warm** — ``n`` Zipf-drawn requests over the same catalog (hot
+  ranks collapse onto the memo/cache).
+
+Per-request latency is measured closed-loop over ``connections``
+pipelined clients; the report carries requests/sec, p50/p99 and the
+warm hit rate, plus a digest-consistency check across every response
+of the same fingerprint.  ``python -m repro.serve.load`` drives a live
+server; ``benchmarks/bench_serve.py`` embeds the same generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.serve.client import ServeClient, connect
+
+__all__ = ["DEFAULT_CATALOG", "zipf_ranks", "run_load", "LoadReport"]
+
+#: default job catalog: 8 distinct (kernel, composition) problems
+DEFAULT_CATALOG: Tuple[Tuple[str, str], ...] = (
+    ("gcd", "mesh4"),
+    ("dotp", "mesh4"),
+    ("sort", "mesh6"),
+    ("crc32", "mesh4"),
+    ("gcd", "irregularB"),
+    ("dotp", "mesh6"),
+    ("crc32", "irregularB"),
+    ("sort", "mesh4"),
+)
+
+
+def zipf_ranks(n: int, k: int, *, s: float = 1.1, seed: int = 0) -> List[int]:
+    """``n`` ranks in ``[0, k)`` drawn Zipf(s) from a seeded RNG."""
+    weights = [1.0 / (rank + 1) ** s for rank in range(k)]
+    rng = random.Random(seed)
+    return rng.choices(range(k), weights=weights, k=n)
+
+
+class LoadReport(dict):
+    """Plain dict with attribute sugar for the common fields."""
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+def _drive(
+    clients: Sequence[ServeClient],
+    requests: Sequence[Tuple[str, str]],
+    hist: Histogram,
+) -> Tuple[float, List[Dict[str, Any]]]:
+    """Issue ``requests`` round-robin over ``clients``, closed-loop per
+    connection (each client pipelines; latency is send-to-response).
+    Returns (wall seconds, responses in request order)."""
+    t0 = time.perf_counter()
+    pending: List[Tuple[ServeClient, Any, float, int]] = []
+    responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+    for i, (kernel, comp) in enumerate(requests):
+        client = clients[i % len(clients)]
+        sent = time.perf_counter()
+        rid = client.submit(kernel, comp)
+        pending.append((client, rid, sent, i))
+        # keep at most one request in flight per connection: recv the
+        # oldest once every client has work (closed loop)
+        if len(pending) >= len(clients):
+            client_, rid_, sent_, idx = pending.pop(0)
+            responses[idx] = client_.recv(rid_)
+            hist.observe((time.perf_counter() - sent_) * 1e3)
+    for client_, rid_, sent_, idx in pending:
+        responses[idx] = client_.recv(rid_)
+        hist.observe((time.perf_counter() - sent_) * 1e3)
+    return time.perf_counter() - t0, [r for r in responses if r is not None]
+
+
+def run_load(
+    address: str,
+    *,
+    n: int = 200,
+    s: float = 1.1,
+    seed: int = 0,
+    connections: int = 4,
+    catalog: Sequence[Tuple[str, str]] = DEFAULT_CATALOG,
+) -> LoadReport:
+    """Cold pass + seeded Zipf warm burst against a live server."""
+    catalog = list(catalog)
+    clients = [connect(address) for _ in range(max(1, connections))]
+    try:
+        cold_hist, warm_hist = Histogram(), Histogram()
+        cold_seconds, cold_responses = _drive(clients, catalog, cold_hist)
+        ranks = zipf_ranks(n, len(catalog), s=s, seed=seed)
+        warm_requests = [catalog[r] for r in ranks]
+        warm_seconds, warm_responses = _drive(
+            clients, warm_requests, warm_hist
+        )
+        stats = clients[0].stats()
+    finally:
+        for client in clients:
+            client.close()
+
+    digests: Dict[str, str] = {}
+    consistent = True
+    for resp in cold_responses + warm_responses:
+        fp = resp["meta"]["fingerprint"]
+        digest = resp["result"]["program_digest"]
+        if digests.setdefault(fp, digest) != digest:
+            consistent = False
+    warm_hits = sum(
+        1 for r in warm_responses if r["meta"]["dedupe"] != "none"
+        or r["result"].get("cache_hit")
+    )
+    cold_summary = cold_hist.summary()
+    warm_summary = warm_hist.summary()
+    return LoadReport(
+        catalog=len(catalog),
+        cold_requests=len(cold_responses),
+        cold_seconds=round(cold_seconds, 4),
+        cold_requests_per_sec=round(len(cold_responses) / cold_seconds, 2),
+        cold_p50_ms=round(cold_summary.get("p50", 0.0), 3),
+        cold_p99_ms=round(cold_summary.get("p99", 0.0), 3),
+        warm_requests=len(warm_responses),
+        warm_seconds=round(warm_seconds, 4),
+        warm_requests_per_sec=round(len(warm_responses) / warm_seconds, 2),
+        warm_p50_ms=round(warm_summary.get("p50", 0.0), 3),
+        warm_p99_ms=round(warm_summary.get("p99", 0.0), 3),
+        warm_hits=warm_hits,
+        warm_hit_rate=round(warm_hits / max(1, len(warm_responses)), 4),
+        warm_speedup=round(
+            (len(warm_responses) / warm_seconds)
+            / (len(cold_responses) / cold_seconds),
+            2,
+        ),
+        digests_consistent=consistent,
+        distinct_fingerprints=len(digests),
+        zipf_s=s,
+        seed=seed,
+        connections=len(clients),
+        server_stats=stats,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "address",
+        help="server address: host:port or a unix socket path",
+    )
+    parser.add_argument("-n", type=int, default=200, metavar="N",
+                        help="warm-phase request count (default 200)")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="Zipf exponent (default 1.1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the report as JSON")
+    args = parser.parse_args(argv)
+    report = run_load(
+        args.address,
+        n=args.n,
+        s=args.zipf_s,
+        seed=args.seed,
+        connections=args.connections,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    ok = report["digests_consistent"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,12 @@ class TestSerialPath:
             ParallelEvaluator(jobs=1).map(_boom, [1, 2])
 
 
+def _crash_if_child(parent_pid):
+    if os.getpid() != parent_pid:
+        os._exit(1)  # kill the pool worker; harmless in the parent
+    return parent_pid
+
+
 class TestPoolPath:
     def test_results_in_submission_order(self):
         evaluator = ParallelEvaluator(jobs=2)
@@ -60,10 +66,80 @@ class TestPoolPath:
         # degrade to the serial loop instead of raising
         assert evaluator.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
         assert not evaluator.last_used_pool
-        assert evaluator._pool_broken
-        # and stay serial from then on, even for picklable tasks
+        assert not evaluator.pool_broken  # one failure != broken
+        # a picklable map afterwards uses the pool again (and resets
+        # the failure budget)
+        assert evaluator.map(_square, [2, 3]) == [4, 9]
+        assert evaluator.last_used_pool
+        assert evaluator._pool_failures == 0
+
+    def test_failure_budget_latches_serial(self):
+        evaluator = ParallelEvaluator(jobs=2, max_pool_failures=2)
+        for _ in range(2):
+            assert evaluator.map(lambda x: x, [1, 2]) == [1, 2]
+        assert evaluator.pool_broken
+        # budget exhausted: even picklable work stays serial now
         assert evaluator.map(_square, [2, 3]) == [4, 9]
         assert not evaluator.last_used_pool
+        # until the caller explicitly forgives
+        evaluator.reset_pool()
+        assert evaluator.map(_square, [2, 3]) == [4, 9]
+        assert evaluator.last_used_pool
+
+    def test_worker_crash_recovers_on_next_map(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        parent = os.getpid()
+        # the task kills its worker -> BrokenProcessPool -> serial
+        # fallback re-runs it in the parent, where it is a no-op
+        assert evaluator.map(_crash_if_child, [parent, parent]) == [
+            parent,
+            parent,
+        ]
+        assert not evaluator.last_used_pool
+        assert evaluator._pool_failures == 1
+        # the next map re-creates a fresh pool instead of latching
+        assert evaluator.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert evaluator.last_used_pool
+        assert evaluator._pool_failures == 0
+
+
+class TestPersistentSubmit:
+    def test_submit_roundtrip_and_close(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        try:
+            assert evaluator.start_pool() in (0, 2)
+            futures = [evaluator.submit(_square, x) for x in (3, 4, 5)]
+            assert [f.result()[0] for f in futures] == [9, 16, 25]
+        finally:
+            evaluator.close()
+
+    def test_serial_submit_uses_threads(self):
+        evaluator = ParallelEvaluator(jobs=1)
+        try:
+            assert evaluator.start_pool() == 0
+            result, obs = evaluator.submit(_square, 6).result()
+            assert result == 36 and obs is None
+        finally:
+            evaluator.close()
+
+    def test_submit_survives_worker_crash(self):
+        evaluator = ParallelEvaluator(jobs=2)
+        try:
+            if evaluator.start_pool() == 0:
+                pytest.skip("process pool unavailable")
+            from concurrent.futures.process import BrokenProcessPool
+
+            parent = os.getpid()
+            fut = evaluator.submit(os._exit, 1)
+            with pytest.raises(BrokenProcessPool):
+                fut.result()
+            evaluator.record_pool_failure()
+            # the next submit re-creates the pool transparently
+            result, _obs = evaluator.submit(_square, 7).result()
+            assert result == 49
+            assert os.getpid() == parent
+        finally:
+            evaluator.close()
 
 
 class TestPoolMetrics:

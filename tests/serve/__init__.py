@@ -1,0 +1,1 @@
+"""Scheduling-as-a-service test suite."""

@@ -1,0 +1,164 @@
+"""Served results must be byte-identical to direct pipeline runs.
+
+The determinism oracle of the serving stack: for every (kernel,
+composition) cell the server's response — program digest, cycles,
+exact integer energy, live-out results, final heap — equals what a
+direct in-process :func:`repro.sim.invocation.invoke_kernel` run
+produces, whichever dedupe path (none / schedule cache / memo /
+single-flight) answered the request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.arch.library import irregular_composition, mesh_composition
+from repro.arch.operations import energy_units
+from repro.context.generator import generate_contexts
+from repro.perf.fingerprint import program_digest
+from repro.sched.scheduler import schedule_kernel
+from repro.serve.client import connect
+from repro.serve.jobs import JobSpec, execute_job
+from repro.serve.server import serve_in_thread
+from repro.sim.invocation import invoke_kernel
+from repro.verify.workloads import get_workload
+
+KERNELS = ("gcd", "dotp", "sort", "crc32")
+COMPOSITIONS = ("mesh4", "irregularB")
+
+
+def _build_composition(name: str):
+    if name == "mesh4":
+        return mesh_composition(4)
+    if name == "irregularB":
+        return irregular_composition("B")
+    raise ValueError(name)
+
+
+def _direct(kernel_name: str, comp_name: str):
+    """Reference signature straight through the pipeline, no job layer."""
+    wl = get_workload(kernel_name)
+    kernel = wl.build()
+    comp = _build_composition(comp_name)
+    vec = wl.vectors[0]
+    schedule = schedule_kernel(kernel, comp)
+    program = generate_contexts(schedule, comp, kernel)
+    result = invoke_kernel(
+        kernel,
+        comp,
+        dict(vec.livein),
+        vec.fresh_arrays(),
+        program=program,
+        backend="compiled",
+    )
+    heap = {
+        ref.name: list(result.heap.array(ref.handle))
+        for ref in kernel.arrays
+    }
+    return {
+        "program_digest": program_digest(program),
+        "run_cycles": result.run_cycles,
+        "energy_units": energy_units(result.run.energy),
+        "results": dict(result.results),
+        "heap": heap,
+    }
+
+
+GRID = [(k, c) for k in KERNELS for c in COMPOSITIONS]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return {cell: _direct(*cell) for cell in GRID}
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One server (thread mode — forked pools are exercised by
+    tests/perf) answering the whole grid, twice, over two clients."""
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    with serve_in_thread(workers=0, cache_dir=cache_dir) as handle:
+        first, second = {}, {}
+        with connect(handle.address) as c1:
+            for cell in GRID:
+                first[cell] = c1.run(*cell)
+        with connect(handle.address) as c2:
+            for cell in GRID:
+                second[cell] = c2.run(*cell)
+        stats = handle.server.stats()
+    return first, second, stats
+
+
+class TestServedMatchesDirect:
+    def test_signature_equality(self, reference, served):
+        first, _second, _stats = served
+        for cell in GRID:
+            want, got = reference[cell], first[cell]["result"]
+            assert got["program_digest"] == want["program_digest"], cell
+            assert got["run_cycles"] == want["run_cycles"], cell
+            assert got["energy_units"] == want["energy_units"], cell
+            assert got["results"] == want["results"], cell
+            assert got["heap"] == want["heap"], cell
+
+    def test_repeat_traffic_is_deduped_and_identical(self, served):
+        first, second, stats = served
+        for cell in GRID:
+            assert (
+                second[cell]["result"] == first[cell]["result"]
+            ), cell
+            assert second[cell]["meta"]["dedupe"] == "memo", cell
+        assert stats["memo_hits"] == len(GRID)
+        assert stats["schedule_computed"] == len(GRID)
+
+    def test_direct_job_layer_matches_too(self, reference):
+        cell = ("crc32", "irregularB")
+        result = execute_job(
+            JobSpec(
+                workload=cell[0], composition=_build_composition(cell[1])
+            )
+        )
+        assert result.program_digest == reference[cell]["program_digest"]
+        assert result.run_cycles == reference[cell]["run_cycles"]
+        assert result.energy_units == reference[cell]["energy_units"]
+
+
+class TestConcurrentDuplicates:
+    def test_duplicates_collapse_to_one_schedule(self, tmp_path):
+        """K concurrent identical requests cost exactly one scheduler
+        invocation: one response computed the schedule, the rest came
+        from the in-flight future or the result memo."""
+        K = 6
+        with serve_in_thread(
+            workers=0, cache_dir=str(tmp_path)
+        ) as handle:
+            responses = [None] * K
+            errors = []
+
+            def _one(i: int) -> None:
+                try:
+                    with connect(handle.address) as client:
+                        responses[i] = client.run("sort", "mesh4")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=_one, args=(i,)) for i in range(K)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            stats = handle.server.stats()
+
+        assert not errors
+        digests = {r["result"]["program_digest"] for r in responses}
+        assert len(digests) == 1
+        results = [r["result"] for r in responses]
+        assert all(result == results[0] for result in results)
+        # exactly one leader scheduled; every other request rode the
+        # single-flight future or the completed-result memo
+        assert stats["schedule_computed"] == 1
+        assert stats["jobs_completed"] == 1
+        assert stats["memo_hits"] + stats["inflight_hits"] == K - 1
