@@ -1,0 +1,115 @@
+"""List vs modulo scheduling: steady-state cycle wins, schedule-time cost.
+
+Two measurement points for the perf-regression observatory:
+
+* ``test_modulo_cycle_reduction`` — simulated dynamic cycles of every
+  pipelineable workload under both strategies on mesh4.  The per-
+  workload and total cycle counts are deterministic ``count`` metrics
+  (gated in CI): a scheduler change that silently degrades the
+  software pipeline's steady state moves ``modulo_cycles_total`` and
+  fails ``python -m repro.obs check``.
+* ``test_modulo_schedule_time`` — wall-clock of the modulo scheduling
+  + context-generation pass (II search included) over the same
+  workloads, with the list-mode time alongside for the overhead ratio.
+  Wall-clock is machine-dependent and not gated across machines.
+"""
+
+import time
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.sched.scheduler import schedule_kernel
+from repro.sim.invocation import invoke_kernel
+from repro.verify.workloads import get_workload
+
+#: the modulo-eligible workload set (mirrors the differential suite)
+PIPELINEABLE = ("dotp", "fir", "matmul", "crc32", "histogram", "sort")
+
+COMP = mesh_composition(4)
+
+
+def _cells():
+    return [(name, get_workload(name)) for name in PIPELINEABLE]
+
+
+def test_modulo_cycle_reduction(benchmark):
+    cells = _cells()
+    kernels = {name: wl.build() for name, wl in cells}
+
+    def schedule_modulo():
+        out = {}
+        for name, kernel in kernels.items():
+            schedule = schedule_kernel(kernel, COMP, scheduler_mode="modulo")
+            assert schedule.modulo_loops, f"{name} fell back to list"
+            out[name] = generate_contexts(schedule, COMP, kernel)
+        return out
+
+    # fixed round count: the session obs counters feed the BENCH_*
+    # snapshots as machine-invariant `count` metrics
+    programs = benchmark.pedantic(schedule_modulo, rounds=3, iterations=1)
+
+    list_total = 0
+    modulo_total = 0
+    for name, workload in cells:
+        kernel = kernels[name]
+        vec = workload.vectors[0]
+        ref = invoke_kernel(
+            kernel, COMP, vec.livein, vec.fresh_arrays()
+        )
+        got = invoke_kernel(
+            kernel,
+            COMP,
+            vec.livein,
+            vec.fresh_arrays(),
+            program=programs[name],
+        )
+        assert got.results == ref.results, name
+        for arr in kernel.arrays:
+            assert got.heap.array(arr.handle) == ref.heap.array(arr.handle)
+        assert got.run_cycles < ref.run_cycles, (
+            f"{name}: modulo {got.run_cycles} !< list {ref.run_cycles}"
+        )
+        benchmark.extra_info[f"{name}_list_cycles"] = ref.run_cycles
+        benchmark.extra_info[f"{name}_modulo_cycles"] = got.run_cycles
+        list_total += ref.run_cycles
+        modulo_total += got.run_cycles
+    benchmark.extra_info["list_cycles_total"] = list_total
+    benchmark.extra_info["modulo_cycles_total"] = modulo_total
+    benchmark.extra_info["pipeline_speedup"] = round(
+        list_total / modulo_total, 4
+    )
+    print(
+        f"\nmodulo steady state: {list_total} -> {modulo_total} cycles "
+        f"({list_total / modulo_total:.3f}x over {len(cells)} workloads)"
+    )
+
+
+def test_modulo_schedule_time(benchmark):
+    cells = _cells()
+    kernels = {name: wl.build() for name, wl in cells}
+
+    # list-mode reference wall time, measured inline (best of 3)
+    list_s = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for kernel in kernels.values():
+            schedule = schedule_kernel(kernel, COMP)
+            generate_contexts(schedule, COMP, kernel)
+        list_s = min(list_s or 1e9, time.perf_counter() - t0)
+
+    def schedule_modulo():
+        for kernel in kernels.values():
+            schedule = schedule_kernel(kernel, COMP, scheduler_mode="modulo")
+            generate_contexts(schedule, COMP, kernel)
+
+    benchmark.pedantic(schedule_modulo, rounds=3, iterations=1)
+    modulo_s = benchmark.stats.stats.min
+    benchmark.extra_info["list_schedule_seconds"] = round(list_s, 6)
+    benchmark.extra_info["schedule_overhead"] = round(modulo_s / list_s, 3)
+    print(
+        f"\nmodulo scheduling: {modulo_s:.3f} s vs list {list_s:.3f} s "
+        f"({modulo_s / list_s:.2f}x) for {len(cells)} workloads"
+    )
+    # the II search retries placements; it must stay within an order of
+    # magnitude of the one-shot list pass (paper bound analogue)
+    assert modulo_s < max(20 * list_s, 3.1)

@@ -1,12 +1,20 @@
 """Schedule -> contexts (Fig. 10's last stage).
 
-Performs left-edge allocation of register files (per PE) and C-Box
-condition slots, then materialises the per-cycle context entries the
-simulator and the Verilog generator consume.
+Two pipeline passes (see :mod:`repro.sched.pipeline`):
+
+* :func:`allocate_contexts` — left-edge allocation of register files
+  (per PE) and C-Box condition slots, returning an :class:`Allocation`;
+* :func:`emit_contexts` — materialises the per-cycle context entries
+  the simulator and the Verilog generator consume from a schedule plus
+  its allocation.
+
+:func:`generate_contexts` composes the two and is the stable
+entry point for callers that do not run the full pipeline.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.arch.cbox import FRESH, FRESH_NEG, CBoxFunc, CBoxOp
@@ -18,7 +26,26 @@ from repro.sched.regalloc import AllocationError, left_edge
 from repro.sched.schedule import PredRef, Schedule, SchedulingError
 from repro.context.words import ContextProgram, PEContext, SrcSel
 
-__all__ = ["generate_contexts"]
+__all__ = [
+    "Allocation",
+    "allocate_contexts",
+    "emit_contexts",
+    "generate_contexts",
+]
+
+
+@dataclass
+class Allocation:
+    """Physical slot assignments produced by the regalloc pass."""
+
+    #: value id -> RF slot on its holding PE
+    slot_of: Dict[int, int] = field(default_factory=dict)
+    #: RF entries consumed per PE (Table I utilisation metric)
+    rf_used: List[int] = field(default_factory=list)
+    #: condition pair -> (pos slot, neg slot) in C-Box memory
+    pair_slots: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: C-Box condition slots consumed
+    cbox_used: int = 0
 
 
 def _allocate_rf(
@@ -71,13 +98,35 @@ def _pred_slot(
     return pos if pred.positive else neg
 
 
-def generate_contexts(
-    schedule: Schedule,
-    comp: Composition,
-    kernel: Optional[Kernel] = None,
-) -> ContextProgram:
+def allocate_contexts(schedule: Schedule, comp: Composition) -> Allocation:
+    """Pipeline pass: assign physical RF and C-Box slots (left-edge)."""
     slot_of, rf_used = _allocate_rf(schedule, comp)
     pair_slots, cbox_used = _allocate_pairs(schedule, comp)
+    return Allocation(
+        slot_of=slot_of,
+        rf_used=rf_used,
+        pair_slots=pair_slots,
+        cbox_used=cbox_used,
+    )
+
+
+def emit_contexts(
+    schedule: Schedule,
+    comp: Composition,
+    allocation: Allocation,
+    kernel: Optional[Kernel] = None,
+) -> ContextProgram:
+    """Pipeline pass: materialise context words from schedule + slots.
+
+    Mutates ``allocation.slot_of`` / ``rf_used`` only to assign fresh
+    slots to untouched live-in homes (no lifetime, hence skipped by
+    left-edge).  Every emitted program is re-checked by the independent
+    verifier unless ``REPRO_VERIFY=0`` / ``set_verify_enabled(False)``.
+    """
+    slot_of = allocation.slot_of
+    rf_used = allocation.rf_used
+    pair_slots = allocation.pair_slots
+    cbox_used = allocation.cbox_used
     n = schedule.n_cycles
 
     pe_contexts: List[List[Optional[PEContext]]] = [
@@ -199,3 +248,14 @@ def generate_contexts(
     if _verify.verify_enabled():
         _verify.assert_verified(program, comp)
     return program
+
+
+def generate_contexts(
+    schedule: Schedule,
+    comp: Composition,
+    kernel: Optional[Kernel] = None,
+) -> ContextProgram:
+    """Allocate and emit in one call (the pre-pipeline entry point)."""
+    return emit_contexts(
+        schedule, comp, allocate_contexts(schedule, comp), kernel
+    )

@@ -55,15 +55,19 @@ def _run_eval(
     cache_max_bytes=None,
     sim_backend: str = "compiled",
     max_cycles=None,
+    scheduler_mode: str = "list",
+    compare_schedulers: bool = False,
 ) -> int:
     grid = {
         "jobs": jobs,
         "cache_dir": cache_dir,
         "cache_max_bytes": cache_max_bytes,
         "backend": sim_backend,
+        "scheduler_mode": scheduler_mode,
     }
     if max_cycles is not None:
         grid["max_cycles"] = max_cycles
+    grid_no_mode = {k: v for k, v in grid.items() if k != "scheduler_mode"}
     with timed("eval.total") as total:
         print(f"=== ADPCM decode, {n} samples, unroll factor 2 ===\n")
 
@@ -117,6 +121,23 @@ def _run_eval(
             f"Scheduling + context generation: max "
             f"{max(sched_times):.2f} s per composition (paper: <= 3.1 s)"
         )
+        if compare_schedulers:
+            from repro.eval.tables import scheduler_mode_report
+
+            print()
+            print("Scheduler comparison — list vs modulo (Table II grid)")
+            report = scheduler_mode_report(n_samples=n, **grid_no_mode)
+            hdr = (
+                f"{'composition':<16} {'list':>9} {'modulo':>9} "
+                f"{'speedup':>8} {'sw-pipelined':>13} {'correct':>8}"
+            )
+            print(hdr)
+            for cell in report.values():
+                print(
+                    f"{cell.label:<16} {cell.list_cycles:>9} "
+                    f"{cell.modulo_cycles:>9} {cell.speedup:>7.2f}x "
+                    f"{cell.modulo_loops:>13} {str(cell.correct):>8}"
+                )
         if cache_dir is not None:
             from repro.perf.cache import shared_cache
 
@@ -187,6 +208,20 @@ def main(argv=None) -> int:
         help="per-run runaway-loop bound (default 50M)",
     )
     parser.add_argument(
+        "--scheduler-mode",
+        choices=("list", "modulo", "auto"),
+        default="list",
+        help="per-region scheduling strategy: the paper's list scheduler "
+        "(default), modulo software pipelining for eligible innermost "
+        "loops, or auto (modulo only where it beats list)",
+    )
+    parser.add_argument(
+        "--compare-schedulers",
+        action="store_true",
+        help="append a list-vs-modulo cycle comparison over the Table II "
+        "grid (see docs/scheduler.md)",
+    )
+    parser.add_argument(
         "--no-verify",
         action="store_true",
         help="skip the independent post-emission context verifier "
@@ -204,6 +239,8 @@ def main(argv=None) -> int:
         "cache_max_bytes": args.cache_max_bytes,
         "sim_backend": args.sim_backend,
         "max_cycles": args.max_cycles,
+        "scheduler_mode": args.scheduler_mode,
+        "compare_schedulers": args.compare_schedulers,
     }
 
     if not (args.trace or args.metrics or args.ledger):

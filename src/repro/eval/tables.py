@@ -36,6 +36,7 @@ from repro.kernels.adpcm import (
 )
 from repro.perf.cache import ScheduleCache, shared_cache
 from repro.perf.parallel import ParallelEvaluator
+from repro.sched.strategy import DEFAULT_SCHEDULER_MODE
 from repro.serve.jobs import (
     CACHE_FORMAT,
     DEFAULT_SIM_BACKEND,
@@ -55,6 +56,8 @@ __all__ = [
     "table3",
     "table4",
     "speedup_headline",
+    "SchedulerModeCell",
+    "scheduler_mode_report",
 ]
 
 #: paper evaluation settings (Section VI-B)
@@ -115,6 +118,7 @@ def _adpcm_spec(
     cache_max_bytes: Optional[int] = None,
     backend: str = DEFAULT_SIM_BACKEND,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
 ) -> JobSpec:
     """The grid's per-cell job: the ADPCM workload on ``comp``."""
     return JobSpec(
@@ -127,6 +131,7 @@ def _adpcm_spec(
         cache_max_bytes=cache_max_bytes,
         backend=backend,
         max_cycles=max_cycles,
+        scheduler_mode=scheduler_mode,
         ledger_kind="grid.cell",
     )
 
@@ -161,6 +166,7 @@ def run_adpcm_on(
     cache: Optional[ScheduleCache] = None,
     backend: str = DEFAULT_SIM_BACKEND,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
 ) -> CompositionRun:
     spec = _adpcm_spec(
         label,
@@ -169,6 +175,7 @@ def run_adpcm_on(
         unroll=unroll,
         backend=backend,
         max_cycles=max_cycles,
+        scheduler_mode=scheduler_mode,
     )
     result = execute_job(spec, cache=cache)
     return _to_composition_run(result, comp)
@@ -185,6 +192,7 @@ def run_grid(
     cache_max_bytes: Optional[int] = None,
     backend: str = DEFAULT_SIM_BACKEND,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
 ) -> Dict[str, CompositionRun]:
     """Run the ADPCM workload over a labelled composition grid.
 
@@ -212,6 +220,7 @@ def run_grid(
             cache_max_bytes=cache_max_bytes,
             backend=backend,
             max_cycles=max_cycles,
+            scheduler_mode=scheduler_mode,
         )
         for label, comp in items
     ]
@@ -314,3 +323,72 @@ def speedup_headline(
         speedup=base.cycles / best.cycles,
         correct=decoded == expect and best.correct,
     )
+
+
+@dataclass
+class SchedulerModeCell:
+    """One grid cell's list-vs-modulo comparison."""
+
+    label: str
+    list_cycles: int
+    modulo_cycles: int
+    #: software-pipelined loops in the modulo schedule (0 = every loop
+    #: fell back to the list strategy, so the cycles match)
+    modulo_loops: int
+    list_contexts: int
+    modulo_contexts: int
+    correct: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.list_cycles / self.modulo_cycles
+
+
+def scheduler_mode_report(
+    *,
+    n_samples: int = N_SAMPLES,
+    single_cycle_mul: bool = False,
+    modes: Tuple[str, str] = ("list", "modulo"),
+    **grid,
+) -> Dict[str, SchedulerModeCell]:
+    """List-vs-modulo cycles across the full Table II (or III) grid.
+
+    Runs the ADPCM evaluation workload through both scheduler modes on
+    every composition of the chosen grid and pairs the runs up.  The
+    ``correct`` flag ANDs both runs' oracles, so a modulo miscompile
+    surfaces here as well as in the differential suite.
+    """
+    if single_cycle_mul:
+        items = [
+            (f"{n} PEs", mesh_composition(n, mul_duration=1))
+            for n in MESH_SIZES
+        ]
+    else:
+        items = list(all_paper_compositions(mul_duration=2).items())
+    first = run_grid(
+        items, n_samples=n_samples, scheduler_mode=modes[0], **grid
+    )
+    second = run_grid(
+        items, n_samples=n_samples, scheduler_mode=modes[1], **grid
+    )
+    report: Dict[str, SchedulerModeCell] = {}
+    for label, _comp in items:
+        a, b = first[label], second[label]
+        # count pipelined loops by re-scheduling just the second mode's
+        # kernel is wasteful; the Schedule does not cross the job layer,
+        # so derive it from the context counts when they differ and
+        # fall back to a direct scheduling pass otherwise
+        kernel, _arrays, _expect = adpcm_workload(n_samples)
+        from repro.sched.scheduler import schedule_kernel
+
+        sched = schedule_kernel(kernel, _comp, scheduler_mode=modes[1])
+        report[label] = SchedulerModeCell(
+            label=label,
+            list_cycles=a.cycles,
+            modulo_cycles=b.cycles,
+            modulo_loops=len(sched.modulo_loops),
+            list_contexts=a.used_contexts,
+            modulo_contexts=b.used_contexts,
+            correct=a.correct and b.correct,
+        )
+    return report

@@ -48,7 +48,8 @@ def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
     ship it to pool workers.  Returns ``(workload name, cycles or None,
     cache hit delta, cache miss delta)``.
     """
-    name, kernel, comp, livein, arrays, cached, cache_dir, backend = task
+    (name, kernel, comp, livein, arrays, cached, cache_dir, backend,
+     scheduler_mode) = task
     cache = shared_cache(cache_dir) if cached else None
     before = (cache.hits, cache.misses) if cache else (0, 0)
     try:
@@ -57,11 +58,17 @@ def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
         else:
 
             def _compute():
-                schedule = schedule_kernel(kernel, comp)
+                schedule = schedule_kernel(
+                    kernel, comp, scheduler_mode=scheduler_mode
+                )
                 return generate_contexts(schedule, comp, kernel)
 
             program, _hit = cache.get_or_compute(
-                kernel, comp, _compute, fmt=_CACHE_FORMAT
+                kernel,
+                comp,
+                _compute,
+                fmt=_CACHE_FORMAT,
+                scheduler_mode=scheduler_mode,
             )
         res = invoke_kernel(
             kernel,
@@ -70,6 +77,7 @@ def _workload_task(task) -> Tuple[str, Optional[int], int, int]:
             {k: list(v) for k, v in arrays.items()},
             program=program,
             backend=backend,
+            scheduler_mode=scheduler_mode,
         )
         cycles: Optional[int] = res.run_cycles
     except SchedulingError:
@@ -158,6 +166,7 @@ class CompositionExplorer:
         cache: bool = False,
         cache_dir: Optional[str] = None,
         sim_backend: str = "compiled",
+        scheduler_mode: str = "list",
     ) -> None:
         """``jobs > 1`` schedules a candidate's workloads on a process
         pool; ``cache=True`` (or a ``cache_dir``) memoises schedules by
@@ -185,6 +194,9 @@ class CompositionExplorer:
         self._cache_dir = cache_dir
         self._cache = shared_cache(cache_dir) if self._cached else None
         self.sim_backend = sim_backend
+        from repro.sched.strategy import validate_scheduler_mode
+
+        self.scheduler_mode = validate_scheduler_mode(scheduler_mode)
 
     # -- evaluation -------------------------------------------------------
 
@@ -199,7 +211,7 @@ class CompositionExplorer:
         fpga = estimate(comp)
         tasks = [
             (w.name, w.kernel, comp, w.livein, w.arrays, self._cached,
-             self._cache_dir, self.sim_backend)
+             self._cache_dir, self.sim_backend, self.scheduler_mode)
             for w in self.workloads
         ]
         results = self._evaluator.map(_workload_task, tasks)

@@ -1,0 +1,164 @@
+"""The scheduler as an explicit pass pipeline.
+
+Historically ``schedule_kernel`` + ``generate_contexts`` were two
+monolithic calls.  This module names the stages in between so tools
+can observe, replace, or stop after any of them:
+
+1. **region-analysis** — walk the region tree and pick a
+   :class:`~repro.sched.strategy.SchedulingStrategy` per loop
+   (:func:`repro.sched.strategy.analyze_regions`);
+2. **placement** — run the :class:`~repro.sched.scheduler.RegionScheduler`
+   over the kernel, dispatching each loop through its strategy
+   (list realisation or modulo software pipelining), producing a
+   :class:`~repro.sched.schedule.Schedule`;
+3. **regalloc** — left-edge allocation of RF entries and C-Box
+   condition slots (:func:`repro.context.generator.allocate_contexts`);
+4. **emission** — materialise per-cycle context words
+   (:func:`repro.context.generator.emit_contexts`), including the
+   always-on independent verification hook.
+
+:func:`run_pipeline` is the one-call driver; ``schedule_kernel`` and
+``generate_contexts`` remain as the stable two-call surface and are
+implemented over the same passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.arch.composition import Composition
+from repro.context.generator import (
+    Allocation,
+    allocate_contexts,
+    emit_contexts,
+)
+from repro.context.words import ContextProgram
+from repro.ir.cdfg import Kernel
+from repro.sched.schedule import Schedule
+from repro.sched.scheduler import RegionScheduler
+from repro.sched.strategy import (
+    DEFAULT_SCHEDULER_MODE,
+    RegionPlan,
+    analyze_regions,
+    validate_scheduler_mode,
+)
+
+__all__ = [
+    "PipelineContext",
+    "SchedPass",
+    "PASSES",
+    "run_pipeline",
+]
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the passes.
+
+    Each pass fills in its product; earlier products stay available so
+    later passes (and post-run inspection) can read them.
+    """
+
+    kernel: Kernel
+    comp: Composition
+    # options
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE
+    enforce_context_size: bool = True
+    use_attraction: bool = True
+    speculate: bool = True
+    # products
+    region_plan: Optional[RegionPlan] = None
+    schedule: Optional[Schedule] = None
+    allocation: Optional[Allocation] = None
+    program: Optional[ContextProgram] = None
+    #: pass name -> product attribute it filled (run order preserved)
+    completed: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SchedPass:
+    """One named pipeline stage."""
+
+    name: str
+    run: Callable[[PipelineContext], None]
+
+
+def _pass_region_analysis(ctx: PipelineContext) -> None:
+    validate_scheduler_mode(ctx.scheduler_mode)
+    ctx.region_plan = analyze_regions(
+        ctx.kernel, mode=ctx.scheduler_mode, speculate=ctx.speculate
+    )
+
+
+def _pass_placement(ctx: PipelineContext) -> None:
+    assert ctx.region_plan is not None, "region-analysis must run first"
+    ctx.schedule = RegionScheduler(
+        ctx.kernel,
+        ctx.comp,
+        enforce_context_size=ctx.enforce_context_size,
+        use_attraction=ctx.use_attraction,
+        speculate=ctx.speculate,
+        scheduler_mode=ctx.scheduler_mode,
+        region_plan=ctx.region_plan,
+    ).run()
+
+
+def _pass_regalloc(ctx: PipelineContext) -> None:
+    assert ctx.schedule is not None, "placement must run first"
+    ctx.allocation = allocate_contexts(ctx.schedule, ctx.comp)
+
+
+def _pass_emission(ctx: PipelineContext) -> None:
+    assert ctx.schedule is not None and ctx.allocation is not None
+    ctx.program = emit_contexts(
+        ctx.schedule, ctx.comp, ctx.allocation, ctx.kernel
+    )
+
+
+#: the canonical pass order
+PASSES: Sequence[SchedPass] = (
+    SchedPass("region-analysis", _pass_region_analysis),
+    SchedPass("placement", _pass_placement),
+    SchedPass("regalloc", _pass_regalloc),
+    SchedPass("emission", _pass_emission),
+)
+
+_PASS_INDEX: Dict[str, int] = {p.name: i for i, p in enumerate(PASSES)}
+
+
+def run_pipeline(
+    kernel: Kernel,
+    comp: Composition,
+    *,
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
+    enforce_context_size: bool = True,
+    use_attraction: bool = True,
+    speculate: bool = True,
+    stop_after: Optional[str] = None,
+) -> PipelineContext:
+    """Run the pass pipeline, optionally stopping after a named pass.
+
+    Returns the :class:`PipelineContext` with every product up to (and
+    including) ``stop_after`` filled in; with the default ``None`` the
+    context carries the final :class:`ContextProgram` in ``program``.
+    """
+    if stop_after is not None and stop_after not in _PASS_INDEX:
+        raise ValueError(
+            f"unknown pass {stop_after!r}; expected one of "
+            f"{', '.join(_PASS_INDEX)}"
+        )
+    ctx = PipelineContext(
+        kernel=kernel,
+        comp=comp,
+        scheduler_mode=scheduler_mode,
+        enforce_context_size=enforce_context_size,
+        use_attraction=use_attraction,
+        speculate=speculate,
+    )
+    for p in PASSES:
+        p.run(ctx)
+        ctx.completed.append(p.name)
+        if stop_after == p.name:
+            break
+    return ctx

@@ -34,6 +34,7 @@ __all__ = [
     "PlannedCBoxOp",
     "PlannedBranch",
     "LoopSpan",
+    "ModuloLoopInfo",
     "Schedule",
 ]
 
@@ -162,6 +163,38 @@ class LoopSpan:
         return self.start <= cycle <= self.end
 
 
+@dataclass(frozen=True)
+class ModuloLoopInfo:
+    """One software-pipelined (rotated) loop emitted by sched.modulo.
+
+    ``prologue_start .. kernel_start-1`` holds the rotated prologue (the
+    loop header evaluating the condition for iteration 0, plus the guard
+    branch that skips the loop on a zero-trip count).  The steady-state
+    kernel occupies ``kernel_start .. kernel_end`` and repeats every
+    ``ii`` cycles: it merges the body of iteration *k* with the header
+    of iteration *k+1* and ends in a conditional back branch.  The
+    rotated form has a zero-length epilogue (single-stage pipeline), so
+    the loop exit falls through to ``kernel_end + 1``.
+    """
+
+    prologue_start: int
+    kernel_start: int
+    kernel_end: int
+    #: achieved initiation interval (kernel span length in cycles)
+    ii: int
+    #: resource-constrained lower bound on the II
+    res_mii: int
+    #: recurrence-constrained lower bound on the II
+    rec_mii: int
+    #: II values tried before one was feasible
+    attempts: int
+
+    @property
+    def mii(self) -> int:
+        """The minimum II the search started from."""
+        return max(self.res_mii, self.rec_mii)
+
+
 @dataclass
 class Schedule:
     """Complete schedule of a kernel on a composition."""
@@ -180,6 +213,8 @@ class Schedule:
     loop_spans: List[LoopSpan]
     #: total condition pairs allocated
     n_pred_pairs: int
+    #: software-pipelined loops (empty in pure list mode)
+    modulo_loops: List[ModuloLoopInfo] = field(default_factory=list)
 
     # -- queries ---------------------------------------------------------
 

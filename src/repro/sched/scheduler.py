@@ -37,6 +37,7 @@ from repro.sched.predication import PredPlanner
 from repro.sched.routing import AccessPlan, Router
 from repro.sched.schedule import (
     LoopSpan,
+    ModuloLoopInfo,
     OperandSource,
     PlacedOp,
     PlannedBranch,
@@ -52,6 +53,14 @@ from repro.sched.state import (
     Txn,
     ValueTable,
     VarTracker,
+)
+from repro.sched.strategy import (
+    DEFAULT_SCHEDULER_MODE,
+    RegionPlan,
+    analyze_regions,
+    spec_compatible,
+    strategy_for,
+    validate_scheduler_mode,
 )
 from repro.sched.superblock import OperandSpec, SBItem, Superblock, build_superblock
 from repro.arch.ccu import BranchKind
@@ -91,6 +100,8 @@ class RegionScheduler:
         max_stall: int = 2000,
         use_attraction: bool = True,
         speculate: bool = True,
+        scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
+        region_plan: Optional[RegionPlan] = None,
     ) -> None:
         """Map ``kernel`` onto ``comp``.
 
@@ -98,8 +109,14 @@ class RegionScheduler:
         disabling attraction falls back to connectivity-ordered PE
         selection; disabling speculation realises *every* if/else with
         real CCNT branches instead of predicated execution.
+
+        ``scheduler_mode`` selects the per-region loop strategy
+        (``list`` / ``modulo`` / ``auto``, see repro.sched.strategy);
+        ``region_plan`` injects a precomputed region-analysis result
+        (the pipeline's pass 1) and defaults to analysing here.
         """
         kernel.validate()
+        validate_scheduler_mode(scheduler_mode)
         missing = comp.validate_for_kernel_ops(kernel.used_alu_opcodes())
         if missing:
             raise SchedulingError(
@@ -111,6 +128,13 @@ class RegionScheduler:
         self.max_stall = max_stall
         self.use_attraction = use_attraction
         self.speculate = speculate
+        self.scheduler_mode = scheduler_mode
+        #: pass-1 result: which strategy realises each loop region
+        self.region_plan = (
+            region_plan
+            if region_plan is not None
+            else analyze_regions(kernel, mode=scheduler_mode, speculate=speculate)
+        )
 
         #: observability hooks captured at construction; both default to
         #: inert no-ops (see repro.obs), so the hot path pays ~nothing
@@ -130,6 +154,10 @@ class RegionScheduler:
         #: not be placed *before* such a cycle (jumpers would skip it)
         self._bound_targets: set = set()
         self.loop_spans: List[LoopSpan] = []
+        self.modulo_loops: List[ModuloLoopInfo] = []
+        #: bounded placement (modulo II search): no item may finish past
+        #: this cycle; None disables the bound (list scheduling)
+        self._deadline: Optional[int] = None
         #: node value locations: node id -> [(pe, vid, ready)]
         self.node_locs: Dict[int, List[Tuple[int, int, int]]] = {}
         #: attraction criterion (Section V-G): (item key, pe) -> score
@@ -207,6 +235,7 @@ class RegionScheduler:
             outport_bookings=dict(self.res.outports),
             loop_spans=list(self.loop_spans),
             n_pred_pairs=self.planner.n_pairs,
+            modulo_loops=list(self.modulo_loops),
         )
         schedule.validate(self.comp)
         return schedule
@@ -270,70 +299,21 @@ class RegionScheduler:
     def _spec_compatible(self, region: IfRegion, *, under_pred: bool) -> bool:
         """Can this if/else be speculated (Section V-B)?
 
-        Requirements beyond being loop-free: the condition must be
-        evaluable by the C-Box's one-stored-one-incoming combine chain,
-        and — because nested predicates are FORKed from the enclosing
-        pair one status at a time — any condition evaluated *under* a
-        predicate must be a single compare.  Ifs that fail the test are
-        realised with real CCNT branches instead.
+        Delegates to :func:`repro.sched.strategy.spec_compatible`, which
+        region analysis shares for modulo-eligibility checks.
         """
-        from repro.ir.regions import UnsupportedConditionError
-
-        if not region.is_speculatable():
-            return False
-        try:
-            steps = region.cond.linearize()
-        except UnsupportedConditionError:
-            return False
-        if under_pred and len(steps) > 1:
-            return False
-        for sub in region.then_body.walk():
-            if isinstance(sub, IfRegion) and len(sub.cond.leaves()) > 1:
-                return False
-        for sub in region.else_body.walk():
-            if isinstance(sub, IfRegion) and len(sub.cond.leaves()) > 1:
-                return False
-        return True
+        return spec_compatible(region, under_pred=under_pred)
 
     def _sched_loop(self, loop: LoopRegion) -> None:
-        for node in loop.header.node_list:
-            if node.opcode in ("VARWRITE", "DMA_STORE"):
-                raise SchedulingError(
-                    "loop headers must be side-effect free (writes belong "
-                    "in the loop body)"
-                )
-        written = Kernel.written_vars(loop)
-        # copies made before the loop of variables written inside it go
-        # stale on the back edge — invalidate on entry (Section V-D)
-        self.vars.invalidate_copies(sorted(written, key=lambda v: v.name))
+        """Realise one loop through its region-analysis strategy.
 
-        header_start = self.frontier
-        pair = self.planner.plan_condition(loop.cond, None)
-        self._sched_superblock([loop.header], None)
-
-        exit_branch, exit_label = self._emit_cond_exit_branch(pair)
-
-        var_snap = self.vars.snapshot()
-        const_snap = self.consts.snapshot()
-
-        self._sched_seq(loop.body, None)
-
-        back_cycle = self._branch_cycle()
-        self.res.branches[back_cycle] = PlannedBranch(
-            back_cycle, BranchKind.UNCONDITIONAL, target=header_start
-        )
-        self._bound_targets.add(header_start)
-        self.frontier = back_cycle + 1
-        self._bind(exit_label, self.frontier)
-        self.loop_spans.append(LoopSpan(header_start, back_cycle))
-
-        # the body may have run zero times: merge its state with the
-        # state at loop entry (copies/consts survive only if identical)
-        other_vars = self.vars.restore(var_snap)
-        self.vars.merge(other_vars)
-        self.vars.merge(var_snap)
-        other_consts = self.consts.restore(const_snap)
-        self.consts.merge(other_consts)
+        Pass 1 (repro.sched.strategy.analyze_regions) decided per loop
+        whether the list or the modulo strategy applies; a modulo
+        attempt that fails during placement rolls back and re-runs the
+        loop with the list strategy, so kernels never regress.
+        """
+        decision = self.region_plan.decision_for(loop)
+        strategy_for(decision).schedule_loop(self, loop)
 
     def _sched_if_real(self, region: IfRegion) -> None:
         pair = self.planner.plan_condition(region.cond, None)
@@ -434,6 +414,11 @@ class RegionScheduler:
         stall = 0
 
         while remaining:
+            if self._deadline is not None and t > self._deadline:
+                raise SchedulingError(
+                    f"deadline {self._deadline} exceeded with items "
+                    f"{sorted(remaining)} unplaced"
+                )
             candidates = [
                 item
                 for item in remaining.values()
@@ -592,6 +577,8 @@ class RegionScheduler:
         exec_opcode = "MOVE" if item.opcode == "VARWRITE" else item.opcode
         duration = pe_desc.duration(exec_opcode)
         final = t + duration - 1
+        if self._deadline is not None and final > self._deadline:
+            return self._reject("deadline", item, pe, t)
 
         txn = Txn(self.res)
         if pe_desc.pipelined:
@@ -935,6 +922,7 @@ def schedule_kernel(
     enforce_context_size: bool = True,
     use_attraction: bool = True,
     speculate: bool = True,
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE,
 ) -> Schedule:
     """Schedule ``kernel`` onto ``comp`` and return the :class:`Schedule`."""
     return RegionScheduler(
@@ -943,4 +931,5 @@ def schedule_kernel(
         enforce_context_size=enforce_context_size,
         use_attraction=use_attraction,
         speculate=speculate,
+        scheduler_mode=scheduler_mode,
     ).run()

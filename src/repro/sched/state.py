@@ -37,7 +37,15 @@ from repro.sched.schedule import (
     ValueKind,
 )
 
-__all__ = ["ValueTable", "ResourceState", "Txn", "VarState", "VarTracker", "ConstTracker"]
+__all__ = [
+    "ValueTable",
+    "ResourceState",
+    "Txn",
+    "VarState",
+    "VarTracker",
+    "ConstTracker",
+    "SchedCheckpoint",
+]
 
 
 class ValueTable:
@@ -356,6 +364,101 @@ class VarTracker:
 
     def all_vars(self) -> Iterator[Tuple[Var, VarState]]:
         return iter(self._state.items())
+
+
+class SchedCheckpoint:
+    """Full rollback point over a :class:`RegionScheduler`'s state.
+
+    Strategy backtracking (modulo II search, per-region fallback to the
+    list strategy, auto-mode comparison runs) needs to abort a partially
+    scheduled region and retry.  ``VarTracker.restore`` is *not* usable
+    for that: it grafts homes assigned since the snapshot into the
+    restored state (correct for if/else path divergence where both paths
+    are kept, wrong for an aborted attempt whose minted value ids are
+    being discarded).
+
+    The capture relies on scheduling being *extensional*: committed
+    placements only add dict keys, append to lists (``ResourceState.ops``,
+    ``ValueInfo.defs``/``uses``) and mint increasing value/pair ids — so
+    a checkpoint can restore by truncating back to the captured sizes
+    and re-instating captured mappings.  ``attraction`` scores and
+    planner ``pair_ready``/``combined_at`` entries are overwritten in
+    place, so those are captured as full copies.
+
+    A checkpoint stays valid across multiple rollbacks (each rollback
+    hands out fresh dict/``VarState`` copies).
+    """
+
+    def __init__(self, sched) -> None:
+        values = sched.values
+        self._values_next = values._next
+        self._value_lens = {
+            vid: (len(info.defs), len(info.uses))
+            for vid, info in values._values.items()
+        }
+        res = sched.res
+        self._pe_ops = dict(res.pe_ops)
+        self._finishes = dict(res.finishes)
+        self._outports = dict(res.outports)
+        self._cbox_combine = dict(res.cbox_combine)
+        self._cbox_outpe = dict(res.cbox_outpe)
+        self._cbox_outctrl = dict(res.cbox_outctrl)
+        self._branches = dict(res.branches)
+        self._n_ops = len(res.ops)
+        self._vars = {var: st.snapshot() for var, st in sched.vars._state.items()}
+        self._consts = dict(sched.consts._locs)
+        planner = sched.planner
+        self._next_pair = planner._next_pair
+        self._pair_ready = dict(planner.pair_ready)
+        self._combined_at = dict(planner.combined_at)
+        self._steps = dict(planner.steps)
+        self._frontier = sched.frontier
+        self._region_start = sched._region_start
+        self._bound_targets = set(sched._bound_targets)
+        self._n_loop_spans = len(sched.loop_spans)
+        self._n_modulo_loops = len(sched.modulo_loops)
+        self._attraction = dict(sched.attraction)
+        self._node_locs = {k: list(v) for k, v in sched.node_locs.items()}
+
+    def rollback(self, sched) -> None:
+        values = sched.values
+        for vid in range(self._values_next, values._next):
+            values._values.pop(vid, None)
+        values._next = self._values_next
+        for vid, (n_defs, n_uses) in self._value_lens.items():
+            info = values._values[vid]
+            del info.defs[n_defs:]
+            del info.uses[n_uses:]
+        res = sched.res
+        res.pe_ops = dict(self._pe_ops)
+        res.finishes = dict(self._finishes)
+        res.outports = dict(self._outports)
+        res.cbox_combine = dict(self._cbox_combine)
+        res.cbox_outpe = dict(self._cbox_outpe)
+        res.cbox_outctrl = dict(self._cbox_outctrl)
+        res.branches = dict(self._branches)
+        del res.ops[self._n_ops:]
+        sched.vars._state = {
+            var: st.snapshot() for var, st in self._vars.items()
+        }
+        sched.consts._locs = dict(self._consts)
+        planner = sched.planner
+        planner._next_pair = self._next_pair
+        planner.pair_ready = dict(self._pair_ready)
+        planner.combined_at = dict(self._combined_at)
+        planner.steps = dict(self._steps)
+        sched.frontier = self._frontier
+        sched._region_start = self._region_start
+        sched._bound_targets = set(self._bound_targets)
+        del sched.loop_spans[self._n_loop_spans:]
+        del sched.modulo_loops[self._n_modulo_loops:]
+        sched.attraction = dict(self._attraction)
+        sched.node_locs = {k: list(v) for k, v in self._node_locs.items()}
+        sched._pending_unfused = []
+        sched._fused_done = []
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("sched.checkpoint.rollbacks")
 
 
 class ConstTracker:

@@ -38,6 +38,7 @@ from repro.obs.timing import timed
 from repro.perf.cache import ScheduleCache, shared_cache
 from repro.perf.fingerprint import composition_fingerprint, program_digest
 from repro.sched.scheduler import schedule_kernel
+from repro.sched.strategy import DEFAULT_SCHEDULER_MODE, validate_scheduler_mode
 from repro.sim.invocation import invoke_kernel
 from repro.sim.machine import DEFAULT_MAX_CYCLES
 from repro.verify import verify_enabled
@@ -80,6 +81,11 @@ class JobSpec:
     arrays: Optional[Tuple[Tuple[str, Tuple[int, ...]], ...]] = None
     backend: str = DEFAULT_SIM_BACKEND
     max_cycles: int = DEFAULT_MAX_CYCLES
+    #: scheduling strategy selector ("list" | "modulo" | "auto");
+    #: result-relevant, so it MUST enter :meth:`fingerprint` and the
+    #: schedule-cache key — a cached list-mode program must never
+    #: satisfy a modulo-mode request
+    scheduler_mode: str = DEFAULT_SCHEDULER_MODE
     #: route scheduling through :func:`repro.perf.cache.shared_cache`
     cached: bool = False
     cache_dir: Optional[str] = None
@@ -122,6 +128,7 @@ class JobSpec:
                 self.arrays,
                 self.backend,
                 self.max_cycles,
+                self.scheduler_mode,
             ],
             sort_keys=True,
             separators=(",", ":"),
@@ -257,6 +264,7 @@ def execute_job(
     """
     job = resolve_workload(spec)
     kernel, comp = job.kernel, spec.composition
+    validate_scheduler_mode(spec.scheduler_mode)
     if cache is None and (spec.cached or spec.cache_dir is not None):
         cache = shared_cache(
             spec.cache_dir, max_bytes=spec.cache_max_bytes
@@ -266,18 +274,26 @@ def execute_job(
     label = spec.label or f"{spec.workload} on {comp.name}"
     with timed("sched.walltime", label=label) as timer:
         if cache is None:
-            schedule = schedule_kernel(kernel, comp)
+            schedule = schedule_kernel(
+                kernel, comp, scheduler_mode=spec.scheduler_mode
+            )
             program = generate_contexts(schedule, comp, kernel)
         else:
             # content-addressed: a hit skips scheduling + context
             # generation entirely (byte-identical program, see
             # tests/perf/test_determinism.py)
             def _compute():
-                schedule = schedule_kernel(kernel, comp)
+                schedule = schedule_kernel(
+                    kernel, comp, scheduler_mode=spec.scheduler_mode
+                )
                 return generate_contexts(schedule, comp, kernel)
 
             program, cache_hit = cache.get_or_compute(
-                kernel, comp, _compute, fmt=CACHE_FORMAT
+                kernel,
+                comp,
+                _compute,
+                fmt=CACHE_FORMAT,
+                scheduler_mode=spec.scheduler_mode,
             )
     after = (cache.hits, cache.misses) if cache else (0, 0)
     sim_t0 = time.perf_counter()

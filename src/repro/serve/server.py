@@ -42,6 +42,10 @@ from repro.obs.ledger import get_ledger
 from repro.obs.metrics import Histogram
 from repro.perf.cache import shared_cache
 from repro.perf.parallel import ParallelEvaluator
+from repro.sched.strategy import (
+    DEFAULT_SCHEDULER_MODE,
+    validate_scheduler_mode,
+)
 from repro.serve.jobs import (
     DEFAULT_SIM_BACKEND,
     JobSpec,
@@ -109,6 +113,11 @@ def request_to_spec(
     arrays = req.get("arrays")
     if arrays is not None and not isinstance(arrays, dict):
         raise ValueError("'arrays' must be an object")
+    scheduler_mode = str(req.get("scheduler_mode") or DEFAULT_SCHEDULER_MODE)
+    try:
+        validate_scheduler_mode(scheduler_mode)
+    except ValueError as exc:
+        raise ValueError(str(exc)) from None
     return JobSpec(
         workload=kernel,
         composition=comp,
@@ -118,6 +127,7 @@ def request_to_spec(
         arrays=JobSpec.freeze_arrays(arrays),
         backend=str(req.get("backend") or backend),
         max_cycles=int(req.get("max_cycles") or max_cycles),
+        scheduler_mode=scheduler_mode,
         cached=cached,
         cache_dir=cache_dir,
         ledger_kind="serve.job",

@@ -241,11 +241,14 @@ def invoke_kernel(
     program: Optional[ContextProgram] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     backend: str = "interpreter",
+    scheduler_mode: str = "list",
 ) -> InvocationResult:
     """Schedule (if needed), generate contexts and run one invocation.
 
     ``arrays`` maps array parameter names to initial contents; the final
-    contents are reachable through ``result.heap``.
+    contents are reachable through ``result.heap``.  ``scheduler_mode``
+    selects the per-region strategy ("list" | "modulo" | "auto") when no
+    pre-built ``schedule``/``program`` is supplied.
     """
     schedule_seconds = None
     if program is None:
@@ -253,7 +256,9 @@ def invoke_kernel(
         if schedule is None:
             from repro.sched.scheduler import schedule_kernel
 
-            schedule = schedule_kernel(kernel, comp)
+            schedule = schedule_kernel(
+                kernel, comp, scheduler_mode=scheduler_mode
+            )
         program = generate_contexts(schedule, comp, kernel)
         schedule_seconds = time.perf_counter() - t0
     heap = Heap()

@@ -87,6 +87,13 @@ def main(argv=None) -> int:
         "with outcome cross-checking and wall-time comparison (both)",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=("list", "modulo", "auto"),
+        default="list",
+        help="scheduling strategy the checked/mutated programs are "
+        "built with (campaign axis; default: list)",
+    )
+    parser.add_argument(
         "--json",
         metavar="FILE",
         help="write the mutation coverage report as JSON",
@@ -166,6 +173,7 @@ def _run_checks(args, workloads, comps, ledger) -> int:
             comps,
             backend=args.backend,
             replay=args.replay,
+            scheduler_mode=args.scheduler,
             progress=print,
         )
         if ledger.enabled:
@@ -180,6 +188,7 @@ def _run_checks(args, workloads, comps, ledger) -> int:
                     equivalent=cell.count("equivalent"),
                     escaped=cell.count("escaped"),
                     backend=args.backend,
+                    scheduler_mode=args.scheduler,
                 )
         print()
         print(report.render_table())
@@ -224,7 +233,9 @@ def _run_checks(args, workloads, comps, ledger) -> int:
     for workload in workloads:
         kernel = workload.build()
         for comp in comps:
-            schedule = schedule_kernel(kernel, comp)
+            schedule = schedule_kernel(
+                kernel, comp, scheduler_mode=args.scheduler
+            )
             program = generate_contexts(schedule, comp, kernel)
             findings = verify_program(program, comp)
             if ledger.enabled:

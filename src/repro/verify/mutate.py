@@ -149,6 +149,8 @@ class CampaignReport:
     cells: List[CellReport] = field(default_factory=list)
     #: dynamic-replay mode the campaign ran with (batch / scalar / both)
     replay: str = "batch"
+    #: scheduling strategy the mutated programs were built with
+    scheduler_mode: str = "list"
     #: classification wall time per replay mode (only modes that ran)
     batch_seconds: Optional[float] = None
     scalar_seconds: Optional[float] = None
@@ -186,6 +188,7 @@ class CampaignReport:
         return {
             "total_mutants": self.n_mutants,
             "replay": self.replay,
+            "scheduler_mode": self.scheduler_mode,
             "replay_batch_seconds": self.batch_seconds,
             "replay_scalar_seconds": self.scalar_seconds,
             "replay_delta_seconds": delta,
@@ -1289,6 +1292,7 @@ def run_mutation_campaign(
     *,
     backend: str = "interpreter",
     replay: str = "batch",
+    scheduler_mode: str = "list",
     progress=None,
 ) -> CampaignReport:
     """Mutate every workload × composition cell and classify everything.
@@ -1298,6 +1302,10 @@ def run_mutation_campaign(
     raises if any mutant's outcome differs, recording both wall times
     in the report (the batched-replay speedup the coverage JSON shows).
 
+    ``scheduler_mode`` is a campaign axis: ``"modulo"`` mutates the
+    software-pipelined programs instead of the list-scheduled ones, so
+    the same verifier wall is measured around both scheduler modes.
+
     ``progress`` (optional) is called with a one-line status string per
     cell — the CLI passes ``print``.
     """
@@ -1305,11 +1313,13 @@ def run_mutation_campaign(
 
     from repro.obs.timing import timed
     from repro.sched.scheduler import schedule_kernel
+    from repro.sched.strategy import validate_scheduler_mode
 
+    validate_scheduler_mode(scheduler_mode)
     if replay not in ("batch", "scalar", "both"):
         raise ValueError(f"unknown replay mode {replay!r}")
     modes = ("batch", "scalar") if replay == "both" else (replay,)
-    report = CampaignReport(replay=replay)
+    report = CampaignReport(replay=replay, scheduler_mode=scheduler_mode)
     seconds = {mode: 0.0 for mode in modes}
     with timed(
         "verify.campaign",
@@ -1317,6 +1327,7 @@ def run_mutation_campaign(
         compositions=len(comps),
         backend=backend,
         replay=replay,
+        scheduler_mode=scheduler_mode,
     ):
         for workload in workloads:
             kernel = workload.build()
@@ -1326,7 +1337,9 @@ def run_mutation_campaign(
                     kernel=workload.name,
                     composition=comp.name,
                 ):
-                    schedule = schedule_kernel(kernel, comp)
+                    schedule = schedule_kernel(
+                        kernel, comp, scheduler_mode=scheduler_mode
+                    )
                     program = generate_contexts(schedule, comp, kernel)
                     mutants = enumerate_mutants(program, comp)
                     by_mode = {}

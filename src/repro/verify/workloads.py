@@ -207,8 +207,10 @@ def _fir() -> Workload:
         "fir",
         fir.build_kernel,
         (
+            # n + taps - 1 must not exceed len(xs): the kernel reads
+            # xs[i + k] for i < n, k < taps (n=8 here overran xs[8])
             InputVector(
-                {"n": 8, "taps": 3},
+                {"n": 6, "taps": 3},
                 {
                     "xs": (3, 1, 4, 1, 5, 9, 2, 6),
                     "coeffs": (1, 2, 1),

@@ -1,0 +1,58 @@
+"""List-mode program digests pinned across the full paper grid.
+
+The modulo-scheduling PR refactored the scheduler into a pass pipeline
+and split context generation into allocate/emit phases.  The refactor
+must be byte-invisible in the default list mode: every workload on
+every paper composition must emit the exact program it emitted before
+(ISSUE satellite 4 / acceptance criterion "list digests unchanged").
+
+``list_digests.json`` was captured from the pre-refactor scheduler.
+If a digest legitimately changes (a deliberate codegen change), the
+baseline must be re-captured *in the same PR* and the change called
+out in its description — this test existing is what forces that
+conversation to happen.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.arch.library import all_paper_compositions
+from repro.context.generator import generate_contexts
+from repro.perf.fingerprint import program_digest
+from repro.sched.scheduler import schedule_kernel
+from repro.verify.workloads import WORKLOADS, get_workload
+
+BASELINE = os.path.join(os.path.dirname(__file__), "list_digests.json")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE) as fh:
+        return json.load(fh)
+
+
+def test_baseline_covers_the_full_grid(baseline):
+    comps = all_paper_compositions()
+    expected = {f"{w}|{c}" for w in WORKLOADS for c in comps}
+    assert set(baseline) == expected
+
+
+@pytest.mark.parametrize("wname", WORKLOADS)
+def test_list_digests_unchanged(baseline, wname):
+    kernel = get_workload(wname).build()
+    for cname, comp in sorted(all_paper_compositions().items()):
+        key = f"{wname}|{cname}"
+        pinned = baseline[key]
+        try:
+            schedule = schedule_kernel(kernel, comp)
+            program = generate_contexts(schedule, comp, kernel)
+        except Exception as exc:  # pinned infeasible cells stay infeasible
+            assert pinned == f"error:{type(exc).__name__}", (
+                f"{key}: raised {type(exc).__name__}, baseline has {pinned}"
+            )
+            continue
+        assert program_digest(program) == pinned, (
+            f"{key}: list-mode program changed vs pre-refactor baseline"
+        )

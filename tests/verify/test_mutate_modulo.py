@@ -1,0 +1,78 @@
+"""Mutation campaign over modulo-scheduled programs (ISSUE satellite 2).
+
+The fault-injection wall must hold for the second scheduling strategy
+too: corrupting any field of a modulo-scheduled program — including
+the rotated loop's backward conditional branch, which list mode never
+emits — must be caught by the static checker or the dynamic replay.
+The cheap unit cell here is dotp on mesh4 (really pipelined: the
+schedule carries modulo loop info); the full campaign runs via
+``python -m repro.verify --mutate --scheduler modulo`` in CI.
+"""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.context.generator import generate_contexts
+from repro.sched.scheduler import schedule_kernel
+from repro.verify import set_verify_enabled, verify_program
+from repro.verify.mutate import (
+    classify_mutants,
+    enumerate_mutants,
+    run_mutation_campaign,
+)
+from repro.verify.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def modulo_cell():
+    comp = mesh_composition(4)
+    workload = get_workload("dotp")
+    kernel = workload.build()
+    schedule = schedule_kernel(kernel, comp, scheduler_mode="modulo")
+    assert schedule.modulo_loops, "dotp must really pipeline on mesh4"
+    previous = set_verify_enabled(False)
+    try:
+        program = generate_contexts(schedule, comp, kernel)
+    finally:
+        set_verify_enabled(previous)
+    return workload, comp, program
+
+
+def test_unmutated_modulo_program_verifies_clean(modulo_cell):
+    _, comp, program = modulo_cell
+    assert verify_program(program, comp) == []
+
+
+def test_modulo_cell_meets_the_coverage_bar(modulo_cell):
+    """>= 99% of non-equivalent mutants caught, zero escapes — the
+    acceptance criterion for new campaign cells."""
+    workload, comp, program = modulo_cell
+    mutants = list(enumerate_mutants(program, comp))
+    assert mutants
+    results = classify_mutants(
+        program, comp, workload.vectors, mutants=mutants
+    )
+    escaped = [r for r in results if r.outcome == "escaped"]
+    assert not escaped, [
+        (r.operator, r.description) for r in escaped
+    ]
+    caught = sum(
+        1 for r in results if r.outcome in ("caught_static", "caught_dynamic")
+    )
+    judged = sum(1 for r in results if r.outcome != "equivalent")
+    assert judged > 0
+    assert caught / judged >= 0.99
+
+
+def test_campaign_records_the_scheduler_axis():
+    """run_mutation_campaign threads the mode into its report so the
+    ledger / JSON artifact say which strategy the cell was built with."""
+    comp = mesh_composition(4)
+    report = run_mutation_campaign(
+        [get_workload("dotp")],
+        [comp],
+        scheduler_mode="modulo",
+    )
+    assert report.scheduler_mode == "modulo"
+    assert report.to_json()["scheduler_mode"] == "modulo"
+    assert not report.escaped()

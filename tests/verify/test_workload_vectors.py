@@ -1,0 +1,48 @@
+"""Every registered workload vector must be in-bounds and runnable.
+
+Regression: fir's first vector shipped ``n=8, taps=3`` against an
+8-element ``xs`` — the kernel reads ``xs[i + k]`` for ``i < n``,
+``k < taps``, so the highest index touched is ``n + taps - 2 = 9`` and
+the run trapped with a heap out-of-range load the moment anything
+actually executed vector 0 (the mutation campaign and the modulo
+differential suite both did).  The vector now uses ``n=6``; this test
+pins the bounds invariant and executes every vector of every workload
+end to end so a bad vector can never sit latent in the registry again.
+"""
+
+import pytest
+
+from repro.arch.library import mesh_composition
+from repro.sim.invocation import invoke_kernel
+from repro.verify.workloads import WORKLOADS, get_workload
+
+COMP = mesh_composition(4)
+
+
+def test_fir_vectors_stay_inside_xs():
+    workload = get_workload("fir")
+    for i, vec in enumerate(workload.vectors):
+        n = vec.livein["n"]
+        taps = vec.livein["taps"]
+        xs = vec.arrays["xs"]
+        ys = vec.arrays["ys"]
+        assert n + taps - 1 <= len(xs), (
+            f"fir vector {i}: xs[{n + taps - 2}] read but len(xs) is "
+            f"{len(xs)}"
+        )
+        assert n <= len(ys), f"fir vector {i}: ys too short for n={n}"
+        assert taps <= len(vec.arrays["coeffs"]), (
+            f"fir vector {i}: coeffs too short for taps={taps}"
+        )
+
+
+@pytest.mark.parametrize("wname", WORKLOADS)
+def test_every_vector_executes_cleanly(wname):
+    """No registered vector may trap (OOB load/store, watchdog, ...)."""
+    workload = get_workload(wname)
+    kernel = workload.build()
+    for i, vec in enumerate(workload.vectors):
+        result = invoke_kernel(
+            kernel, COMP, vec.livein, vec.fresh_arrays()
+        )
+        assert result.run_cycles > 0, f"{wname} vector {i}"
