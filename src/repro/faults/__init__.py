@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the serving stack (``repro.faults``).
+
+Off by default and free when off: every instrumented site calls
+:func:`decide`, which is a single module-global ``None`` check until a
+plan is armed.  Arm one of three ways:
+
+* **environment** — ``REPRO_FAULTS="seed=42;pool.task:crash@0.2"``
+  (parsed lazily on the first pass through any site, so forked or
+  spawned workers pick it up too);
+* **programmatic** — :func:`arm` / :func:`disarm`, or the
+  :func:`injected` context manager (what the tests and the chaos
+  campaign use);
+* **CLI** — ``python -m repro.faults --campaign`` runs the seeded
+  chaos campaign (see :mod:`repro.faults.campaign`).
+
+Every fired fault is accounted for: the ``serve.faults.injected``
+metric (labelled ``site``/``kind``), a ``fault.injected`` ledger
+record, and the armed plan's :attr:`FaultPlan.fired` log.
+
+See docs/robustness.md for the site table, the error taxonomy the
+server maps faults onto, and campaign usage.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultAction,
+    FaultPlan,
+    FaultSpec,
+    parse_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "active",
+    "arm",
+    "armed",
+    "decide",
+    "disarm",
+    "injected",
+    "parse_plan",
+    "perform_task_fault",
+]
+
+#: environment hook: a plan grammar string (see :func:`parse_plan`)
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedCrash(BrokenProcessPool):
+    """An injected worker crash, raised where a real process can't die.
+
+    Subclasses :class:`BrokenProcessPool` so the in-process thread
+    fallback exercises exactly the crash-recovery path a forked worker
+    death would: callers that budget and retry ``BrokenProcessPool``
+    handle both identically.
+    """
+
+
+#: the armed plan; ``None`` = injection disabled (the hot-path check)
+_ACTIVE: Optional[FaultPlan] = None
+#: whether the environment hook was already consulted
+_ENV_CHECKED = False
+#: pid that armed the plan — lets crash actions tell "I am a forked
+#: worker" (exit hard) from "I am the orchestrator" (raise instead)
+_ORIGIN_PID: Optional[int] = None
+
+
+def armed() -> bool:
+    """Whether a fault plan is currently armed (env hook included)."""
+    return _plan() is not None
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, if any (consults the env hook once)."""
+    return _plan()
+
+
+def _plan() -> Optional[FaultPlan]:
+    global _ACTIVE, _ENV_CHECKED, _ORIGIN_PID
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        text = os.environ.get(ENV_VAR)
+        if text:
+            _ACTIVE = parse_plan(text)
+            _ORIGIN_PID = os.getpid()
+    return _ACTIVE
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide fault plan."""
+    global _ACTIVE, _ENV_CHECKED, _ORIGIN_PID
+    _ACTIVE = plan
+    _ENV_CHECKED = True
+    _ORIGIN_PID = os.getpid()
+    return plan
+
+
+def disarm() -> Optional[FaultPlan]:
+    """Remove the armed plan (and stop consulting the environment)."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+class injected:
+    """``with injected(plan):`` — arm for a scope, restore on exit."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = _ACTIVE
+        arm(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def decide(site: str) -> Optional[FaultAction]:
+    """The fault this pass through ``site`` suffers, or ``None``.
+
+    THE hot-path entry point: when nothing is armed (and the
+    environment hook has been checked once) this is one global load
+    and a comparison — safe to call on every request, task and I/O.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        if _ENV_CHECKED:
+            return None
+        plan = _plan()
+        if plan is None:
+            return None
+    return plan.decide(site)
+
+
+def in_forked_child() -> bool:
+    """Whether this process forked off after the plan was armed."""
+    return _ORIGIN_PID is not None and os.getpid() != _ORIGIN_PID
+
+
+def perform_task_fault(action: Optional[FaultAction]) -> None:
+    """Suffer a decided ``pool.task`` fault (worker side).
+
+    ``crash`` hard-exits a forked worker (the parent observes a real
+    :class:`BrokenProcessPool`); in the orchestrating process (thread
+    fallback) it raises :class:`InjectedCrash` instead, which walks the
+    same recovery path.  ``hang``/``slow`` sleep for the action's
+    delay — a hang is just a sleep longer than any sane deadline.
+    """
+    if action is None:
+        return
+    if action.kind == "crash":
+        if in_forked_child():
+            os._exit(70)
+        raise InjectedCrash(
+            f"injected worker crash (pass {action.seq} of {action.site})"
+        )
+    if action.kind in ("hang", "slow"):
+        time.sleep(action.delay_s)

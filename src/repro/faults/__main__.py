@@ -1,0 +1,86 @@
+"""CLI for the fault plane: ``python -m repro.faults --campaign``.
+
+Examples::
+
+    # the full seeded chaos campaign (nightly CI)
+    python -m repro.faults --campaign --report chaos.json
+
+    # per-PR smoke: one fault per family, tiny request counts
+    python -m repro.faults --campaign --smoke
+
+    # replay one family's failure locally
+    python -m repro.faults --campaign --families crash,hang --seed 42
+
+    # sanity-check a REPRO_FAULTS plan string without running anything
+    python -m repro.faults --parse "seed=7;pool.task:crash@0.2#3"
+
+Exits 0 when every family's invariants hold, 1 otherwise; the JSON
+report (stdout, plus ``--report FILE``) carries the per-family
+verdicts, injected-fault accounting and recovery timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.faults import parse_plan
+from repro.faults.campaign import FAMILIES, run_campaign
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="run the seeded chaos campaign",
+    )
+    parser.add_argument(
+        "--families", metavar="A,B",
+        help=f"comma-separated subset of {','.join(FAMILIES)} "
+             "(default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one fault per family, small request counts (per-PR CI)",
+    )
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write the campaign report JSON here")
+    parser.add_argument(
+        "--parse", metavar="PLAN",
+        help="parse a REPRO_FAULTS plan string and print it back",
+    )
+    args = parser.parse_args(argv)
+
+    if args.parse:
+        try:
+            plan = parse_plan(args.parse)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(plan.describe())
+        return 0
+
+    if not args.campaign:
+        parser.print_help()
+        return 2
+
+    families = (
+        [f.strip() for f in args.families.split(",") if f.strip()]
+        if args.families
+        else None
+    )
+    report = run_campaign(
+        families, seed=args.seed, smoke=args.smoke,
+        report_path=args.report,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

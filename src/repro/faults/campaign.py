@@ -1,0 +1,357 @@
+"""Seeded chaos campaign: drive load through every fault family.
+
+The campaign is the fault plane's acceptance harness.  For each fault
+*family* (worker crashes, hangs, slow tasks, torn and bit-flipped
+cache writes, dropped connections, garbled frames) it:
+
+1. computes a **baseline**: the ``program_digest`` of every catalog
+   job run directly through :func:`repro.serve.jobs.execute_job` —
+   no server, no pool, no cache directory;
+2. arms a seeded :class:`~repro.faults.plan.FaultPlan` for the family
+   and boots a real server (:class:`serve_in_thread`), so forked
+   workers inherit the armed plan;
+3. drives a seeded Zipf request sequence through a retry-enabled
+   :class:`~repro.serve.client.ServeClient`, recording every
+   response or terminal structured error;
+4. disarms, then runs a **recovery probe** (every catalog job once,
+   clean) with a bounded time budget.
+
+The invariants asserted per family — the PR's contract:
+
+* **no deadlock / all terminal**: every request ends in a response or
+  a terminal taxonomy error, and the phase finishes;
+* **byte-equal results**: every *completed* response's
+  ``program_digest`` equals the direct-run baseline — injected chaos
+  may fail requests but must never corrupt the ones that succeed;
+* **bounded recovery**: once faults stop, the full catalog completes
+  clean within :data:`RECOVERY_BUDGET_S` and matches the baseline;
+* **faults actually fired**: a campaign that injected nothing proves
+  nothing.
+
+Same seeds ⇒ same per-site decision streams ⇒ the same fault
+sequence, so a red campaign replays locally:
+``python -m repro.faults --campaign --families crash --seed 42``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["FAMILIES", "CATALOG", "RECOVERY_BUDGET_S", "run_family",
+           "run_campaign"]
+
+#: every fault family the campaign exercises, in run order
+FAMILIES = (
+    "crash",
+    "hang",
+    "slow",
+    "cache-torn",
+    "cache-corrupt",
+    "drop",
+    "garble",
+)
+
+#: (kernel, composition) problems the campaign schedules
+CATALOG: Tuple[Tuple[str, str], ...] = (
+    ("gcd", "mesh4"),
+    ("dotp", "mesh4"),
+    ("crc32", "mesh4"),
+    ("sort", "mesh6"),
+)
+
+#: post-fault recovery must complete the whole catalog within this
+RECOVERY_BUDGET_S = 30.0
+
+
+@dataclass
+class _FamilyConfig:
+    specs: List[FaultSpec]
+    workers: int = 0
+    deadline_s: Optional[float] = None
+    retries: int = 4
+    n: int = 16
+    #: give the server a disk cache (cache families) and disable the
+    #: result memo so probes actually read the (corrupted) disk
+    cache: bool = False
+    #: extra per-family server stats the family must satisfy:
+    #: name -> minimum value
+    expect_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _config(family: str, *, smoke: bool) -> _FamilyConfig:
+    """The per-family plan + server shape.
+
+    ``smoke`` pins every rule to exactly one guaranteed firing
+    (``rate=1`` + ``count=1``) and shrinks the request count — the
+    per-PR CI job; the nightly run uses the full probabilistic shape.
+    """
+    count = 1 if smoke else None
+    n = 6 if smoke else 16
+    cfg = _family_shape(family, count, n, smoke)
+    if smoke:
+        cfg.specs = [
+            FaultSpec(site=s.site, kind=s.kind, rate=1.0, count=1,
+                      delay_s=s.delay_s)
+            for s in cfg.specs
+        ]
+    else:
+        # full shape: every probabilistic rule gets a guaranteed
+        # one-shot companion, so "faults actually fired" holds for ANY
+        # seed — the probabilistic rule then layers seeded noise on top
+        guarantees = [
+            FaultSpec(site=s.site, kind=s.kind, rate=1.0, count=1,
+                      delay_s=s.delay_s)
+            for s in cfg.specs
+            if s.rate < 1.0
+        ]
+        cfg.specs = guarantees + cfg.specs
+    return cfg
+
+
+def _family_shape(
+    family: str, count: Optional[int], n: int, smoke: bool
+) -> _FamilyConfig:
+    if family == "crash":
+        return _FamilyConfig(
+            specs=[FaultSpec("pool.task", "crash", rate=0.3,
+                             count=count or 5)],
+            workers=1, n=n,
+            expect_stats={"pool_retries": 1},
+        )
+    if family == "hang":
+        return _FamilyConfig(
+            specs=[FaultSpec("pool.task", "hang", rate=1.0,
+                             count=count or 2, delay_s=6.0)],
+            workers=1, deadline_s=1.5, n=4 if smoke else 8,
+            expect_stats={"deadlines": 1},
+        )
+    if family == "slow":
+        return _FamilyConfig(
+            specs=[FaultSpec("pool.task", "slow", rate=0.5,
+                             count=count, delay_s=0.05)],
+            workers=1, n=n,
+        )
+    if family in ("cache-torn", "cache-corrupt"):
+        kind = "torn" if family == "cache-torn" else "corrupt"
+        return _FamilyConfig(
+            specs=[FaultSpec("cache.write", kind, rate=1.0, count=count)],
+            workers=0, n=len(CATALOG), cache=True,
+        )
+    if family == "drop":
+        return _FamilyConfig(
+            specs=[
+                FaultSpec("client.send", "drop", rate=0.2, count=count),
+                FaultSpec("client.recv", "drop", rate=0.15, count=count),
+            ],
+            workers=0, n=n,
+        )
+    if family == "garble":
+        return _FamilyConfig(
+            specs=[FaultSpec("client.send", "garble", rate=0.25,
+                             count=count)],
+            workers=0, n=n,
+        )
+    raise ValueError(f"unknown fault family {family!r} "
+                     f"(expected one of {FAMILIES})")
+
+
+def _baseline_digests() -> Dict[Tuple[str, str], str]:
+    """Direct-run ``program_digest`` per catalog job (no server)."""
+    from repro.serve.jobs import execute_job, job_payload
+    from repro.serve.server import request_to_spec
+
+    out: Dict[Tuple[str, str], str] = {}
+    for kernel, comp in CATALOG:
+        spec = request_to_spec(
+            {"kernel": kernel, "composition": comp}, cached=True
+        )
+        out[(kernel, comp)] = job_payload(execute_job(spec))[
+            "program_digest"
+        ]
+    return out
+
+
+def run_family(
+    family: str,
+    *,
+    seed: int = 42,
+    smoke: bool = False,
+    baseline: Optional[Dict[Tuple[str, str], str]] = None,
+) -> Dict[str, Any]:
+    """One family's chaos phase + recovery probe; JSON-ready verdict."""
+    from repro.perf.cache import shared_cache
+    from repro.serve.client import ServeError, WireError, connect
+    from repro.serve.load import zipf_ranks
+    from repro.serve.server import serve_in_thread
+
+    if baseline is None:
+        baseline = _baseline_digests()
+    cfg = _config(family, smoke=smoke)
+    plan = FaultPlan(cfg.specs, seed=seed)
+    requests = [
+        CATALOG[rank]
+        for rank in zipf_ranks(cfg.n, len(CATALOG), seed=seed)
+    ]
+    completed: List[Tuple[Tuple[str, str], str]] = []
+    failures: List[Dict[str, Any]] = []
+    mismatches: List[Dict[str, Any]] = []
+    server_kwargs: Dict[str, Any] = dict(
+        workers=cfg.workers, deadline_s=cfg.deadline_s
+    )
+    t_phase = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        cache_dir = None
+        if cfg.cache:
+            cache_dir = os.path.join(tmp, "cache")
+            server_kwargs.update(cache_dir=cache_dir, result_memo=0)
+        faults.arm(plan)
+        try:
+            with serve_in_thread(**server_kwargs) as handle:
+
+                def _client():
+                    return connect(
+                        handle.address, retries=cfg.retries,
+                        backoff=0.02, retry_seed=seed,
+                    )
+
+                client = _client()
+                for job in requests:
+                    kernel, comp = job
+                    try:
+                        resp = client.run(kernel, comp)
+                        completed.append(
+                            (job, resp["result"]["program_digest"])
+                        )
+                    except ServeError as exc:
+                        failures.append(
+                            {"job": f"{kernel}/{comp}", "code": exc.code,
+                             "error": str(exc)}
+                        )
+                    except (WireError, ConnectionError, OSError) as exc:
+                        # retry budget exhausted mid-wire: terminal for
+                        # this request; later requests get a fresh
+                        # connection
+                        failures.append(
+                            {"job": f"{kernel}/{comp}",
+                             "code": "CONNECTION", "error": str(exc)}
+                        )
+                        client.close()
+                        client = _client()
+                injected = plan.summary()
+                faults.disarm()
+
+                if cfg.cache:
+                    # drop the in-process memory layer so the recovery
+                    # probe must *read* the (sabotaged) disk entries —
+                    # the integrity check quarantines and recomputes
+                    shared_cache(cache_dir).clear()
+
+                t_recover = time.monotonic()
+                probe = _client()
+                probe_digests = {
+                    job: probe.run(*job)["result"]["program_digest"]
+                    for job in CATALOG
+                }
+                recovery_s = time.monotonic() - t_recover
+                stats = probe.stats()
+                probe.close()
+                client.close()
+        finally:
+            faults.disarm()
+    phase_s = time.monotonic() - t_phase
+
+    for job, digest in completed:
+        if digest != baseline[job]:
+            mismatches.append(
+                {"job": "/".join(job), "got": digest,
+                 "want": baseline[job]}
+            )
+    probe_ok = all(
+        probe_digests[job] == baseline[job] for job in CATALOG
+    )
+    stats_ok = {
+        name: stats.get(name, 0) >= minimum
+        for name, minimum in cfg.expect_stats.items()
+    }
+    if cfg.cache:
+        corrupt = stats.get("schedule_cache", {}).get("corrupt", 0)
+        stats_ok["schedule_cache.corrupt"] = (
+            corrupt >= plan_fired_writes(injected)
+        )
+
+    checks = {
+        "all_terminal": len(completed) + len(failures) == cfg.n,
+        "digests_byte_equal": not mismatches,
+        "faults_fired": injected["total_injected"] > 0,
+        "recovered": probe_ok and recovery_s <= RECOVERY_BUDGET_S,
+        "expected_stats": all(stats_ok.values()) if stats_ok else True,
+    }
+    return {
+        "family": family,
+        "seed": seed,
+        "plan": plan.describe(),
+        "requests": cfg.n,
+        "completed": len(completed),
+        "failed_terminal": len(failures),
+        "failures": failures,
+        "mismatches": mismatches,
+        "injected": injected,
+        "recovery_s": round(recovery_s, 3),
+        "phase_s": round(phase_s, 3),
+        "stats_checked": stats_ok,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def plan_fired_writes(injected: Dict[str, Any]) -> int:
+    """How many ``cache.write`` faults a plan summary reports."""
+    return sum(
+        count
+        for key, count in injected.get("injected", {}).items()
+        if key.startswith("cache.write:")
+    )
+
+
+def run_campaign(
+    families: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 42,
+    smoke: bool = False,
+    report_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run each family in sequence; overall verdict + optional JSON."""
+    chosen = list(families) if families else list(FAMILIES)
+    unknown = [f for f in chosen if f not in FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown fault families {unknown} (expected among {FAMILIES})"
+        )
+    baseline = _baseline_digests()
+    t0 = time.monotonic()
+    results = [
+        run_family(family, seed=seed, smoke=smoke, baseline=baseline)
+        for family in chosen
+    ]
+    report = {
+        "seed": seed,
+        "mode": "smoke" if smoke else "full",
+        "families": {r["family"]: r for r in results},
+        "baseline": {
+            "/".join(job): digest for job, digest in baseline.items()
+        },
+        "seconds": round(time.monotonic() - t0, 3),
+        "passed": all(r["passed"] for r in results),
+    }
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report

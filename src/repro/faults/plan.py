@@ -1,0 +1,287 @@
+"""Seeded fault plans: deterministic decisions at named injection points.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` rules plus a seed.
+Every instrumented site in the serving stack calls
+:func:`repro.faults.decide` as it passes; the plan draws from a
+*per-site* seeded RNG stream, so with a fixed seed the N-th pass
+through a given site always makes the same decision — the property the
+chaos campaign's "same seeds ⇒ same fault sequence" guarantee rests on.
+
+Sites and the fault kinds they honour:
+
+=====================  =============================  =========================
+site                   where                          kinds
+=====================  =============================  =========================
+``pool.task``          worker-pool task dispatch      ``crash``/``hang``/``slow``
+                       (:mod:`repro.perf.parallel`)
+``cache.write``        schedule-cache disk publish    ``torn``/``corrupt``
+                       (:mod:`repro.perf.cache`)
+``serve.dispatch``     server request path            ``slow``/``hang``
+                       (:mod:`repro.serve.server`)
+``client.send``        client request frame           ``garble``/``drop``
+                       (:mod:`repro.serve.client`)
+``client.recv``        client response read           ``drop``
+=====================  =============================  =========================
+
+Decisions are made on the *orchestrating* side wherever possible (the
+parent process decides what a pool task suffers and ships the action to
+the worker), so accounting — the ``serve.faults.injected`` metric, the
+``fault.injected`` ledger record and :meth:`FaultPlan.summary` — stays
+in one place even when the effect lands in a forked child.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_plan",
+]
+
+#: every fault kind the plane knows how to inject
+FAULT_KINDS = (
+    "crash",    # kill the worker process mid-task (SIGKILL-equivalent)
+    "hang",     # task never returns within any reasonable deadline
+    "slow",     # task takes delay_s longer than it should
+    "torn",     # disk write published half-finished
+    "corrupt",  # disk write published with a flipped byte
+    "drop",     # connection torn down mid-conversation
+    "garble",   # frame replaced with non-protocol bytes
+)
+
+#: default delays: a "hang" must outlive any sane deadline, a "slow"
+#: must stay inside it
+_DEFAULT_DELAY = {"hang": 30.0, "slow": 0.05}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: *which* fault, *where*, *how often*.
+
+    ``site`` may be a glob (``client.*``).  ``rate`` is the per-pass
+    firing probability; ``count`` caps total fires (``None`` =
+    unlimited); ``delay_s`` parameterises ``slow``/``hang``.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    count: Optional[int] = None
+    delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    @property
+    def delay(self) -> float:
+        if self.delay_s is not None:
+            return self.delay_s
+        return _DEFAULT_DELAY.get(self.kind, 0.05)
+
+    def describe(self) -> str:
+        out = f"{self.site}:{self.kind}@{self.rate:g}"
+        if self.count is not None:
+            out += f"#{self.count}"
+        if self.delay_s is not None:
+            out += f"~{self.delay_s:g}"
+        return out
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One decided injection: what a site must now suffer."""
+
+    site: str
+    kind: str
+    delay_s: float
+    #: 1-based index of the firing pass through the site (diagnostics)
+    seq: int
+
+
+@dataclass
+class _SpecState:
+    spec: FaultSpec
+    rng: random.Random
+    fired: int = 0
+
+
+class FaultPlan:
+    """Armed set of fault rules with deterministic per-site streams.
+
+    The plan is picklable-by-fork: worker processes forked *after* the
+    plan is armed inherit it and keep drawing from their own copies of
+    the per-site streams.  Decision accounting (:attr:`fired`,
+    metrics, ledger records) happens in whichever process called
+    :meth:`decide`.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0) -> None:
+        self.seed = seed
+        self.specs: List[FaultSpec] = list(specs)
+        #: site -> pass count (every decide() on the site, fired or not)
+        self._passes: Dict[str, int] = {}
+        #: per-spec deterministic state, keyed by (spec index, site)
+        self._states: Dict[Any, _SpecState] = {}
+        #: every fired action, in firing order (this process only)
+        self.fired: List[FaultAction] = []
+        self._lock = threading.Lock()
+
+    # -- deterministic decision stream -----------------------------------
+
+    def _state_for(self, index: int, spec: FaultSpec, site: str) -> _SpecState:
+        key = (index, site)
+        state = self._states.get(key)
+        if state is None:
+            # one independent stream per (rule, concrete site): the
+            # N-th pass through a site draws the same value no matter
+            # what happened at other sites in between
+            state = self._states[key] = _SpecState(
+                spec=spec,
+                rng=random.Random(f"{self.seed}:{index}:{spec.site}:{site}"),
+            )
+        return state
+
+    def decide(self, site: str) -> Optional[FaultAction]:
+        """The fault (if any) the current pass through ``site`` suffers."""
+        with self._lock:
+            passes = self._passes.get(site, 0) + 1
+            self._passes[site] = passes
+            for index, spec in enumerate(self.specs):
+                if spec.site != site and not fnmatch.fnmatchcase(
+                    site, spec.site
+                ):
+                    continue
+                state = self._state_for(index, spec, site)
+                draw = state.rng.random()
+                if spec.count is not None and state.fired >= spec.count:
+                    continue
+                if draw >= spec.rate:
+                    continue
+                state.fired += 1
+                action = FaultAction(
+                    site=site, kind=spec.kind, delay_s=spec.delay, seq=passes
+                )
+                self.fired.append(action)
+                self._account(action)
+                return action
+        return None
+
+    def _account(self, action: FaultAction) -> None:
+        # local imports: the plane must be importable before obs and
+        # cost nothing when no plan is armed
+        from repro.obs import get_metrics
+        from repro.obs.ledger import get_ledger
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "serve.faults.injected", site=action.site, kind=action.kind
+            )
+        ledger = get_ledger()
+        if ledger.enabled:
+            ledger.record(
+                "fault.injected",
+                site=action.site,
+                fault=action.kind,
+                pass_seq=action.seq,
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind every stream to the start (same seed ⇒ same replay)."""
+        with self._lock:
+            self._passes.clear()
+            self._states.clear()
+            self.fired = []
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready accounting: passes, fires per site/kind."""
+        with self._lock:
+            by_site: Dict[str, int] = {}
+            for action in self.fired:
+                key = f"{action.site}:{action.kind}"
+                by_site[key] = by_site.get(key, 0) + 1
+            return {
+                "seed": self.seed,
+                "specs": [s.describe() for s in self.specs],
+                "passes": dict(sorted(self._passes.items())),
+                "injected": dict(sorted(by_site.items())),
+                "total_injected": len(self.fired),
+            }
+
+    def describe(self) -> str:
+        return ";".join(
+            [f"seed={self.seed}"] + [s.describe() for s in self.specs]
+        )
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Plan from the ``REPRO_FAULTS`` grammar.
+
+    ``;``-separated clauses; an optional ``seed=N`` clause plus one or
+    more rules ``site:kind[@rate][#count][~delay_s]``::
+
+        REPRO_FAULTS="seed=42;pool.task:crash@0.2#3;client.send:garble@0.1~0"
+
+    Raises :class:`ValueError` on malformed clauses.
+    """
+    seed = 0
+    specs: List[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            seed = int(clause[len("seed="):])
+            continue
+        site, sep, raw = clause.partition(":")
+        if not sep or not site or not raw:
+            raise ValueError(
+                f"bad fault clause {clause!r} "
+                "(expected site:kind[@rate][#count][~delay])"
+            )
+
+        def _suffix(marker: str) -> Optional[str]:
+            idx = raw.find(marker)
+            if idx < 0:
+                return None
+            tail = raw[idx + 1:]
+            for other in ("@", "#", "~"):
+                cut = tail.find(other)
+                if cut >= 0:
+                    tail = tail[:cut]
+            return tail
+
+        kind = raw
+        for marker in ("@", "#", "~"):
+            idx = kind.find(marker)
+            if idx >= 0:
+                kind = kind[:idx]
+        rate_s, count_s, delay_s = _suffix("@"), _suffix("#"), _suffix("~")
+        specs.append(
+            FaultSpec(
+                site=site,
+                kind=kind,
+                rate=float(rate_s) if rate_s is not None else 1.0,
+                count=int(count_s) if count_s is not None else None,
+                delay_s=float(delay_s) if delay_s is not None else None,
+            )
+        )
+    if not specs:
+        raise ValueError(f"no fault rules in {text!r}")
+    return FaultPlan(specs, seed=seed)

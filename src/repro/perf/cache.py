@@ -27,23 +27,40 @@ evicted — it only ever holds what this process actually touched.
 
 Hit/miss/evict counters are kept per instance *and* mirrored into the
 ``repro.obs`` metrics registry (``perf.cache.hits`` /
-``perf.cache.misses`` / ``perf.cache.evict``) whenever an enabled
-registry is installed.
+``perf.cache.misses`` / ``perf.cache.evict`` /
+``perf.cache.corrupt``) whenever an enabled registry is installed.
+
+**Integrity.**  Disk entries are checksummed: each file carries a
+header (magic + SHA-256 of the pickled payload), verified on every
+disk read.  A mismatch — a silently bit-flipped pickle that would
+still unpickle — is *quarantined*: the file is renamed to
+``<key>.pkl.corrupt`` (out of the key namespace, kept as evidence),
+counted in ``perf.cache.corrupt`` and served as a miss, so the entry
+is recomputed rather than trusted.  Torn/unpicklable files get the
+same treatment.  Pre-checksum files (no magic) still load.  The
+``cache.write`` fault-injection site (:mod:`repro.faults`) can tear or
+corrupt writes on purpose; the read path must catch every one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import faults
 from repro.arch.composition import Composition
 from repro.ir.cdfg import Kernel
 from repro.obs import get_metrics
 from repro.perf.fingerprint import schedule_cache_key
 
 __all__ = ["ScheduleCache", "shared_cache"]
+
+#: disk-entry header: magic + raw SHA-256 of the pickled payload
+_MAGIC = b"RSC1"
+_DIGEST_BYTES = 32
 
 
 class ScheduleCache:
@@ -64,6 +81,8 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: disk entries rejected by the integrity check and quarantined
+        self.corrupt = 0
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -81,18 +100,55 @@ class ScheduleCache:
             return None
         return os.path.join(self.cache_dir, f"{key}.pkl")
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a failed entry out of the key namespace, keep evidence."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.corrupt += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("perf.cache.corrupt", reason=reason)
+
+    def _load_disk(self, path: str) -> Optional[Any]:
+        """Verified payload from one disk entry, or ``None`` (+quarantine).
+
+        Checksummed entries (``_MAGIC`` header) are rejected on digest
+        mismatch *before* unpickling is trusted; torn or unpicklable
+        files — with or without header — are rejected the same way.
+        Headerless files are pre-checksum entries, loaded as-is.
+        """
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None  # concurrently evicted: a plain miss, no counter
+        try:
+            if blob[: len(_MAGIC)] == _MAGIC:
+                digest = blob[len(_MAGIC): len(_MAGIC) + _DIGEST_BYTES]
+                body = blob[len(_MAGIC) + _DIGEST_BYTES:]
+                if hashlib.sha256(body).digest() != digest:
+                    self._quarantine(path, "checksum")
+                    return None
+                return pickle.loads(body)
+            return pickle.loads(blob)  # legacy headerless entry
+        except (pickle.UnpicklingError, EOFError, ValueError,
+                IndexError, ImportError, AttributeError, MemoryError):
+            self._quarantine(path, "unpicklable")
+            return None
+
     def get(self, key: str) -> Optional[Any]:
         """Cached payload for ``key``, or ``None``.  Counts hit/miss."""
         payload = self._memory.get(key)
         if payload is None:
             path = self._disk_path(key)
             if path is not None and os.path.exists(path):
-                try:
-                    with open(path, "rb") as fh:
-                        payload = pickle.load(fh)
-                except (OSError, pickle.UnpicklingError, EOFError):
-                    payload = None  # torn/corrupt entry: treat as miss
-                else:
+                payload = self._load_disk(path)
+                if payload is not None:
                     self._memory[key] = payload
                     try:
                         # refresh recency so LRU eviction spares hot
@@ -116,6 +172,19 @@ class ScheduleCache:
         path = self._disk_path(key)
         if path is None:
             return
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(body).digest() + body
+        action = faults.decide("cache.write")
+        if action is not None:
+            if action.kind == "torn":
+                # a publish that died mid-write: header intact, body cut
+                blob = blob[: len(blob) // 2]
+            elif action.kind == "corrupt":
+                # a silent bit flip deep in the pickled body
+                flip = len(_MAGIC) + _DIGEST_BYTES + len(body) // 2
+                mutated = bytearray(blob)
+                mutated[flip] ^= 0x40
+                blob = bytes(mutated)
         # atomic publish: a concurrent reader sees the old state or the
         # complete new file, never a partial write
         fd, tmp = tempfile.mkstemp(
@@ -123,7 +192,7 @@ class ScheduleCache:
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -215,6 +284,7 @@ class ScheduleCache:
             "misses": self.misses,
             "entries": len(self._memory),
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
         if self.cache_dir is not None:
             out["disk_bytes"] = self.disk_bytes()

@@ -51,15 +51,21 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.obs import get_metrics, get_tracer
 from repro.obs.ledger import RunLedger, get_ledger, set_ledger
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.trace import Tracer, set_tracer
 
-__all__ = ["ParallelEvaluator", "resolve_jobs"]
+__all__ = ["ParallelEvaluator", "WorkerHangError", "resolve_jobs"]
+
+
+class WorkerHangError(TimeoutError):
+    """A pooled task missed its deadline; its workers were killed."""
 
 
 def _obs_task(payload: Tuple) -> Tuple[Any, Optional[dict]]:
@@ -70,8 +76,16 @@ def _obs_task(payload: Tuple) -> Tuple[Any, Optional[dict]]:
     the worker (and double-count the inherited baseline if shipped
     wholesale).  Fresh sinks capture exactly this task's contribution;
     the returned raw dumps are what the parent folds back in.
+
+    ``payload`` may carry a decided fault action (the *parent* draws
+    from the armed :class:`~repro.faults.FaultPlan` at submit time so
+    injection accounting stays in one process); the worker suffers it
+    before the task runs — a crash/hang therefore never leaves a
+    half-recorded obs dump behind.
     """
-    fn, item, want_metrics, want_trace, want_ledger, epoch_ns = payload
+    fn, item, want_metrics, want_trace, want_ledger, epoch_ns = payload[:6]
+    fault = payload[6] if len(payload) > 6 else None
+    faults.perform_task_fault(fault)
     metrics = MetricsRegistry() if want_metrics else None
     tracer = Tracer(epoch_ns=epoch_ns) if want_trace else None
     ledger = RunLedger() if want_ledger else None
@@ -98,7 +112,8 @@ def _obs_task(payload: Tuple) -> Tuple[Any, Optional[dict]]:
 
 def _plain_task(payload: Tuple) -> Tuple[Any, None]:
     """Uncaptured single task: ``(fn(item), None)`` (see :meth:`submit`)."""
-    fn, item = payload
+    fn, item = payload[:2]
+    faults.perform_task_fault(payload[2] if len(payload) > 2 else None)
     return fn(item), None
 
 
@@ -227,6 +242,7 @@ class ParallelEvaluator:
         tracer = get_tracer()
         ledger = get_ledger()
         capture_obs = metrics.enabled or tracer.enabled or ledger.enabled
+        inject = faults.armed()
         workers = min(self.jobs, len(items))
         try:
             with ProcessPoolExecutor(
@@ -244,7 +260,16 @@ class ParallelEvaluator:
                                 tracer.enabled,
                                 ledger.enabled,
                                 epoch,
+                                faults.decide("pool.task"),
                             ),
+                        )
+                        for item in items
+                    ]
+                elif inject:
+                    futures = [
+                        pool.submit(
+                            _plain_task,
+                            (fn, item, faults.decide("pool.task")),
                         )
                         for item in items
                     ]
@@ -267,6 +292,9 @@ class ParallelEvaluator:
         if metrics.enabled:
             metrics.set_max("perf.pool.workers", workers)
         self.last_used_pool = True
+        if not capture_obs and inject:
+            # _plain_task wrapped results as (result, None)
+            return [result for result, _ in results]
         if capture_obs:
             # fold worker obs state in submission order: the merged
             # sinks end up identical to what the serial loop would have
@@ -307,12 +335,14 @@ class ParallelEvaluator:
 
         Submits one warm-up task per worker so the fork happens *now*
         (workers inherit the parent's imports and warm in-memory
-        caches) instead of on the first real request.  Returns 0 when
-        the evaluator is serial (``jobs <= 1``) or the failure budget
-        is already exhausted — :meth:`submit` then runs tasks on a
-        small thread pool instead.
+        caches) instead of on the first real request.  Unlike
+        :meth:`map` — where ``jobs == 1`` means the serial loop — a
+        single-worker *pool* is real here: server mode needs an
+        isolated, killable worker process even at width 1.  Returns 0
+        only when the failure budget is already exhausted —
+        :meth:`submit` then runs tasks on a small thread pool instead.
         """
-        if self.jobs <= 1 or self.pool_broken:
+        if self.pool_broken:
             return 0
         try:
             pool = self._ensure_persistent()
@@ -363,7 +393,13 @@ class ParallelEvaluator:
         metrics = get_metrics()
         if metrics.enabled:
             metrics.inc("perf.pool.tasks")
-        if self.jobs > 1 and not self.pool_broken:
+        # the parent draws the task's fault here (deterministic per-site
+        # stream, accounted in this process) and ships the action along
+        fault = faults.decide("pool.task")
+        # note: jobs == 1 still uses a real (single-process) pool here —
+        # submit() is the server path, where worker isolation and
+        # killability matter more than fork overhead
+        if not self.pool_broken:
             tracer = get_tracer()
             ledger = get_ledger()
             capture = metrics.enabled or tracer.enabled or ledger.enabled
@@ -380,12 +416,72 @@ class ParallelEvaluator:
                             tracer.enabled,
                             ledger.enabled,
                             epoch,
+                            fault,
                         ),
                     )
-                return pool.submit(_plain_task, (fn, item))
+                return pool.submit(_plain_task, (fn, item, fault))
             except _POOL_ERRORS as exc:
                 self.record_pool_failure(exc)
-        return self._threads().submit(_plain_task, (fn, item))
+        return self._threads().submit(_plain_task, (fn, item, fault))
+
+    def submit_with_deadline(
+        self, fn: Callable[[Any], Any], item: Any, *, timeout: float
+    ):
+        """:meth:`submit` + bounded wait + hung-worker recovery (sync).
+
+        Returns the task's ``(result, obs)`` pair.  If the task does
+        not finish within ``timeout`` seconds the pool's workers are
+        killed (a hung worker holds the pool hostage otherwise), the
+        failure is budgeted, and :class:`WorkerHangError` is raised;
+        the next submit re-forks a fresh pool.  Async callers
+        (:mod:`repro.serve.server`) implement the same protocol with
+        ``asyncio.wait_for`` + :meth:`kill_hung_workers`.
+        """
+        future = self.submit(fn, item)
+        try:
+            result = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            # consume the eventual BrokenProcessPool so the abandoned
+            # future never warns about an unretrieved exception
+            future.add_done_callback(
+                lambda f: f.cancelled() or f.exception()
+            )
+            killed = self.kill_hung_workers()
+            self.record_pool_failure(WorkerHangError("deadline"))
+            raise WorkerHangError(
+                f"pooled task exceeded {timeout}s deadline "
+                f"({killed} workers killed)"
+            ) from None
+        self.note_pool_success()
+        return result
+
+    def kill_hung_workers(self) -> int:
+        """SIGKILL the persistent pool's workers; returns the count.
+
+        A worker stuck in an endless task ignores a polite shutdown —
+        the whole pool is discarded and its processes killed so the
+        next :meth:`submit` starts from a fresh fork.  Pending futures
+        on the killed pool complete with :class:`BrokenProcessPool`.
+        """
+        pool, self._persistent = self._persistent, None
+        if pool is None:
+            return 0
+        procs = list(getattr(pool, "_processes", {}).values())
+        for proc in procs:
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # already gone
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        metrics = get_metrics()
+        if metrics.enabled and procs:
+            metrics.inc("perf.pool.worker_kills", len(procs))
+        return len(procs)
+
+    def note_pool_success(self) -> None:
+        """A pooled task completed: forgive past consecutive failures."""
+        self._pool_failures = 0
 
     def close(self) -> None:
         """Shut down the persistent executors (idempotent)."""

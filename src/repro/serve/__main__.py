@@ -35,6 +35,11 @@ async def _amain(args) -> int:
         cache_max_bytes=args.cache_max_bytes,
         backend=args.sim_backend,
         max_cycles=args.max_cycles,
+        deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
     )
     address = await server.start(
         socket_path=args.socket, host=args.host, port=args.port
@@ -85,6 +90,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-cycles", type=int, default=None, metavar="N",
         help="per-job runaway-loop bound (default 50M)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="default per-job deadline; a job past it gets a DEADLINE "
+             "response and its hung workers are killed (requests may "
+             "still override with their own deadline_ms)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission bound: shed new work (SERVER_BUSY / SHED) when "
+             "this many jobs are already in flight",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SEC",
+        help="graceful-drain budget on shutdown: stop accepting, wait "
+             "this long for in-flight jobs, flush the ledger",
     )
     parser.add_argument("--metrics", metavar="FILE",
                         help="write a metrics snapshot JSON on exit")

@@ -10,21 +10,64 @@ The client pipelines: :meth:`submit` sends without waiting, and
 :meth:`drain` (or :meth:`run`, which submits one job and waits for it)
 reads lines until the wanted responses arrive.  Used by the
 differential test suite and the Zipf load generator.
+
+**Hardening.**  :meth:`run` retries: dropped connections (anything the
+socket layer raises, plus :class:`WireError` frames) trigger a
+reconnect-and-resubmit, and server responses tagged ``retryable`` in
+the wire taxonomy (``RETRYABLE``, ``SHED``) are resubmitted after an
+exponential backoff with deterministic seeded jitter.  Re-submission
+is safe because job identity is content-addressed on the server
+(:meth:`JobSpec.fingerprint`): a retried request that raced a
+completed first attempt is served from the result memo, byte-equal.
+Terminal failures surface as :class:`ServeError` carrying the
+taxonomy ``code``.  See docs/robustness.md.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import faults
+
+#: taxonomy codes the retry loop will resubmit on (``DEADLINE`` and
+#: ``FATAL`` are terminal: the job itself misbehaved)
+RETRYABLE_CODES = ("RETRYABLE", "SHED")
 
 
 class ServeError(RuntimeError):
-    """The server answered ``ok: false``."""
+    """The server answered ``ok: false``.
+
+    Carries the wire taxonomy: :attr:`code` is one of the server's
+    ``ERROR_CODES`` (``RETRYABLE``/``FATAL``/``SHED``/``DEADLINE``),
+    :attr:`retryable` is the server's own judgement, and
+    :attr:`response` is the full envelope for forensics.
+    """
+
+    def __init__(self, message: str, *, code: str = "FATAL",
+                 retryable: bool = False,
+                 response: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+        self.response = response or {}
+
+
+class WireError(ConnectionError):
+    """The connection produced bytes that are not protocol frames."""
 
 
 class ServeClient:
-    """One connection to a :class:`~repro.serve.server.ScheduleServer`."""
+    """One connection to a :class:`~repro.serve.server.ScheduleServer`.
+
+    ``retries``/``backoff``/``backoff_max`` configure :meth:`run`'s
+    retry loop (``retries=0`` — the default — keeps the historical
+    fail-fast behaviour).  ``retry_seed`` seeds the backoff jitter so
+    a campaign run is reproducible.
+    """
 
     def __init__(
         self,
@@ -33,23 +76,64 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: float = 120.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: int = 0,
     ) -> None:
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
-        elif port is not None:
-            self._sock = socket.create_connection(
-                (host, port), timeout=timeout
-            )
-        else:
+        if socket_path is None and port is None:
             raise ValueError("need socket_path or port")
-        self._file = self._sock.makefile("rwb")
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self._jitter = random.Random(retry_seed)
+        #: re-connections beyond the initial one (0 = nothing went wrong)
+        self.reconnects = -1
+        #: retried run() attempts (resubmissions, not first tries)
+        self.retried = 0
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
         #: responses that arrived while waiting for a different id
         self._responses: Dict[Any, Dict[str, Any]] = {}
         #: status events per request id, in arrival order
         self.events: Dict[Any, List[Dict[str, Any]]] = {}
+        self._connect()
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def _connect(self) -> None:
+        """(Re)establish the socket; drops any buffered responses."""
+        self._teardown()
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._socket_path)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self.reconnects += 1
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     # -- wire ------------------------------------------------------------
 
@@ -60,17 +144,36 @@ class ServeClient:
             self._next_id += 1
             rid = self._next_id
             request = dict(request, id=rid)
-        self._file.write(
-            (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
-        )
+        payload = (json.dumps(request, sort_keys=True) + "\n").encode("utf-8")
+        action = faults.decide("client.send")
+        if action is not None:
+            if action.kind == "garble":
+                # a frame the server must reject without wedging
+                payload = b"\xff\xfenot json at all\n"
+            elif action.kind == "drop":
+                self._teardown()
+                raise ConnectionError(
+                    f"injected connection drop before send "
+                    f"(pass {action.seq})"
+                )
+        self._file.write(payload)
         self._file.flush()
         return rid
 
     def _read_line(self) -> Dict[str, Any]:
+        action = faults.decide("client.recv")
+        if action is not None and action.kind == "drop":
+            self._teardown()
+            raise ConnectionError(
+                f"injected connection drop before recv (pass {action.seq})"
+            )
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        try:
+            return json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise WireError(f"malformed frame from server: {exc}") from exc
 
     def recv(self, rid: Any) -> Dict[str, Any]:
         """Block until the response for ``rid`` arrives."""
@@ -78,11 +181,25 @@ class ServeClient:
             msg = self._read_line()
             if msg.get("event") == "status":
                 self.events.setdefault(msg.get("id"), []).append(msg)
+            elif msg.get("id") is None and not msg.get("ok", False):
+                # the server rejected a frame it could not parse (e.g.
+                # a garbled request): *our* request never registered,
+                # so waiting for its id would hang forever — surface a
+                # wire fault and let the retry loop resubmit
+                raise WireError(
+                    "server rejected an unparseable frame: "
+                    f"{msg.get('error', '?')}"
+                )
             else:
                 self._responses[msg.get("id")] = msg
         response = self._responses.pop(rid)
         if not response.get("ok", False):
-            raise ServeError(response.get("error", "unknown server error"))
+            raise ServeError(
+                response.get("error", "unknown server error"),
+                code=response.get("code", "FATAL"),
+                retryable=bool(response.get("retryable", False)),
+                response=response,
+            )
         return response
 
     # -- ops -------------------------------------------------------------
@@ -106,6 +223,13 @@ class ServeClient:
         req.update(fields)
         return self.send(req)
 
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Exponential backoff with deterministic jitter in [0.5, 1)."""
+        if self.backoff <= 0:
+            return
+        delay = min(self.backoff * (2 ** attempt), self.backoff_max)
+        time.sleep(delay * (0.5 + 0.5 * self._jitter.random()))
+
     def run(
         self,
         kernel: str,
@@ -114,10 +238,41 @@ class ServeClient:
         params: Optional[Dict[str, Any]] = None,
         **fields: Any,
     ) -> Dict[str, Any]:
-        """Submit one job and wait for its full response envelope."""
-        return self.recv(
-            self.submit(kernel, composition, params=params, **fields)
-        )
+        """Submit one job and wait for its full response envelope.
+
+        With ``retries > 0`` this is the hardened entry point: torn
+        connections reconnect and resubmit immediately; retryable
+        server refusals (``SHED``, ``RETRYABLE``) back off and
+        resubmit.  The last failure is re-raised once the budget is
+        exhausted.
+        """
+        attempts = self.retries + 1
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                self.retried += 1
+            try:
+                return self.recv(
+                    self.submit(kernel, composition, params=params, **fields)
+                )
+            except ServeError as exc:
+                last = exc
+                if not (exc.retryable or exc.code in RETRYABLE_CODES):
+                    raise
+                if attempt + 1 >= attempts:
+                    raise
+                self._backoff_sleep(attempt)
+            except (WireError, ConnectionError, OSError) as exc:
+                last = exc
+                if attempt + 1 >= attempts:
+                    raise
+                self._backoff_sleep(attempt)
+                try:
+                    self._connect()
+                except OSError as reconnect_exc:
+                    last = reconnect_exc
+                    continue  # server may still be coming back; retry
+        raise last  # pragma: no cover - loop always raises or returns
 
     def drain(self, rids: List[Any]) -> List[Dict[str, Any]]:
         """Responses for ``rids``, in the given order."""
@@ -136,10 +291,7 @@ class ServeClient:
             pass
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -148,10 +300,14 @@ class ServeClient:
         self.close()
 
 
-def connect(address: str, *, timeout: float = 120.0) -> ServeClient:
-    """Client from an address string: ``host:port`` or a socket path."""
+def connect(address: str, *, timeout: float = 120.0, **kwargs: Any) -> ServeClient:
+    """Client from an address string: ``host:port`` or a socket path.
+
+    Extra keyword arguments (``retries``, ``backoff``, ``backoff_max``,
+    ``retry_seed``) pass straight through to :class:`ServeClient`.
+    """
     host, sep, port = address.rpartition(":")
     if sep and port.isdigit():
         return ServeClient(host=host or "127.0.0.1", port=int(port),
-                           timeout=timeout)
-    return ServeClient(socket_path=address, timeout=timeout)
+                           timeout=timeout, **kwargs)
+    return ServeClient(socket_path=address, timeout=timeout, **kwargs)

@@ -71,8 +71,21 @@ def _drive(
 ) -> Tuple[float, List[Dict[str, Any]]]:
     """Issue ``requests`` round-robin over ``clients``, closed-loop per
     connection (each client pipelines; latency is send-to-response).
-    Returns (wall seconds, responses in request order)."""
+    Returns (wall seconds, responses in request order).
+
+    Clients carrying a retry budget go through the hardened
+    :meth:`ServeClient.run` (one request at a time per client) so
+    drops and sheds are retried; budget-less clients keep the
+    historical pipelined path."""
     t0 = time.perf_counter()
+    if any(c.retries for c in clients):
+        retr: List[Dict[str, Any]] = []
+        for i, (kernel, comp) in enumerate(requests):
+            client = clients[i % len(clients)]
+            sent = time.perf_counter()
+            retr.append(client.run(kernel, comp))
+            hist.observe((time.perf_counter() - sent) * 1e3)
+        return time.perf_counter() - t0, retr
     pending: List[Tuple[ServeClient, Any, float, int]] = []
     responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
     for i, (kernel, comp) in enumerate(requests):
@@ -100,10 +113,23 @@ def run_load(
     seed: int = 0,
     connections: int = 4,
     catalog: Sequence[Tuple[str, str]] = DEFAULT_CATALOG,
+    timeout: float = 120.0,
+    retries: int = 0,
+    backoff: float = 0.05,
 ) -> LoadReport:
-    """Cold pass + seeded Zipf warm burst against a live server."""
+    """Cold pass + seeded Zipf warm burst against a live server.
+
+    ``timeout``/``retries``/``backoff`` flow into every client; with
+    ``retries > 0`` dropped connections and shed requests are retried
+    (see :mod:`repro.serve.client`), and the report carries the retry
+    accounting.
+    """
     catalog = list(catalog)
-    clients = [connect(address) for _ in range(max(1, connections))]
+    clients = [
+        connect(address, timeout=timeout, retries=retries,
+                backoff=backoff, retry_seed=seed + i)
+        for i in range(max(1, connections))
+    ]
     try:
         cold_hist, warm_hist = Histogram(), Histogram()
         cold_seconds, cold_responses = _drive(clients, catalog, cold_hist)
@@ -113,6 +139,8 @@ def run_load(
             clients, warm_requests, warm_hist
         )
         stats = clients[0].stats()
+        retried = sum(c.retried for c in clients)
+        reconnects = sum(c.reconnects for c in clients)
     finally:
         for client in clients:
             client.close()
@@ -151,6 +179,8 @@ def run_load(
         ),
         digests_consistent=consistent,
         distinct_fingerprints=len(digests),
+        retried_requests=retried,
+        reconnects=reconnects,
         zipf_s=s,
         seed=seed,
         connections=len(clients),
@@ -170,6 +200,14 @@ def main(argv=None) -> int:
                         help="Zipf exponent (default 1.1)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SEC", help="per-socket timeout")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="per-request retry budget (reconnect on "
+                             "drops, backoff on SHED/RETRYABLE)")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        metavar="SEC", help="base retry backoff "
+                        "(doubles per attempt, seeded jitter)")
     parser.add_argument("--json", metavar="FILE",
                         help="also write the report as JSON")
     args = parser.parse_args(argv)
@@ -179,6 +217,9 @@ def main(argv=None) -> int:
         s=args.zipf_s,
         seed=args.seed,
         connections=args.connections,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.json:

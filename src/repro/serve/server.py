@@ -24,6 +24,19 @@ Served results are byte-identical to direct pipeline runs: the
 response carries the ``program_digest`` plus the full RunResult
 signature, asserted by ``tests/serve/test_differential.py``.
 
+The serving path is *hardened* (docs/robustness.md): per-job
+deadlines detect hung workers, kill them and respawn the pool;
+``max_queue`` admission control sheds load with a structured
+``SERVER_BUSY`` response instead of buffering without bound; shutdown
+drains gracefully (stop accepting, finish in-flight, flush the
+ledger); and every failure carries one of four taxonomy codes —
+``RETRYABLE`` / ``FATAL`` / ``SHED`` / ``DEADLINE`` — so clients can
+retry exactly the failures worth retrying.  The deterministic fault
+plane (:mod:`repro.faults`) threads through this stack; the seeded
+chaos campaign (``python -m repro.faults --campaign``) asserts the
+invariants under injected crashes, hangs, corruption and dropped
+connections.
+
 See docs/serving.md for the wire protocol and SLO metric table.
 """
 
@@ -37,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Optional, Tuple
 
+from repro import faults
 from repro.obs import get_metrics
 from repro.obs.ledger import get_ledger
 from repro.obs.metrics import Histogram
@@ -57,15 +71,52 @@ from repro.sim.machine import DEFAULT_MAX_CYCLES
 __all__ = [
     "ScheduleServer",
     "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "ServeFailure",
+    "ShedError",
+    "DeadlineError",
+    "RetryableError",
     "request_to_spec",
     "serve_in_thread",
 ]
 
 #: bump when the request/response envelope changes shape
-PROTOCOL_VERSION = 1
+#: (2: structured error taxonomy — ``code``/``retryable`` on failures)
+PROTOCOL_VERSION = 2
 
 #: ops a request may carry (``run`` is the default)
 _OPS = ("run", "ping", "stats", "shutdown")
+
+#: the error taxonomy every failure response is classified under
+ERROR_CODES = ("RETRYABLE", "FATAL", "SHED", "DEADLINE")
+
+
+class ServeFailure(Exception):
+    """A request failure with a wire-taxonomy classification."""
+
+    code = "FATAL"
+    retryable = False
+
+
+class RetryableError(ServeFailure):
+    """Transient infrastructure failure: same request may succeed."""
+
+    code = "RETRYABLE"
+    retryable = True
+
+
+class ShedError(ServeFailure):
+    """Admission control refused the request (queue full / draining)."""
+
+    code = "SHED"
+    retryable = True
+
+
+class DeadlineError(ServeFailure):
+    """The job missed its deadline; its workers were killed."""
+
+    code = "DEADLINE"
+    retryable = False
 
 
 def resolve_composition(spec: str):
@@ -152,12 +203,26 @@ class ScheduleServer:
         backend: str = DEFAULT_SIM_BACKEND,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         result_memo: int = 4096,
+        deadline_s: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        drain_timeout: float = 30.0,
     ) -> None:
         self.workers = workers
         self.cache_dir = cache_dir
         self.cache_max_bytes = cache_max_bytes
         self.backend = backend
         self.max_cycles = max_cycles
+        #: default per-job wall-clock budget (``None`` = unbounded);
+        #: requests may tighten it with a ``deadline_ms`` field
+        self.deadline_s = deadline_s
+        #: admission bound on concurrently *executing* distinct jobs
+        #: (dedupe followers ride for free); ``None`` = unbounded
+        self.max_queue = max_queue
+        self.drain_timeout = drain_timeout
+        #: set while draining: new work is shed, in-flight work finishes
+        self._draining = False
+        #: leaders + followers currently inside the run path
+        self._active_runs = 0
         self.evaluator: Optional[ParallelEvaluator] = (
             ParallelEvaluator(workers) if workers >= 1 else None
         )
@@ -178,6 +243,9 @@ class ScheduleServer:
             "jobs_failed": 0,
             "pool_retries": 0,
             "connections": 0,
+            "shed": 0,
+            "deadlines": 0,
+            "worker_kills": 0,
         }
         self._latency: Dict[str, Histogram] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -222,6 +290,38 @@ class ScheduleServer:
         async with self._server:
             await self._closing.wait()
 
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, flush.
+
+        New ``run`` requests arriving on existing connections are shed
+        (``SHED``/``SERVER_BUSY: draining``) while requests already in
+        flight run to completion (bounded by ``timeout``, default
+        ``drain_timeout``).  A file-backed run ledger is flushed before
+        teardown so completed work is durably accounted.  Returns
+        ``True`` when everything in flight finished inside the budget.
+        """
+        self._draining = True
+        if self._server is not None:
+            # stop accepting new connections; handlers on accepted
+            # connections keep running until close()
+            self._server.close()
+        budget = self.drain_timeout if timeout is None else timeout
+        deadline = time.perf_counter() + budget
+        while self._active_runs > 0 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.01)
+        drained = self._active_runs == 0
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("serve.drain", clean=drained)
+        ledger = get_ledger()
+        if ledger.enabled and getattr(ledger, "path", None):
+            try:
+                ledger.write()
+            except OSError:
+                pass  # best-effort flush; records stay in memory
+        await self.close()
+        return drained
+
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -260,6 +360,17 @@ class ScheduleServer:
                 task.add_done_callback(pending.discard)
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionError, OSError):
+            # the peer reset mid-conversation (a dropped client, or the
+            # chaos campaign's injected drops): any in-flight jobs on
+            # this connection still complete and land in the memo
+            pass
+        except asyncio.CancelledError:
+            # server shutdown cancelled this handler; absorbing the
+            # cancellation here (instead of letting it escape the
+            # client_connected_cb task) keeps asyncio's stream-protocol
+            # done-callback from logging it as an unhandled error
+            pass
         finally:
             for task in pending:
                 task.cancel()
@@ -313,8 +424,9 @@ class ScheduleServer:
                 response = {"ok": True, "stats": self.stats()}
             elif op == "shutdown":
                 response = {"ok": True, "closing": True}
+                # graceful by default: finish in-flight work first
                 asyncio.get_running_loop().call_soon(
-                    lambda: asyncio.ensure_future(self.close())
+                    lambda: asyncio.ensure_future(self.drain())
                 )
             elif op == "run":
                 payload, meta = await self._run(req, writer, lock, rid)
@@ -324,24 +436,20 @@ class ScheduleServer:
                 raise ValueError(
                     f"unknown op {op!r} (expected one of {_OPS})"
                 )
+        except ServeFailure as exc:
+            response = self._error_response(
+                exc, code=exc.code, retryable=exc.retryable
+            )
         except (ValueError, KeyError, TypeError) as exc:
-            self.counters["errors"] += 1
-            metrics = get_metrics()
-            if metrics.enabled:
-                metrics.inc("serve.errors", kind=type(exc).__name__)
-            response = {
-                "ok": False,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
+            # malformed request: deterministic, retrying cannot help
+            response = self._error_response(exc, code="FATAL")
+        except BrokenProcessPool as exc:
+            # pool still broken after the in-path retry: transient infra
+            response = self._error_response(
+                exc, code="RETRYABLE", retryable=True
+            )
         except Exception as exc:  # job execution blew up: report, stay up
-            self.counters["errors"] += 1
-            metrics = get_metrics()
-            if metrics.enabled:
-                metrics.inc("serve.errors", kind=type(exc).__name__)
-            response = {
-                "ok": False,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
+            response = self._error_response(exc, code="FATAL")
         response["id"] = rid
         seconds = time.perf_counter() - t0
         hist = self._latency.get(op)
@@ -352,6 +460,36 @@ class ScheduleServer:
         if metrics.enabled:
             metrics.observe("serve.request_ms", seconds * 1e3, op=op)
         await self._send(writer, lock, response)
+
+    def _error_response(
+        self, exc: BaseException, *, code: str, retryable: bool = False
+    ) -> Dict[str, Any]:
+        """One classified failure envelope; counts ``serve.errors``."""
+        self.counters["errors"] += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "serve.errors", kind=type(exc).__name__, code=code
+            )
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "code": code,
+            "retryable": retryable,
+        }
+
+    @staticmethod
+    def _request_deadline(req: Dict[str, Any]) -> Optional[float]:
+        deadline_ms = req.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        try:
+            deadline_s = float(deadline_ms) / 1e3
+        except (TypeError, ValueError):
+            raise ValueError("'deadline_ms' must be a number") from None
+        if deadline_s <= 0:
+            raise ValueError("'deadline_ms' must be positive")
+        return deadline_s
 
     async def _run(
         self,
@@ -367,6 +505,30 @@ class ScheduleServer:
             cache_dir=self.cache_dir,
             cached=True,
         )
+        deadline_s = self._request_deadline(req)
+        if self.deadline_s is not None:
+            # a request may tighten the server budget, never loosen it
+            deadline_s = (
+                self.deadline_s
+                if deadline_s is None
+                else min(deadline_s, self.deadline_s)
+            )
+        self._active_runs += 1
+        try:
+            return await self._run_admitted(
+                spec, deadline_s, writer, lock, rid
+            )
+        finally:
+            self._active_runs -= 1
+
+    async def _run_admitted(
+        self,
+        spec: JobSpec,
+        deadline_s: Optional[float],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        rid: Any,
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
         key = spec.fingerprint()
         meta: Dict[str, Any] = {"fingerprint": key, "dedupe": "none"}
         await self._send(
@@ -387,6 +549,12 @@ class ScheduleServer:
             self._mark_dedupe(meta, "inflight")
             payload = await asyncio.shield(leader_future)
             return payload, meta
+        # admission control: only *new* work is shed — memo/in-flight
+        # hits above cost no worker and always pass
+        self._admit(key)
+        fault = faults.decide("serve.dispatch")
+        if fault is not None and fault.kind in ("slow", "hang"):
+            await asyncio.sleep(fault.delay_s)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
@@ -401,7 +569,7 @@ class ScheduleServer:
                 {"id": rid, "event": "status", "state": "running",
                  "fingerprint": key},
             )
-            payload = await self._execute(spec)
+            payload = await self._execute(spec, deadline_s)
         except BaseException as exc:
             self.counters["jobs_failed"] += 1
             if not future.done():
@@ -426,13 +594,77 @@ class ScheduleServer:
         finally:
             self._inflight.pop(key, None)
 
-    async def _execute(self, spec: JobSpec) -> Dict[str, Any]:
+    def _admit(self, key: str) -> None:
+        """Shed new work while draining or over the queue bound."""
+        if self._draining:
+            self.counters["shed"] += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("serve.shed", reason="draining")
+            raise ShedError("SERVER_BUSY: draining, not accepting new jobs")
+        if (
+            self.max_queue is not None
+            and len(self._inflight) >= self.max_queue
+        ):
+            self.counters["shed"] += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("serve.shed", reason="queue_full")
+            raise ShedError(
+                f"SERVER_BUSY: {len(self._inflight)} jobs in flight "
+                f">= max_queue={self.max_queue}"
+            )
+
+    async def _await_pooled(self, cf, deadline_s, started):
+        """One pooled attempt under the remaining deadline budget."""
+        if deadline_s is None:
+            return await asyncio.wrap_future(cf)
+        remaining = deadline_s - (time.perf_counter() - started)
+        try:
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            return await asyncio.wait_for(
+                asyncio.wrap_future(cf), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            cf.cancel()
+            # consume the eventual BrokenProcessPool of the abandoned
+            # future (raised once the hung workers are killed below)
+            cf.add_done_callback(lambda f: f.cancelled() or f.exception())
+            killed = self.evaluator.kill_hung_workers()
+            self.evaluator.record_pool_failure(
+                DeadlineError("hung worker")
+            )
+            self.counters["deadlines"] += 1
+            self.counters["worker_kills"] += killed
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("serve.deadline")
+            ledger = get_ledger()
+            if ledger.enabled:
+                ledger.record(
+                    "serve.deadline",
+                    deadline_s=deadline_s,
+                    workers_killed=killed,
+                )
+            raise DeadlineError(
+                f"job exceeded its {deadline_s:g}s deadline "
+                f"({killed} hung workers killed, pool respawning)"
+            ) from None
+
+    async def _execute(
+        self, spec: JobSpec, deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
         if self.evaluator is not None:
+            started = time.perf_counter()
             for attempt in (0, 1):
                 cf = self.evaluator.submit(execute_job, spec)
                 try:
-                    result, obs = await asyncio.wrap_future(cf)
+                    result, obs = await self._await_pooled(
+                        cf, deadline_s, started
+                    )
+                    self.evaluator.note_pool_success()
                     break
                 except BrokenProcessPool as exc:
                     # worker crash mid-job: count it, re-create the
@@ -440,8 +672,14 @@ class ScheduleServer:
                     # retry the job once before giving up
                     self.evaluator.record_pool_failure(exc)
                     self.counters["pool_retries"] += 1
+                    metrics = get_metrics()
+                    if metrics.enabled:
+                        metrics.inc("serve.pool.retries")
                     if attempt:
-                        raise
+                        raise RetryableError(
+                            f"worker pool broken twice running this "
+                            f"job: {exc}"
+                        ) from exc
             if obs is not None:
                 self.evaluator.fold_obs(obs)
         else:
@@ -449,9 +687,27 @@ class ScheduleServer:
                 self._thread_exec = ThreadPoolExecutor(
                     max_workers=2, thread_name_prefix="serve-job"
                 )
-            result = await loop.run_in_executor(
+            job_future = loop.run_in_executor(
                 self._thread_exec, execute_job, spec
             )
+            try:
+                result = await (
+                    job_future
+                    if deadline_s is None
+                    else asyncio.wait_for(job_future, timeout=deadline_s)
+                )
+            except asyncio.TimeoutError:
+                # in-process threads cannot be killed; the job is
+                # abandoned (it dies with its daemon thread) and the
+                # request gets a terminal DEADLINE response
+                self.counters["deadlines"] += 1
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.inc("serve.deadline")
+                raise DeadlineError(
+                    f"job exceeded its {deadline_s:g}s deadline "
+                    "(in-process executor, job abandoned)"
+                ) from None
         payload = job_payload(result)
         ledger = get_ledger()
         if ledger.enabled:
@@ -505,6 +761,12 @@ class ScheduleServer:
         out["workers"] = self.workers
         out["backend"] = self.backend
         out["protocol"] = PROTOCOL_VERSION
+        out["draining"] = self._draining
+        out["deadline_s"] = self.deadline_s
+        out["max_queue"] = self.max_queue
+        plan = faults.active()
+        if plan is not None:
+            out["faults"] = plan.summary()
         if self.cache_dir is not None:
             out["schedule_cache"] = shared_cache(self.cache_dir).stats()
         out["latency_ms"] = {
@@ -529,8 +791,15 @@ class serve_in_thread:
     assertions (counters, memo size).
     """
 
-    def __init__(self, *, socket_path: Optional[str] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[str] = None,
+        start_timeout: float = 60.0,
+        **kwargs,
+    ) -> None:
         self._socket_path = socket_path
+        self._start_timeout = start_timeout
         self.server = ScheduleServer(**kwargs)
         self.address: Optional[str] = None
         self._thread = None
@@ -559,11 +828,17 @@ class serve_in_thread:
             target=_run, name="repro-serve", daemon=True
         )
         self._thread.start()
-        self._started.wait(timeout=60)
+        started = self._started.wait(timeout=self._start_timeout)
         if "exc" in failure:
             raise failure["exc"]
-        if self.server.address is None:
-            raise RuntimeError("server failed to start within 60s")
+        if not started or self.server.address is None:
+            # the wait() return value matters: an unset event after the
+            # timeout means the thread is wedged (or never ran), and
+            # the old code fell through to a misleading address check
+            raise RuntimeError(
+                "server thread failed to start within "
+                f"{self._start_timeout:g}s"
+            )
         self.address = self.server.address
         return self
 

@@ -1,0 +1,163 @@
+"""Fault-plan unit behaviour: determinism, grammar, zero-cost-when-off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec, parse_plan
+
+
+def _fire_log(plan, site, passes):
+    return [
+        (a.kind, a.seq) if a else None
+        for a in (plan.decide(site) for _ in range(passes))
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        specs = [FaultSpec("pool.task", "crash", rate=0.4)]
+        a = _fire_log(FaultPlan(specs, seed=11), "pool.task", 50)
+        b = _fire_log(FaultPlan(specs, seed=11), "pool.task", 50)
+        assert a == b
+        assert any(x is not None for x in a)
+
+    def test_different_seeds_differ(self):
+        specs = [FaultSpec("pool.task", "crash", rate=0.4)]
+        a = _fire_log(FaultPlan(specs, seed=1), "pool.task", 100)
+        b = _fire_log(FaultPlan(specs, seed=2), "pool.task", 100)
+        assert a != b
+
+    def test_streams_are_per_site_independent(self):
+        """Interleaving other sites must not shift a site's stream."""
+        specs = [FaultSpec("*", "slow", rate=0.5, delay_s=0.0)]
+        solo = FaultPlan(specs, seed=3)
+        solo_log = _fire_log(solo, "pool.task", 20)
+        mixed = FaultPlan(specs, seed=3)
+        mixed_log = []
+        for _ in range(20):
+            mixed.decide("cache.write")  # noise on another site
+            a = mixed.decide("pool.task")
+            mixed_log.append((a.kind, a.seq) if a else None)
+        # seq counts passes per site, so they line up exactly
+        assert [x and x[0] for x in mixed_log] == [
+            x and x[0] for x in solo_log
+        ]
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "crash", rate=0.3)], seed=9
+        )
+        first = _fire_log(plan, "pool.task", 30)
+        plan.reset()
+        assert _fire_log(plan, "pool.task", 30) == first
+
+
+class TestSpecSemantics:
+    def test_count_caps_total_fires(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "crash", rate=1.0, count=2)], seed=0
+        )
+        log = _fire_log(plan, "pool.task", 10)
+        assert sum(1 for x in log if x) == 2
+        assert log[0] and log[1] and not any(log[2:])
+
+    def test_glob_site_matching(self):
+        plan = FaultPlan(
+            [FaultSpec("client.*", "drop", rate=1.0)], seed=0
+        )
+        assert plan.decide("client.send").kind == "drop"
+        assert plan.decide("client.recv").kind == "drop"
+        assert plan.decide("pool.task") is None
+
+    def test_default_delays_distinguish_hang_from_slow(self):
+        hang = FaultSpec("pool.task", "hang")
+        slow = FaultSpec("pool.task", "slow")
+        assert hang.delay > slow.delay
+        assert FaultSpec("pool.task", "hang", delay_s=1.5).delay == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("pool.task", "explode")
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("pool.task", "crash", rate=1.5)
+
+    def test_summary_accounts_fires(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "crash", rate=1.0, count=1)], seed=0
+        )
+        plan.decide("pool.task")
+        plan.decide("pool.task")
+        summary = plan.summary()
+        assert summary["injected"] == {"pool.task:crash": 1}
+        assert summary["passes"] == {"pool.task": 2}
+        assert summary["total_injected"] == 1
+
+
+class TestGrammar:
+    def test_round_trip(self):
+        plan = parse_plan("seed=42;pool.task:crash@0.2#3;client.send:garble")
+        assert plan.seed == 42
+        assert plan.specs[0] == FaultSpec(
+            "pool.task", "crash", rate=0.2, count=3
+        )
+        assert plan.specs[1] == FaultSpec("client.send", "garble")
+        assert parse_plan(plan.describe()).describe() == plan.describe()
+
+    def test_delay_suffix(self):
+        plan = parse_plan("pool.task:hang~2.5")
+        assert plan.specs[0].delay_s == 2.5
+
+    def test_malformed_clauses_raise(self):
+        for bad in ("nonsense", "pool.task:", ":crash", "", ";;"):
+            with pytest.raises(ValueError):
+                parse_plan(bad)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_plan("pool.task:frobnicate")
+
+
+class TestArming:
+    def test_disabled_is_a_noop(self):
+        faults.disarm()
+        assert faults.decide("pool.task") is None
+        assert not faults.armed()
+
+    def test_injected_context_restores(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "slow", rate=1.0, delay_s=0.0)],
+            seed=0,
+        )
+        faults.disarm()
+        with faults.injected(plan):
+            assert faults.armed()
+            assert faults.decide("pool.task").kind == "slow"
+        assert not faults.armed()
+        assert faults.decide("pool.task") is None
+
+    def test_env_grammar_matches_programmatic(self, monkeypatch):
+        import repro.faults as mod
+
+        monkeypatch.setattr(mod, "_ACTIVE", None)
+        monkeypatch.setattr(mod, "_ENV_CHECKED", False)
+        monkeypatch.setenv(
+            faults.ENV_VAR, "seed=5;pool.task:crash@0.5"
+        )
+        try:
+            env_log = [
+                faults.decide("pool.task") is not None for _ in range(20)
+            ]
+        finally:
+            faults.disarm()
+        direct = FaultPlan(
+            [FaultSpec("pool.task", "crash", rate=0.5)], seed=5
+        )
+        direct_log = [
+            direct.decide("pool.task") is not None for _ in range(20)
+        ]
+        assert env_log == direct_log
+
+    def test_injected_crash_is_a_broken_pool(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert issubclass(faults.InjectedCrash, BrokenProcessPool)

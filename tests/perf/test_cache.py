@@ -34,6 +34,7 @@ class TestMemoryLayer:
             "misses": 1,
             "entries": 1,
             "evictions": 0,
+            "corrupt": 0,
         }
 
     def test_clear_drops_entries_not_counters(self):
@@ -77,13 +78,20 @@ class TestDiskLayer:
         cache.put(cache.key_for(kernel, comp), "payload")
         assert not [f for f in os.listdir(tmp_path) if f.startswith(".tmp-")]
 
-    def test_disk_payload_is_plain_pickle(self, tmp_path):
+    def test_disk_payload_is_checksummed_pickle(self, tmp_path):
+        import hashlib
+
         kernel, comp = _kc()
         cache = ScheduleCache(str(tmp_path))
         key = cache.key_for(kernel, comp)
         cache.put(key, ["payload"])
         with open(os.path.join(str(tmp_path), f"{key}.pkl"), "rb") as fh:
-            assert pickle.load(fh) == ["payload"]
+            blob = fh.read()
+        # RSC1 magic + sha256(body) header, then the plain pickle body
+        assert blob[:4] == b"RSC1"
+        digest, body = blob[4:36], blob[36:]
+        assert digest == hashlib.sha256(body).digest()
+        assert pickle.loads(body) == ["payload"]
 
 
 class TestLRUEviction:

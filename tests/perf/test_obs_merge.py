@@ -154,3 +154,87 @@ class TestScheduleDeterminismUnderObs:
             if r["kind"] == "pipeline.run"
         ]
         assert len(set(digests)) == 1  # same kernel+comp => same program
+
+
+def _strip_pool_noise(counters):
+    """Counters minus pool bookkeeping and fault accounting — the keys
+    that legitimately differ when a task had to be re-submitted."""
+    return {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith("perf.pool.")
+        and not k.startswith("serve.faults.")
+    }
+
+
+class TestKillAndRespawnDeterminism:
+    """A hung worker is killed, the pool respawns, and the re-submitted
+    job is indistinguishable from a serial run — results byte-equal,
+    folded obs totals equal (modulo pool bookkeeping)."""
+
+    def test_resubmitted_job_matches_serial(self):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.perf.parallel import WorkerHangError
+
+        item = ITEMS[0]
+        # serial ground truth with observed sinks
+        with obs.observe() as serial_session:
+            serial_result = _task(item)
+        serial_counters = serial_session.metrics.snapshot()["counters"]
+
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "hang", rate=1.0, count=1,
+                       delay_s=8.0)],
+            seed=0,
+        )
+        evaluator = ParallelEvaluator(jobs=2)
+        faults.arm(plan)
+        try:
+            with obs.observe() as pooled_session:
+                with pytest.raises(WorkerHangError):
+                    evaluator.submit_with_deadline(
+                        _task, item, timeout=0.8
+                    )
+                if not evaluator._persistent and evaluator.pool_broken:
+                    pytest.skip("pool unavailable in this sandbox")
+                # the fault was one-shot: the resubmission runs clean
+                # on a freshly forked pool
+                result, worker_obs = evaluator.submit_with_deadline(
+                    _task, item, timeout=60.0
+                )
+                evaluator.fold_obs(worker_obs)
+        finally:
+            faults.disarm()
+            evaluator.close()
+
+        assert result == serial_result == EXPECTED[0]
+        assert len(plan.fired) == 1
+        pooled_counters = pooled_session.metrics.snapshot()["counters"]
+        assert _strip_pool_noise(pooled_counters) == _strip_pool_noise(
+            serial_counters
+        )
+
+    def test_kill_hung_workers_reports_the_kill(self):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.perf.parallel import WorkerHangError
+
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "hang", rate=1.0, count=1,
+                       delay_s=8.0)],
+            seed=0,
+        )
+        evaluator = ParallelEvaluator(jobs=1)
+        faults.arm(plan)
+        try:
+            with pytest.raises(WorkerHangError, match="workers killed"):
+                evaluator.submit_with_deadline(_task, ITEMS[1], timeout=0.8)
+            # respawned pool serves the next submission
+            result, _ = evaluator.submit_with_deadline(
+                _task, ITEMS[1], timeout=60.0
+            )
+            assert result == EXPECTED[1]
+        finally:
+            faults.disarm()
+            evaluator.close()

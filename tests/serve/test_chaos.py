@@ -1,0 +1,54 @@
+"""Seeded chaos campaign, smoke shape: one guaranteed fault per family.
+
+The full probabilistic campaign runs nightly
+(``python -m repro.faults --campaign``); this tier-1 version pins each
+family to exactly one injected fault at fixed seeds, asserting the
+same invariants: every request terminal, completed results byte-equal
+to direct runs, bounded recovery, faults actually fired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults.campaign import (
+    CATALOG,
+    FAMILIES,
+    _baseline_digests,
+    run_family,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leak():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _baseline_digests()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_smoke(family, baseline):
+    verdict = run_family(family, seed=42, smoke=True, baseline=baseline)
+    assert verdict["checks"]["all_terminal"], verdict
+    assert verdict["checks"]["digests_byte_equal"], verdict
+    assert verdict["checks"]["faults_fired"], verdict
+    assert verdict["checks"]["recovered"], verdict
+    assert verdict["passed"], verdict
+
+
+def test_same_seed_same_fault_sequence(baseline):
+    a = run_family("drop", seed=7, smoke=True, baseline=baseline)
+    b = run_family("drop", seed=7, smoke=True, baseline=baseline)
+    assert a["injected"]["injected"] == b["injected"]["injected"]
+    assert a["passed"] and b["passed"]
+
+
+def test_baseline_covers_catalog(baseline):
+    assert set(baseline) == set(CATALOG)
+    assert all(isinstance(d, str) and d for d in baseline.values())

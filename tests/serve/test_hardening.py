@@ -1,0 +1,268 @@
+"""Hardened serving path: deadlines, shedding, retries, drain, startup."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve.client import ServeError, connect
+from repro.serve.jobs import ResolvedJob, register_workload
+from repro.serve.server import serve_in_thread
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leak():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture()
+def slow_workload():
+    """A registered workload whose builder sleeps 1.5s (real gcd job)."""
+    from repro.verify.workloads import get_workload
+
+    wl = get_workload("gcd")
+    vec = wl.vectors[0]
+
+    def _slow(params):
+        time.sleep(1.5)
+        return ResolvedJob(
+            kernel=wl.build(),
+            livein=dict(vec.livein),
+            arrays=vec.fresh_arrays(),
+        )
+
+    register_workload("sleepy-gcd", _slow)
+    yield "sleepy-gcd"
+    from repro.serve.jobs import _EXTRA_WORKLOADS
+
+    _EXTRA_WORKLOADS.pop("sleepy-gcd", None)
+
+
+class TestDeadlines:
+    def test_server_deadline_returns_DEADLINE(self, slow_workload):
+        with serve_in_thread(workers=0, deadline_s=0.3) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run(slow_workload, "mesh4")
+                assert err.value.code == "DEADLINE"
+                assert err.value.retryable is False
+            assert handle.server.counters["deadlines"] == 1
+
+    def test_request_deadline_ms_overrides(self, slow_workload):
+        with serve_in_thread(workers=0) as handle:
+            with connect(handle.address) as client:
+                t0 = time.perf_counter()
+                with pytest.raises(ServeError) as err:
+                    client.run(slow_workload, "mesh4", deadline_ms=200)
+                assert err.value.code == "DEADLINE"
+                assert time.perf_counter() - t0 < 1.4
+                # no deadline on the next request: it completes
+                assert client.run("gcd", "mesh4")["ok"] is True
+
+    def test_bad_deadline_ms_is_FATAL(self):
+        with serve_in_thread(workers=0) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run("gcd", "mesh4", deadline_ms="soon")
+                assert err.value.code == "FATAL"
+
+    def test_hung_worker_killed_and_pool_recovers(self):
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "hang", rate=1.0, count=1,
+                       delay_s=8.0)],
+            seed=0,
+        )
+        faults.arm(plan)
+        with serve_in_thread(workers=1, deadline_s=0.8) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run("gcd", "mesh4")
+                assert err.value.code == "DEADLINE"
+                # the hung worker was killed, the pool respawned, and
+                # the re-submitted job completes well under the hang
+                t0 = time.perf_counter()
+                assert client.run("gcd", "mesh4")["ok"] is True
+                assert time.perf_counter() - t0 < 5.0
+                stats = client.stats()
+        assert stats["deadlines"] == 1
+        assert stats["worker_kills"] >= 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_SERVER_BUSY(self):
+        with serve_in_thread(workers=0, max_queue=0) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run("gcd", "mesh4")
+                assert err.value.code == "SHED"
+                assert err.value.retryable is True
+                assert "SERVER_BUSY" in str(err.value)
+            assert handle.server.counters["shed"] == 1
+
+    def test_memo_hits_bypass_shedding(self):
+        with serve_in_thread(workers=0) as handle:
+            with connect(handle.address) as client:
+                assert client.run("gcd", "mesh4")["ok"] is True
+                # close the gate: only memoised work can pass now
+                handle.server.max_queue = 0
+                response = client.run("gcd", "mesh4")
+                assert response["ok"] is True
+                assert response["meta"]["dedupe"] == "memo"
+                with pytest.raises(ServeError) as err:
+                    client.run("dotp", "mesh4")
+                assert err.value.code == "SHED"
+
+
+class TestStructuredErrors:
+    def test_fatal_errors_carry_code_and_retryable(self):
+        with serve_in_thread(workers=0) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run("no-such-kernel", "mesh4")
+                assert err.value.code == "FATAL"
+                assert err.value.retryable is False
+                assert err.value.response["ok"] is False
+
+    def test_worker_crashes_eventually_surface_RETRYABLE(self):
+        # every pool attempt crashes: the in-path retry burns both
+        # attempts and the client sees a retryable taxonomy error
+        plan = FaultPlan(
+            [FaultSpec("pool.task", "crash", rate=1.0)], seed=0
+        )
+        faults.arm(plan)
+        with serve_in_thread(workers=1) as handle:
+            with connect(handle.address) as client:
+                with pytest.raises(ServeError) as err:
+                    client.run("gcd", "mesh4")
+                assert err.value.code == "RETRYABLE"
+                assert err.value.retryable is True
+
+
+class TestClientRetries:
+    def test_reconnect_and_resubmit_on_drops(self):
+        plan = FaultPlan(
+            [FaultSpec("client.send", "drop", rate=1.0, count=2)],
+            seed=0,
+        )
+        with serve_in_thread(workers=0) as handle:
+            with faults.injected(plan):
+                client = connect(handle.address, retries=4, backoff=0.01)
+                assert client.run("gcd", "mesh4")["ok"] is True
+                assert client.reconnects == 2
+                assert client.retried == 2
+                client.close()
+
+    def test_garbled_frame_retried_via_wire_error(self):
+        plan = FaultPlan(
+            [FaultSpec("client.send", "garble", rate=1.0, count=1)],
+            seed=0,
+        )
+        with serve_in_thread(workers=0) as handle:
+            with faults.injected(plan):
+                client = connect(handle.address, retries=3, backoff=0.01)
+                assert client.run("gcd", "mesh4")["ok"] is True
+                assert client.retried == 1
+                client.close()
+
+    def test_no_budget_fails_fast(self):
+        plan = FaultPlan(
+            [FaultSpec("client.send", "drop", rate=1.0, count=1)],
+            seed=0,
+        )
+        with serve_in_thread(workers=0) as handle:
+            with faults.injected(plan):
+                client = connect(handle.address)  # retries=0
+                with pytest.raises(ConnectionError):
+                    client.run("gcd", "mesh4")
+                client.close()
+
+    def test_shed_is_retried_until_admitted(self):
+        # gate opens after the first refusal: the retry gets through
+        with serve_in_thread(workers=0, max_queue=0) as handle:
+            with connect(handle.address, retries=3, backoff=0.05) as c:
+
+                def _open_gate():
+                    handle.server.max_queue = None
+
+                opener = threading.Timer(0.04, _open_gate)
+                opener.start()
+                try:
+                    assert c.run("gcd", "mesh4")["ok"] is True
+                    assert c.retried >= 1
+                finally:
+                    opener.cancel()
+
+
+class TestGracefulDrain:
+    def test_inflight_finishes_new_work_shed(self, slow_workload):
+        with serve_in_thread(workers=0) as handle:
+            client = connect(handle.address)
+            rid = client.submit(slow_workload, "mesh4")
+            # wait for the leader to actually start running
+            deadline = time.time() + 10
+            while not handle.server._inflight and time.time() < deadline:
+                time.sleep(0.01)
+            with connect(handle.address) as other:
+                other.shutdown()  # triggers drain
+            deadline = time.time() + 10
+            while not handle.server._draining and time.time() < deadline:
+                time.sleep(0.01)
+            # new work on the existing connection is shed...
+            with pytest.raises(ServeError) as err:
+                client.run("dotp", "mesh4")
+            assert err.value.code == "SHED"
+            assert "draining" in str(err.value)
+            # ...but the in-flight job still completes
+            response = client.recv(rid)
+            assert response["ok"] is True
+            client.close()
+            deadline = time.time() + 30
+            while handle._thread.is_alive() and time.time() < deadline:
+                time.sleep(0.05)
+            assert not handle._thread.is_alive()
+
+    def test_drain_flushes_file_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger, set_ledger
+
+        path = str(tmp_path / "serve.jsonl")
+        previous = set_ledger(RunLedger(path))
+        try:
+            with serve_in_thread(workers=0) as handle:
+                with connect(handle.address) as client:
+                    assert client.run("gcd", "mesh4")["ok"] is True
+                    client.shutdown()
+                deadline = time.time() + 30
+                while handle._thread.is_alive() and time.time() < deadline:
+                    time.sleep(0.05)
+        finally:
+            set_ledger(previous)
+        with open(path) as fh:
+            kinds = [json.loads(line)["kind"] for line in fh]
+        assert "serve.request" in kinds
+
+
+class TestServeInThreadStartup:
+    def test_wedged_start_raises_clear_error(self):
+        handle = serve_in_thread(workers=0, start_timeout=0.2)
+
+        async def _never(**kwargs):
+            await asyncio.sleep(30)
+
+        handle.server.start = _never
+        with pytest.raises(RuntimeError, match="failed to start within"):
+            handle.__enter__()
+
+    def test_bind_failure_surfaces_not_timeout(self, tmp_path):
+        # an unbindable socket path fails fast with the real OSError,
+        # not a misleading timeout message
+        bad = str(tmp_path / "no-such-dir" / "sock")
+        with pytest.raises(OSError):
+            serve_in_thread(workers=0, socket_path=bad).__enter__()
